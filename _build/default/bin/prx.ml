@@ -1,0 +1,275 @@
+(* prx: the policy-routing explorer CLI.
+
+   Subcommands expose the library's main entry points: topology
+   generation, the Table 1 design space, and per-protocol evaluation
+   runs on generated scenarios. The full experiment suite lives in
+   bench/main.exe; this tool is for interactive exploration. *)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "Deterministic seed for topology, policies and workload." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let size_arg =
+  let doc = "Approximate number of ADs in the generated internet." in
+  Arg.(value & opt int 56 & info [ "size" ] ~docv:"ADS" ~doc)
+
+let flows_arg =
+  let doc = "Number of flows in the workload." in
+  Arg.(value & opt int 100 & info [ "flows" ] ~docv:"N" ~doc)
+
+let restrictiveness_arg =
+  let doc = "Policy restrictiveness in [0,1]." in
+  Arg.(value & opt float 0.3 & info [ "restrictiveness" ] ~docv:"R" ~doc)
+
+let granularity_arg =
+  let doc = "Policy granularity: coarse, destination, source-specific or fine." in
+  let gran_conv =
+    Arg.enum
+      [
+        ("coarse", Pr_policy.Gen.Coarse);
+        ("destination", Pr_policy.Gen.Destination);
+        ("source-specific", Pr_policy.Gen.Source_specific);
+        ("fine", Pr_policy.Gen.Fine);
+      ]
+  in
+  Arg.(
+    value
+    & opt gran_conv Pr_policy.Gen.Source_specific
+    & info [ "granularity" ] ~docv:"G" ~doc)
+
+let scenario_of ~seed ~size ~restrictiveness ~granularity =
+  let policy =
+    { Pr_policy.Gen.default with restrictiveness; granularity }
+  in
+  if size <= 14 then Pr_core.Scenario.figure1 ~policy ~seed ()
+  else Pr_core.Scenario.sized ~policy ~target_ads:size ~seed ()
+
+(* --- design-space ------------------------------------------------- *)
+
+let design_space_cmd =
+  let run () = print_string (Pr_core.Design_space.render ()) in
+  Cmd.v
+    (Cmd.info "design-space" ~doc:"Print the paper's Table 1 with implemented protocols.")
+    Term.(const run $ const ())
+
+let save_arg =
+  let doc = "Save the generated scenario (topology + policies) to this file." in
+  Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
+
+let load_arg =
+  let doc = "Load the scenario from a file written by --save instead of generating." in
+  Arg.(value & opt (some string) None & info [ "load" ] ~docv:"FILE" ~doc)
+
+let scenario_of_args ~seed ~size ~restrictiveness ~granularity ~load =
+  match load with
+  | None -> scenario_of ~seed ~size ~restrictiveness ~granularity
+  | Some path -> (
+    match Pr_core.Codec.load_file ~path with
+    | Ok s -> s
+    | Error e ->
+      Printf.eprintf "cannot load %s: %s\n" path e;
+      exit 1)
+
+(* --- topology ----------------------------------------------------- *)
+
+let topology_cmd =
+  let run seed size save =
+    let s = scenario_of ~seed ~size ~restrictiveness:0.3 ~granularity:Pr_policy.Gen.Source_specific in
+    (match save with
+    | Some path ->
+      Pr_core.Codec.save_file s ~path;
+      Format.printf "saved scenario to %s@." path
+    | None -> ());
+    let g = s.Pr_core.Scenario.graph in
+    Format.printf "%a@." Pr_topology.Graph.pp_summary g;
+    Format.printf "connected: %b, cyclic: %b@." (Pr_topology.Graph.is_connected g)
+      (Pr_topology.Graph.has_cycle g);
+    Pr_topology.Graph.fold_links g ~init:() ~f:(fun () l ->
+        let name ad = (Pr_topology.Graph.ad g ad).Pr_topology.Ad.name in
+        Format.printf "  %-8s -- %-8s %-12s cost %d@." (name l.Pr_topology.Link.a)
+          (name l.Pr_topology.Link.b)
+          (Pr_topology.Link.kind_to_string l.Pr_topology.Link.kind)
+          l.Pr_topology.Link.cost)
+  in
+  Cmd.v
+    (Cmd.info "topology" ~doc:"Generate and print a hierarchical internet.")
+    Term.(const run $ seed_arg $ size_arg $ save_arg)
+
+(* --- evaluate ----------------------------------------------------- *)
+
+let evaluate_cmd =
+  let run seed size flows restrictiveness granularity load =
+    let scenario = scenario_of_args ~seed ~size ~restrictiveness ~granularity ~load in
+    let rng = Pr_util.Rng.create (seed + 1) in
+    let workload = Pr_core.Scenario.flows scenario ~rng ~count:flows () in
+    Format.printf "scenario %s: %a; %a@." scenario.Pr_core.Scenario.label
+      Pr_topology.Graph.pp_summary scenario.Pr_core.Scenario.graph
+      Pr_policy.Config.pp_summary scenario.Pr_core.Scenario.config;
+    let table = Pr_util.Texttable.create ~columns:Pr_core.Experiment.result_columns in
+    let n = Pr_topology.Graph.n scenario.Pr_core.Scenario.graph in
+    let protocols =
+      (* Per-source route replication is the quadratic-state variant the
+         paper warns about; only run it where it can finish. *)
+      List.filter
+        (fun p -> Pr_core.Registry.name p <> "idrp-per-source" || n <= 30)
+        Pr_core.Registry.all
+    in
+    List.iter
+      (fun packed ->
+        let r = Pr_core.Experiment.evaluate packed scenario ~flows:workload () in
+        Pr_util.Texttable.add_row table (Pr_core.Experiment.result_row r))
+      protocols;
+    Pr_util.Texttable.print ~title:"protocol comparison" table
+  in
+  Cmd.v
+    (Cmd.info "evaluate"
+       ~doc:"Run every protocol on one scenario and compare against the policy oracle.")
+    Term.(
+      const run $ seed_arg $ size_arg $ flows_arg $ restrictiveness_arg $ granularity_arg
+      $ load_arg)
+
+(* --- dot ----------------------------------------------------------- *)
+
+let dot_cmd =
+  let run seed size =
+    let s =
+      scenario_of ~seed ~size ~restrictiveness:0.0 ~granularity:Pr_policy.Gen.Coarse
+    in
+    print_string (Pr_topology.Dot.to_dot s.Pr_core.Scenario.graph)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit the generated internet as a Graphviz document on stdout.")
+    Term.(const run $ seed_arg $ size_arg)
+
+(* --- oracle -------------------------------------------------------- *)
+
+let oracle_cmd =
+  let src_arg =
+    Arg.(required & opt (some int) None & info [ "src" ] ~docv:"AD" ~doc:"Source AD id.")
+  in
+  let dst_arg =
+    Arg.(required & opt (some int) None & info [ "dst" ] ~docv:"AD" ~doc:"Destination AD id.")
+  in
+  let run seed size restrictiveness granularity src dst =
+    let scenario = scenario_of ~seed ~size ~restrictiveness ~granularity in
+    let g = scenario.Pr_core.Scenario.graph in
+    let config = scenario.Pr_core.Scenario.config in
+    let flow = Pr_policy.Flow.make ~src ~dst () in
+    (match Pr_policy.Validate.best_legal g config flow ~max_hops:12 with
+    | Some best ->
+      Format.printf "best legal route: %s (cost %s)@."
+        (Pr_topology.Path.to_string best)
+        (match Pr_topology.Path.cost g best with
+        | Some c -> string_of_int c
+        | None -> "?")
+    | None -> Format.printf "no legal route within 12 hops@.");
+    let all =
+      Pr_policy.Validate.legal_paths g config flow ~max_hops:8 ~limit:10 ()
+    in
+    Format.printf "%d legal route(s) within 8 hops (showing up to 10):@."
+      (List.length all);
+    List.iter (fun p -> Format.printf "  %s@." (Pr_topology.Path.to_string p)) all
+  in
+  Cmd.v
+    (Cmd.info "oracle" ~doc:"Query the policy oracle for legal routes between two ADs.")
+    Term.(
+      const run $ seed_arg $ size_arg $ restrictiveness_arg $ granularity_arg $ src_arg
+      $ dst_arg)
+
+(* --- impact -------------------------------------------------------- *)
+
+let impact_cmd =
+  let ad_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "ad" ] ~docv:"AD" ~doc:"Transit AD whose policy change to assess.")
+  in
+  let closed_arg =
+    let doc = "Assess closing the AD entirely (no transit) instead of opening it." in
+    Arg.(value & flag & info [ "close" ] ~doc)
+  in
+  let run seed size restrictiveness granularity ad close =
+    let scenario = scenario_of ~seed ~size ~restrictiveness ~granularity in
+    let proposed =
+      if close then Pr_policy.Transit_policy.no_transit ad
+      else Pr_policy.Transit_policy.open_transit ad
+    in
+    let report = Pr_core.Impact.assess scenario ~proposed () in
+    print_string (Pr_core.Impact.summary report)
+  in
+  Cmd.v
+    (Cmd.info "impact"
+       ~doc:
+         "Predict the impact of replacing one AD's transit policy (section 6's \
+          administrator tool).")
+    Term.(
+      const run $ seed_arg $ size_arg $ restrictiveness_arg $ granularity_arg $ ad_arg
+      $ closed_arg)
+
+(* --- conformance ---------------------------------------------------- *)
+
+let conformance_cmd =
+  let protocol_arg =
+    let doc = "Protocol name (see `prx design-space`); default: all." in
+    Arg.(value & opt (some string) None & info [ "protocol" ] ~docv:"NAME" ~doc)
+  in
+  let run seed size restrictiveness granularity protocol =
+    let scenario = scenario_of ~seed ~size ~restrictiveness ~granularity in
+    let protocols =
+      match protocol with
+      | Some name -> (
+        match Pr_core.Registry.find name with
+        | p -> [ p ]
+        | exception Not_found ->
+          Printf.eprintf "unknown protocol %s\n" name;
+          exit 1)
+      | None ->
+        List.filter
+          (fun p -> Pr_core.Registry.name p <> "idrp-per-source")
+          Pr_core.Registry.all
+    in
+    let failures = ref 0 in
+    List.iter
+      (fun packed ->
+        List.iter
+          (fun (prop, check) ->
+            if
+              not
+                (Pr_core.Registry.name packed = "egp" && prop = "survives fail/restore")
+            then begin
+              match check packed scenario with
+              | Ok () ->
+                Format.printf "ok    %-18s %s@." (Pr_core.Registry.name packed) prop
+              | Error reason ->
+                incr failures;
+                Format.printf "FAIL  %-18s %s: %s@." (Pr_core.Registry.name packed) prop
+                  reason
+            end)
+          Pr_core.Properties.all)
+      protocols;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "conformance"
+       ~doc:"Run the behavioural conformance properties against protocols on a scenario.")
+    Term.(
+      const run $ seed_arg $ size_arg $ restrictiveness_arg $ granularity_arg
+      $ protocol_arg)
+
+let () =
+  let info = Cmd.info "prx" ~doc:"Inter-AD policy routing explorer (Breslau & Estrin, SIGCOMM 1990)." in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            design_space_cmd;
+            topology_cmd;
+            evaluate_cmd;
+            dot_cmd;
+            oracle_cmd;
+            impact_cmd;
+            conformance_cmd;
+          ]))

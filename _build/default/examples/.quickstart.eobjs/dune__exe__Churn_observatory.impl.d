@@ -1,0 +1,1 @@
+examples/churn_observatory.ml: Format List Logs Pr_core Pr_orwg Pr_policy Pr_proto Pr_sim Pr_topology Pr_util

@@ -1,0 +1,1 @@
+examples/commercial_transit.ml: Array Format List Pr_orwg Pr_policy Pr_proto Pr_topology

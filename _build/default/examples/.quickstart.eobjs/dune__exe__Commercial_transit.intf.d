@@ -1,0 +1,1 @@
+examples/commercial_transit.mli:

@@ -1,0 +1,1 @@
+examples/figure1_walkthrough.ml: Array Format List Option Pr_core Pr_policy Pr_proto Pr_topology

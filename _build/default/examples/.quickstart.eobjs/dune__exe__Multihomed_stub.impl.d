@@ -1,0 +1,1 @@
+examples/multihomed_stub.ml: Format List Pr_core Pr_policy Pr_proto Pr_topology

@@ -1,0 +1,1 @@
+examples/multihomed_stub.mli:

@@ -1,0 +1,1 @@
+examples/policy_impact.ml: Format List Pr_core Pr_policy Pr_topology

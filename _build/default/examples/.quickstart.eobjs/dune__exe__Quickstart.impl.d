@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Pr_orwg Pr_policy Pr_proto Pr_topology Pr_util

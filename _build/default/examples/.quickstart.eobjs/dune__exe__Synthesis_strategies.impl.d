@@ -1,0 +1,1 @@
+examples/synthesis_strategies.ml: Format List Pr_core Pr_orwg Pr_policy Pr_proto Pr_sim Pr_topology Pr_util

@@ -1,0 +1,69 @@
+(* Watch a policy-routed internet live through topology churn.
+
+   Enables the library's debug logging (link events at Info level),
+   schedules a bounded fail/restore process into the event queue, and
+   converges ORWG straight through it — reactions interleave with the
+   churn, as they would in the paper's "somewhat adaptive" model
+   (section 2.2). Then reports what traffic experienced.
+
+     dune exec examples/churn_observatory.exe *)
+
+module Rng = Pr_util.Rng
+module Graph = Pr_topology.Graph
+module Flow = Pr_policy.Flow
+module Network = Pr_sim.Network
+module Churn = Pr_sim.Churn
+module Forwarding = Pr_proto.Forwarding
+module Runner = Pr_proto.Runner
+module Scenario = Pr_core.Scenario
+module R = Runner.Make (Pr_orwg.Orwg.Orwg)
+
+let install_reporter () =
+  (* A tiny console reporter: level + message, nothing else. *)
+  let report _src level ~over k msgf =
+    msgf (fun ?header:_ ?tags:_ fmt ->
+        Format.kfprintf
+          (fun ppf ->
+            Format.pp_print_newline ppf ();
+            over ();
+            k ())
+          Format.std_formatter
+          ("  [%s] " ^^ fmt)
+          (Logs.level_to_string (Some level)))
+  in
+  Logs.set_reporter { Logs.report };
+  Logs.Src.set_level Network.log_src (Some Logs.Info)
+
+let () =
+  install_reporter ();
+  let scenario = Scenario.hierarchical ~seed:404 () in
+  let g = scenario.Scenario.graph in
+  Format.printf "internet: %a@.@." Graph.pp_summary g;
+
+  let r = R.setup g scenario.Scenario.config in
+  ignore (R.converge r);
+  print_endline "control plane converged; warming the data plane...";
+  let rng = Rng.create 405 in
+  let flows = Scenario.flows scenario ~rng ~count:60 () in
+  List.iter (fun f -> ignore (R.send_flow r f)) flows;
+
+  print_endline "\ninjecting 10 link flips, 5 time units apart:";
+  Churn.schedule (R.network r) (Rng.create 406) ~events:10 ~spacing:5.0 ();
+  let c = R.converge r in
+  Format.printf "\nrode out the churn: %a@.@." Runner.pp_convergence c;
+
+  let delivered = ref 0 and refused = ref 0 and other = ref 0 in
+  List.iter
+    (fun f ->
+      match R.send_flow r f with
+      | Forwarding.Delivered _ -> incr delivered
+      | Forwarding.Prep_failed _ -> incr refused
+      | Forwarding.Dropped _ | Forwarding.Looped _ -> incr other)
+    flows;
+  Format.printf "after the storm: %d/%d delivered, %d source-refused, %d failed@."
+    !delivered (List.length flows) !refused !other;
+  print_endline
+    "\nEvery [info] line above was a link failing or recovering while the\n\
+     protocol was mid-reaction; route servers revalidated their cached\n\
+     policy routes against each reflooded database and traffic re-settled\n\
+     without manual intervention — no static routes anywhere (section 2.2)."

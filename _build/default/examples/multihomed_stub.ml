@@ -1,0 +1,95 @@
+(* The multihomed stub scenario (paper section 2.1): an AD with two
+   providers that wishes to disallow ALL transit traffic.
+
+   This is the motivating case for policy routing: with policy-blind
+   shortest-path protocols, a multihomed stub with a convenient pair of
+   links becomes everyone's shortcut. We build a topology where the
+   stub's two links form the cheapest path between two regionals, and
+   compare what each design point does.
+
+     dune exec examples/multihomed_stub.exe *)
+
+module Ad = Pr_topology.Ad
+module Link = Pr_topology.Link
+module Graph = Pr_topology.Graph
+module Flow = Pr_policy.Flow
+module Config = Pr_policy.Config
+module Validate = Pr_policy.Validate
+module Forwarding = Pr_proto.Forwarding
+module Runner = Pr_proto.Runner
+module Registry = Pr_core.Registry
+
+(* Topology:
+                BB (0)
+          cost 5 /  \ cost 5
+            R1 (1)   R2 (2)
+          cost 1 \   / cost 1
+              MULTI (3)          <- multihomed stub
+               |        |
+             C1 (4)   C2 (5)     <- customers of R1 and R2
+
+   R1 <-> R2 traffic is cheapest via the stub (cost 2) but only legal
+   via the backbone (cost 10). *)
+let build () =
+  let ads =
+    [|
+      Ad.make ~id:0 ~name:"BB" ~klass:Ad.Transit ~level:Ad.Backbone;
+      Ad.make ~id:1 ~name:"R1" ~klass:Ad.Transit ~level:Ad.Regional;
+      Ad.make ~id:2 ~name:"R2" ~klass:Ad.Transit ~level:Ad.Regional;
+      Ad.make ~id:3 ~name:"MULTI" ~klass:Ad.Multihomed ~level:Ad.Campus;
+      Ad.make ~id:4 ~name:"C1" ~klass:Ad.Stub ~level:Ad.Campus;
+      Ad.make ~id:5 ~name:"C2" ~klass:Ad.Stub ~level:Ad.Campus;
+    |]
+  in
+  let links =
+    [|
+      Link.make ~id:0 ~a:0 ~b:1 ~cost:5 Link.Hierarchical;
+      Link.make ~id:1 ~a:0 ~b:2 ~cost:5 Link.Hierarchical;
+      Link.make ~id:2 ~a:1 ~b:3 ~cost:1 Link.Hierarchical;
+      Link.make ~id:3 ~a:2 ~b:3 ~cost:1 Link.Hierarchical;
+      Link.make ~id:4 ~a:1 ~b:4 ~cost:1 Link.Hierarchical;
+      Link.make ~id:5 ~a:2 ~b:5 ~cost:1 Link.Hierarchical;
+    |]
+  in
+  Graph.create ads links
+
+let () =
+  let g = build () in
+  let config = Config.defaults g in
+  (* C1 -> C2: the cheap path runs straight through the multihomed
+     stub; the legal path climbs over the backbone. *)
+  let flow = Flow.make ~src:4 ~dst:5 () in
+  Format.printf "flow C1 -> C2 (%a)@." Flow.pp flow;
+  Format.printf "cheapest physical path: 4->1->3->2->5 (cost 4, through the stub)@.";
+  Format.printf "best legal path:        %s (over the backbone)@.@."
+    (match Validate.best_legal g config flow ~max_hops:8 with
+    | Some p -> Pr_topology.Path.to_string p
+    | None -> "none");
+  List.iter
+    (fun name ->
+      let (Registry.Packed (module P)) = Registry.find name in
+      let module R = Runner.Make (P) in
+      let r = R.setup g config in
+      ignore (R.converge r);
+      match R.send_flow r flow with
+      | Forwarding.Delivered { path; _ } ->
+        let through_stub = List.mem 3 (Pr_topology.Path.transit_ads path) in
+        Format.printf "%-18s %-18s %s@." name
+          (Pr_topology.Path.to_string path)
+          (if through_stub then "<- TRANSITS THE MULTIHOMED STUB" else "(respects the stub)")
+      | o -> Format.printf "%-18s %a@." name Forwarding.pp_outcome o)
+    [ "dv-plain"; "link-state"; "egp"; "ecma"; "idrp"; "ls-hbh-pt"; "orwg" ];
+  print_newline ();
+  print_endline
+    "The policy-blind baselines cut through MULTI. Every policy design —\n\
+     ECMA via the partial ordering (a valley through the stub is forbidden),\n\
+     and the PT designs via the stub's empty policy-term set — routes over\n\
+     the backbone instead.";
+  (* The stub's own traffic is unaffected either way. *)
+  let own = Flow.make ~src:3 ~dst:5 () in
+  let (Registry.Packed (module P)) = Registry.find "orwg" in
+  let module R = Runner.Make (P) in
+  let r = R.setup g config in
+  ignore (R.converge r);
+  Format.printf "@.the stub's own traffic still flows: %a@." Forwarding.pp_outcome
+    (R.send_flow r own)

@@ -1,0 +1,58 @@
+(* The administrator's "what if" tool (paper section 6): before an AD
+   tightens its transit policy, predict who loses connectivity, whose
+   routes degrade, and how much transit load the AD sheds.
+
+     dune exec examples/policy_impact.exe *)
+
+module Ad = Pr_topology.Ad
+module Graph = Pr_topology.Graph
+module Policy_term = Pr_policy.Policy_term
+module Transit_policy = Pr_policy.Transit_policy
+module Scenario = Pr_core.Scenario
+module Impact = Pr_core.Impact
+
+let () =
+  let scenario = Scenario.hierarchical ~seed:2026 () in
+  let g = scenario.Scenario.graph in
+  Format.printf "internet: %a@.@." Graph.pp_summary g;
+
+  (* Pick the busiest backbone AD. *)
+  let backbone =
+    match
+      List.find_opt (fun ad -> (Graph.ad g ad).Ad.level = Ad.Backbone) (Graph.transit_ids g)
+    with
+    | Some ad -> ad
+    | None -> 0
+  in
+  Format.printf "--- scenario A: backbone AD %d stops carrying commercial traffic ---@."
+    backbone;
+  let research_only =
+    Transit_policy.make backbone
+      [ Policy_term.make ~owner:backbone ~ucis:[ Pr_policy.Uci.Research ] () ]
+  in
+  Format.printf "as seen by research traffic:@.";
+  print_string
+    (Impact.summary
+       (Impact.assess scenario ~proposed:research_only ~uci:Pr_policy.Uci.Research ()));
+  Format.printf "as seen by commercial traffic:@.";
+  print_string
+    (Impact.summary
+       (Impact.assess scenario ~proposed:research_only ~uci:Pr_policy.Uci.Commercial ()));
+
+  Format.printf "@.--- scenario B: the same AD closes to transit entirely ---@.";
+  print_string
+    (Impact.summary (Impact.assess scenario ~proposed:(Transit_policy.no_transit backbone) ()));
+
+  Format.printf "@.--- scenario C: a hybrid metro opens up completely ---@.";
+  let hybrid =
+    List.find_opt (fun ad -> (Graph.ad g ad).Ad.klass = Ad.Hybrid) (Graph.transit_ids g)
+  in
+  (match hybrid with
+  | Some ad ->
+    print_string
+      (Impact.summary (Impact.assess scenario ~proposed:(Transit_policy.open_transit ad) ()))
+  | None -> print_endline "(no hybrid AD in this internet)");
+  print_endline
+    "\nThe tool answers section 6's call: administrators can see, before\n\
+     deploying a policy, whether it merely sheds unwanted transit or\n\
+     silently cuts paying customers off the internet."

@@ -1,0 +1,1 @@
+lib/core/codec.ml: Array Fun List Option Pr_policy Pr_topology Pr_util Printf Result Scenario

@@ -1,0 +1,1 @@
+lib/core/codec.mli: Pr_policy Pr_topology Pr_util Scenario

@@ -1,0 +1,1 @@
+lib/core/design_space.ml: List Pr_proto Pr_util String

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: List Option Pr_policy Pr_proto Pr_sim Pr_topology Pr_util Printf Registry Scenario

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Pr_policy Pr_topology Pr_util Registry Scenario

@@ -1,0 +1,1 @@
+lib/core/impact.ml: Array Buffer Experiment List Pr_policy Pr_topology Pr_util Printf Scenario

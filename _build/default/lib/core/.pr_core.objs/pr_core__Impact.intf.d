@@ -1,0 +1,1 @@
+lib/core/impact.mli: Pr_policy Pr_topology Scenario

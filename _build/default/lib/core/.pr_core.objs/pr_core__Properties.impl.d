@@ -1,0 +1,1 @@
+lib/core/properties.ml: Bool List Pr_policy Pr_proto Pr_topology Pr_util Printf Registry Scenario

@@ -1,0 +1,1 @@
+lib/core/properties.mli: Registry Scenario

@@ -1,0 +1,1 @@
+lib/core/registry.ml: List Pr_dv Pr_ecma Pr_egp Pr_idrp Pr_ls Pr_lshbh Pr_orwg Pr_proto

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Array List Pr_policy Pr_topology Pr_util Printf

@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Pr_policy Pr_topology Pr_util

@@ -1,0 +1,95 @@
+module D = Pr_proto.Design_point
+
+type status = Implemented of string list | Impractical of string
+
+type cell = { point : D.t; status : status; paper_section : string }
+
+let cells =
+  [
+    {
+      point = D.make D.Distance_vector D.Hop_by_hop D.In_topology;
+      status = Implemented [ "ecma"; "dv-plain (no policy)"; "egp (reachability only)" ];
+      paper_section = "5.1";
+    };
+    {
+      point = D.make D.Distance_vector D.Hop_by_hop D.Policy_terms;
+      status = Implemented [ "idrp"; "idrp-per-source"; "idrp-scoped" ];
+      paper_section = "5.2";
+    };
+    {
+      point = D.make D.Link_state D.Hop_by_hop D.Policy_terms;
+      status = Implemented [ "ls-hbh-pt"; "link-state (no policy)" ];
+      paper_section = "5.3";
+    };
+    {
+      point = D.make D.Link_state D.Source_routing D.Policy_terms;
+      status = Implemented [ "orwg"; "orwg-no-handles" ];
+      paper_section = "5.4";
+    };
+    {
+      point = D.make D.Link_state D.Hop_by_hop D.In_topology;
+      status =
+        Impractical
+          "flooding gives every node global knowledge, while topology-embedded \
+           policy works by constraining information flow: no advantage (\u{00a7}5.5.1)";
+      paper_section = "5.5.1";
+    };
+    {
+      point = D.make D.Link_state D.Source_routing D.In_topology;
+      status =
+        Impractical
+          "same conflict between flooding and topology-embedded policy (\u{00a7}5.5.1)";
+      paper_section = "5.5.1";
+    };
+    {
+      point = D.make D.Distance_vector D.Source_routing D.In_topology;
+      status =
+        Impractical
+          "source routing without complete information: the source cannot control \
+           the route computation (\u{00a7}5.5.2)";
+      paper_section = "5.5.2";
+    };
+    {
+      point = D.make D.Distance_vector D.Source_routing D.Policy_terms;
+      status =
+        Impractical
+          "little advantage over link state: source control requires complete \
+           information for, and control of, the computation (\u{00a7}5.5.2)";
+      paper_section = "5.5.2";
+    };
+  ]
+
+let find point =
+  match List.find_opt (fun c -> D.equal c.point point) cells with
+  | Some c -> c
+  | None -> invalid_arg "Design_space.find: unknown design point"
+
+let render () =
+  let table =
+    Pr_util.Texttable.create
+      ~columns:
+        [
+          ("algorithm", Pr_util.Texttable.Left);
+          ("decision location", Pr_util.Texttable.Left);
+          ("policy expression", Pr_util.Texttable.Left);
+          ("section", Pr_util.Texttable.Left);
+          ("status", Pr_util.Texttable.Left);
+        ]
+  in
+  List.iter
+    (fun c ->
+      let status =
+        match c.status with
+        | Implemented names -> "implemented: " ^ String.concat ", " names
+        | Impractical why -> "impractical: " ^ why
+      in
+      Pr_util.Texttable.add_row table
+        [
+          D.algorithm_to_string c.point.D.algorithm;
+          D.location_to_string c.point.D.location;
+          D.policy_expression_to_string c.point.D.policy_expression;
+          c.paper_section;
+          status;
+        ])
+    cells;
+  Pr_util.Texttable.render table

@@ -1,0 +1,18 @@
+(** The paper's Table 1: the eight-point design space for inter-AD
+    routing, populated from the protocols implemented in this
+    repository. *)
+
+type status =
+  | Implemented of string list
+      (** protocol names in this repository occupying the point *)
+  | Impractical of string  (** why the paper rules the point out (§5.5) *)
+
+type cell = { point : Pr_proto.Design_point.t; status : status; paper_section : string }
+
+val cells : cell list
+(** All eight points in the paper's order of discussion. *)
+
+val find : Pr_proto.Design_point.t -> cell
+
+val render : unit -> string
+(** Text rendition of Table 1 with our protocol names in the cells. *)

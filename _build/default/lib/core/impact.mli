@@ -1,0 +1,52 @@
+(** Policy impact prediction — the administrator tool of paper §6:
+
+    "it will be possible to specify local policies that will result in
+    poor service … it will be imperative for these administrators to
+    have available network management tools to assist them in
+    predicting the impact of their policies on the service received
+    from the routing architecture."
+
+    Given a scenario and a proposed replacement transit policy for one
+    AD, this module compares the oracle's view of the internet before
+    and after: which host pairs gain or lose connectivity, how route
+    costs shift, and how much transit load the AD would attract or
+    shed. It is pure analysis — no protocol is run. *)
+
+type pair_change = {
+  src : Pr_topology.Ad.id;
+  dst : Pr_topology.Ad.id;
+  before : Pr_topology.Path.t option;  (** best legal route before *)
+  after : Pr_topology.Path.t option;
+}
+
+type report = {
+  owner : Pr_topology.Ad.id;  (** the AD whose policy is being changed *)
+  pairs_total : int;  (** ordered host pairs examined *)
+  lost : pair_change list;  (** reachable before, unreachable after *)
+  gained : pair_change list;  (** unreachable before, reachable after *)
+  degraded : pair_change list;  (** still reachable, strictly costlier *)
+  improved : pair_change list;  (** still reachable, strictly cheaper *)
+  transit_load_before : int;
+      (** host pairs whose best route transited the AD before *)
+  transit_load_after : int;
+  mean_cost_before : float;  (** over pairs reachable in both configurations *)
+  mean_cost_after : float;
+}
+
+val assess :
+  Scenario.t ->
+  proposed:Pr_policy.Transit_policy.t ->
+  ?qos:Pr_policy.Qos.t ->
+  ?uci:Pr_policy.Uci.t ->
+  ?max_hops:int ->
+  unit ->
+  report
+(** Evaluate replacing [proposed.owner]'s transit policy with
+    [proposed], for traffic of the given class (defaults:
+    [Qos.Default], [Uci.Research]). [max_hops] defaults to
+    {!Experiment.oracle_max_hops}. Cost of the analysis is two oracle
+    searches per host pair. *)
+
+val summary : report -> string
+(** Multi-line human-readable summary, as printed by
+    [prx impact]. *)

@@ -1,0 +1,133 @@
+module Graph = Pr_topology.Graph
+module Path = Pr_topology.Path
+module Flow = Pr_policy.Flow
+module Forwarding = Pr_proto.Forwarding
+module Runner = Pr_proto.Runner
+
+type check = Registry.packed -> Scenario.t -> (unit, string) result
+
+let probe_flows (scenario : Scenario.t) =
+  let rng = Pr_util.Rng.create (scenario.Scenario.seed + 7919) in
+  Scenario.flows scenario ~rng ~count:30 ()
+
+let fail fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let converges (Registry.Packed (module P)) (scenario : Scenario.t) =
+  let module R = Runner.Make (P) in
+  let r = R.setup scenario.Scenario.graph scenario.Scenario.config in
+  let c = R.converge ~max_events:20_000_000 r in
+  if c.Runner.converged then Ok () else fail "did not converge from cold start"
+
+let converge_idempotent (Registry.Packed (module P)) (scenario : Scenario.t) =
+  let module R = Runner.Make (P) in
+  let r = R.setup scenario.Scenario.graph scenario.Scenario.config in
+  ignore (R.converge ~max_events:20_000_000 r);
+  let again = R.converge r in
+  if again.Runner.messages = 0 && again.Runner.events = 0 then Ok ()
+  else fail "steady state chatter: %d messages on re-converge" again.Runner.messages
+
+let run_outcomes (type a m)
+    (module P : Pr_proto.Protocol_intf.PROTOCOL with type t = a and type message = m)
+    (scenario : Scenario.t) flows =
+  let module R = Runner.Make (P) in
+  let r = R.setup scenario.Scenario.graph scenario.Scenario.config in
+  let c = R.converge ~max_events:20_000_000 r in
+  (c, List.map (fun f -> R.send_flow r f) flows)
+
+let deterministic (Registry.Packed (module P)) (scenario : Scenario.t) =
+  let flows = probe_flows scenario in
+  let c1, o1 = run_outcomes (module P) scenario flows in
+  let c2, o2 = run_outcomes (module P) scenario flows in
+  if c1.Runner.messages <> c2.Runner.messages then
+    fail "nondeterministic convergence: %d vs %d messages" c1.Runner.messages
+      c2.Runner.messages
+  else if
+    not
+      (List.for_all2
+         (fun a b -> Forwarding.delivered_path a = Forwarding.delivered_path b)
+         o1 o2)
+  then fail "nondeterministic forwarding outcomes"
+  else Ok ()
+
+let outcomes_partition (Registry.Packed (module P)) (scenario : Scenario.t) =
+  let flows = probe_flows scenario in
+  let _, outcomes = run_outcomes (module P) scenario flows in
+  let delivered = ref 0 and dropped = ref 0 and looped = ref 0 and prep = ref 0 in
+  List.iter
+    (function
+      | Forwarding.Delivered _ -> incr delivered
+      | Forwarding.Dropped _ -> incr dropped
+      | Forwarding.Looped _ -> incr looped
+      | Forwarding.Prep_failed _ -> incr prep)
+    outcomes;
+  if !delivered + !dropped + !looped + !prep = List.length flows then Ok ()
+  else fail "outcomes do not partition the workload"
+
+let delivered_paths_valid (Registry.Packed (module P)) (scenario : Scenario.t) =
+  let g = scenario.Scenario.graph in
+  let flows = probe_flows scenario in
+  let _, outcomes = run_outcomes (module P) scenario flows in
+  let rec scan flows outcomes =
+    match (flows, outcomes) with
+    | [], [] -> Ok ()
+    | flow :: fs, outcome :: os -> (
+      match outcome with
+      | Forwarding.Delivered { path; _ } ->
+        if not (Path.is_valid g path) then
+          fail "delivered an invalid path %s" (Path.to_string path)
+        else if Path.source path <> flow.Flow.src then
+          fail "path starts at %d, not the source %d" (Path.source path) flow.Flow.src
+        else if Path.destination path <> flow.Flow.dst then
+          fail "path ends at %d, not the destination %d" (Path.destination path)
+            flow.Flow.dst
+        else scan fs os
+      | _ -> scan fs os)
+    | _ -> fail "internal: workload/outcome length mismatch"
+  in
+  scan flows outcomes
+
+let state_gauges_sane (Registry.Packed (module P)) (scenario : Scenario.t) =
+  let module R = Runner.Make (P) in
+  let g = scenario.Scenario.graph in
+  let r = R.setup g scenario.Scenario.config in
+  ignore (R.converge ~max_events:20_000_000 r);
+  let negative = ref None in
+  for ad = 0 to Graph.n g - 1 do
+    if P.table_entries (R.protocol r) ad < 0 then negative := Some ad
+  done;
+  match !negative with
+  | Some ad -> fail "negative table gauge at AD %d" ad
+  | None ->
+    if R.max_table_entries r <= R.table_entries r then Ok ()
+    else fail "per-AD maximum exceeds the total"
+
+let survives_fail_restore (Registry.Packed (module P)) (scenario : Scenario.t) =
+  let module R = Runner.Make (P) in
+  let g = scenario.Scenario.graph in
+  let flows = probe_flows scenario in
+  let r = R.setup g scenario.Scenario.config in
+  ignore (R.converge ~max_events:20_000_000 r);
+  let baseline = List.map (fun f -> Forwarding.delivered (R.send_flow r f)) flows in
+  let lid = Graph.num_links g / 2 in
+  R.fail_link r lid;
+  let c1 = R.converge ~max_events:20_000_000 r in
+  R.restore_link r lid;
+  let c2 = R.converge ~max_events:20_000_000 r in
+  if not (c1.Runner.converged && c2.Runner.converged) then
+    fail "did not reconverge around the churn"
+  else begin
+    let after = List.map (fun f -> Forwarding.delivered (R.send_flow r f)) flows in
+    if List.for_all2 Bool.equal baseline after then Ok ()
+    else fail "delivery set changed across fail/restore"
+  end
+
+let all =
+  [
+    ("converges", converges);
+    ("converge idempotent", converge_idempotent);
+    ("deterministic", deterministic);
+    ("outcomes partition", outcomes_partition);
+    ("delivered paths valid", delivered_paths_valid);
+    ("state gauges sane", state_gauges_sane);
+    ("survives fail/restore", survives_fail_restore);
+  ]

@@ -1,0 +1,42 @@
+(** Protocol conformance properties.
+
+    Behavioural invariants every routing protocol in the registry is
+    expected to satisfy on any scenario, packaged so the test suite can
+    sweep (protocol × scenario × seed). Each check returns [Ok ()] or
+    [Error reason]; they are deliberately protocol-agnostic, using only
+    the {!Pr_proto.Protocol_intf.PROTOCOL} surface and the policy
+    oracle. *)
+
+type check = Registry.packed -> Scenario.t -> (unit, string) result
+
+val converges : check
+(** The event queue drains from a cold start. *)
+
+val converge_idempotent : check
+(** A second converge after quiescence sends no further messages —
+    event-driven protocols must not chatter at steady state. *)
+
+val deterministic : check
+(** Two cold runs produce identical convergence metrics and identical
+    outcomes for a probe workload. *)
+
+val outcomes_partition : check
+(** Delivered + dropped + looped + prep-failed = flows sent. *)
+
+val delivered_paths_valid : check
+(** Every delivered path is a valid simple path of the topology from
+    the flow's source to its destination. *)
+
+val state_gauges_sane : check
+(** Table-entry gauges are non-negative and the per-AD maximum is at
+    most the total. *)
+
+val survives_fail_restore : check
+(** After failing and restoring a link (reconverging after each), the
+    set of delivered probe flows equals the initial one. EGP is exempt
+    — its silent stable loops after churn are documented behaviour —
+    so the sweep in the test suite skips it there. *)
+
+val all : (string * check) list
+(** Every check above with a short name, [survives_fail_restore]
+    included. *)

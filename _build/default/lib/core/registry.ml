@@ -1,0 +1,39 @@
+type packed =
+  | Packed :
+      (module Pr_proto.Protocol_intf.PROTOCOL with type t = 'a and type message = 'm)
+      -> packed
+
+let name (Packed (module P)) = P.name
+
+let design_point (Packed (module P)) = P.design_point
+
+let baselines =
+  [
+    Packed (module Pr_dv.Dv.Plain);
+    Packed (module Pr_dv.Dv.Split_horizon);
+    Packed (module Pr_ls.Ls);
+    Packed (module Pr_egp.Egp);
+  ]
+
+let policy_designs =
+  [
+    Packed (module Pr_ecma.Ecma);
+    Packed (module Pr_idrp.Idrp.Standard);
+    Packed (module Pr_lshbh.Lshbh);
+    Packed (module Pr_orwg.Orwg.Orwg);
+  ]
+
+let extras =
+  [
+    Packed (module Pr_idrp.Idrp.Per_source);
+    Packed (module Pr_idrp.Idrp.Scoped);
+    Packed (module Pr_orwg.Orwg.No_handles);
+    Packed (module Pr_orwg.Orwg.Delegated);
+    Packed (module Pr_orwg.Orwg.Pruned);
+  ]
+
+let all = baselines @ policy_designs @ extras
+
+let find wanted = List.find (fun p -> name p = wanted) all
+
+let names packs = List.map name packs

@@ -1,0 +1,27 @@
+(** All routing protocols implemented in this repository, packaged as
+    first-class modules so experiments can sweep them uniformly. *)
+
+type packed =
+  | Packed :
+      (module Pr_proto.Protocol_intf.PROTOCOL with type t = 'a and type message = 'm)
+      -> packed
+
+val name : packed -> string
+
+val design_point : packed -> Pr_proto.Design_point.t
+
+val all : packed list
+(** Every protocol: baselines and policy designs. *)
+
+val baselines : packed list
+(** dv-plain, dv-split-horizon, link-state, egp. *)
+
+val policy_designs : packed list
+(** The four design points of paper §5: ecma, idrp, ls-hbh-pt, orwg.
+    The variants (idrp-per-source, orwg-no-handles, orwg-delegated)
+    appear in {!all} only. *)
+
+val find : string -> packed
+(** @raise Not_found for unknown names. *)
+
+val names : packed list -> string list

@@ -1,0 +1,64 @@
+module Rng = Pr_util.Rng
+module Graph = Pr_topology.Graph
+module Generator = Pr_topology.Generator
+module Figure1 = Pr_topology.Figure1
+module Gen = Pr_policy.Gen
+module Config = Pr_policy.Config
+module Flow = Pr_policy.Flow
+module Qos = Pr_policy.Qos
+module Uci = Pr_policy.Uci
+
+type t = {
+  label : string;
+  graph : Graph.t;
+  config : Config.t;
+  seed : int;
+}
+
+let figure1 ?(policy = Gen.default) ~seed () =
+  let graph = Figure1.graph () in
+  let rng = Rng.create seed in
+  { label = "figure1"; graph; config = Gen.generate rng graph policy; seed }
+
+let hierarchical ?(policy = Gen.default) ?(topology = Generator.default) ~seed () =
+  let rng = Rng.create seed in
+  let graph = Generator.generate (Rng.split rng) topology in
+  {
+    label = Printf.sprintf "hierarchical-%d" (Graph.n graph);
+    graph;
+    config = Gen.generate rng graph policy;
+    seed;
+  }
+
+let sized ?policy ~target_ads ~seed () =
+  hierarchical ?policy ~topology:(Generator.scaled ~target_ads) ~seed ()
+
+let open_policies t =
+  { t with label = t.label ^ "-open"; config = Config.defaults t.graph }
+
+let flows t ~rng ~count ?(classes = true) () =
+  let hosts = Array.of_list (Graph.host_ids t.graph) in
+  if Array.length hosts < 2 then []
+  else
+    List.init count (fun _ ->
+        let src = Rng.choose_array rng hosts in
+        let rec pick_dst () =
+          let dst = Rng.choose_array rng hosts in
+          if dst = src then pick_dst () else dst
+        in
+        let dst = pick_dst () in
+        if classes then
+          Flow.make ~src ~dst
+            ~qos:(Qos.of_index (Rng.int rng Qos.count))
+            ~uci:(Uci.of_index (Rng.int rng Uci.count))
+            ~hour:(Rng.int rng 24) ()
+        else Flow.make ~src ~dst ())
+
+let all_host_pairs t =
+  let hosts = Graph.host_ids t.graph in
+  List.concat_map
+    (fun src ->
+      List.filter_map
+        (fun dst -> if src = dst then None else Some (Flow.make ~src ~dst ()))
+        hosts)
+    hosts

@@ -1,0 +1,40 @@
+(** Experiment scenarios: a topology, a policy configuration, and a
+    deterministic workload of flows. *)
+
+type t = {
+  label : string;
+  graph : Pr_topology.Graph.t;
+  config : Pr_policy.Config.t;
+  seed : int;
+}
+
+val figure1 : ?policy:Pr_policy.Gen.params -> seed:int -> unit -> t
+(** The paper's Figure 1 internet; policies default to
+    {!Pr_policy.Gen.default} drawn with the given seed. *)
+
+val hierarchical :
+  ?policy:Pr_policy.Gen.params ->
+  ?topology:Pr_topology.Generator.params ->
+  seed:int ->
+  unit ->
+  t
+(** A generated hierarchical internet (defaults:
+    {!Pr_topology.Generator.default}, ~56 ADs). *)
+
+val sized : ?policy:Pr_policy.Gen.params -> target_ads:int -> seed:int -> unit -> t
+(** A generated hierarchical internet of approximately the requested
+    size. *)
+
+val open_policies : t -> t
+(** The same topology with the class-implied default policies
+    (transit open, stubs closed) — the policy-free control. *)
+
+val flows :
+  t -> rng:Pr_util.Rng.t -> count:int -> ?classes:bool -> unit -> Pr_policy.Flow.t list
+(** A workload of [count] flows between distinct host ADs. With
+    [classes] (default true) QOS/UCI are drawn randomly; otherwise all
+    flows are default-class. *)
+
+val all_host_pairs : t -> Pr_policy.Flow.t list
+(** One default-class flow per ordered pair of distinct host ADs —
+    the exhaustive workload used on small scenarios. *)

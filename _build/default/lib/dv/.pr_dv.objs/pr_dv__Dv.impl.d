@@ -1,0 +1,1 @@
+lib/dv/dv.ml: Array Hashtbl List Pr_policy Pr_proto Pr_sim Pr_topology Stdlib

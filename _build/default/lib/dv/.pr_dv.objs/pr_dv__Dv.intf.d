@@ -1,0 +1,1 @@
+lib/dv/dv.mli: Pr_proto Pr_topology

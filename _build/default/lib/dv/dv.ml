@@ -1,0 +1,187 @@
+module Graph = Pr_topology.Graph
+module Link = Pr_topology.Link
+module Network = Pr_sim.Network
+module Metrics = Pr_sim.Metrics
+module Flow = Pr_policy.Flow
+module Packet = Pr_proto.Packet
+module Cost_model = Pr_proto.Cost_model
+module Design_point = Pr_proto.Design_point
+
+let infinity_metric = 64
+
+type message = (Pr_topology.Ad.id * int) list
+
+module type VARIANT = sig
+  val name : string
+
+  val split_horizon : bool
+end
+
+module Make (V : VARIANT) = struct
+  (* Distributed Bellman-Ford: each node remembers the last vector
+     received from every neighbor and recomputes its own entry as the
+     minimum over neighbors of (heard metric + link cost). This is the
+     classical scheme, complete with its classical pathology: after a
+     withdrawal, a node can adopt a neighbor's stale route that in fact
+     passes through itself, and metrics then climb step by step to
+     infinity (count-to-infinity, paper §4.3). *)
+  type node = {
+    (* last vector heard, per neighbor *)
+    heard : (Pr_topology.Ad.id, int array) Hashtbl.t;
+    metric : int array;  (* own table: metric per destination *)
+    next_hop : int array;  (* -1 when unreachable *)
+  }
+
+  type t = { graph : Graph.t; net : message Network.t; nodes : node array }
+
+  type nonrec message = message
+
+  let name = V.name
+
+  let design_point =
+    Design_point.make Design_point.Distance_vector Design_point.Hop_by_hop
+      Design_point.In_topology
+
+  let create graph _config net =
+    let n = Graph.n graph in
+    let make_node ad =
+      let metric = Array.make n infinity_metric in
+      let next_hop = Array.make n (-1) in
+      metric.(ad) <- 0;
+      next_hop.(ad) <- ad;
+      { heard = Hashtbl.create 8; metric; next_hop }
+    in
+    { graph; net; nodes = Array.init n make_node }
+
+  let vector_bytes entries =
+    Cost_model.update_fixed_bytes + (Cost_model.dv_entry_bytes * List.length entries)
+
+  let link_cost t x y =
+    match Graph.find_link t.graph x y with
+    | None -> None
+    | Some lid -> Some (Graph.link t.graph lid).Link.cost
+
+  (* Recompute this node's entry for [dst]; true when it changed. *)
+  let recompute t ad dst =
+    if dst = ad then false
+    else begin
+      let node = t.nodes.(ad) in
+      let best = ref infinity_metric and via = ref (-1) in
+      List.iter
+        (fun nbr ->
+          match (Hashtbl.find_opt node.heard nbr, link_cost t ad nbr) with
+          | Some table, Some cost ->
+            let candidate = Stdlib.min (table.(dst) + cost) infinity_metric in
+            if candidate < !best then begin
+              best := candidate;
+              via := nbr
+            end
+          | _ -> ())
+        (Network.up_neighbors t.net ad);
+      let changed = node.metric.(dst) <> !best || node.next_hop.(dst) <> !via in
+      node.metric.(dst) <- !best;
+      node.next_hop.(dst) <- (if !best >= infinity_metric then -1 else !via);
+      changed
+
+    end
+
+  (* Advertise the given destinations to every up neighbor, applying
+     poisoned reverse under split horizon. *)
+  let advertise t ad dests =
+    if dests <> [] then begin
+      let node = t.nodes.(ad) in
+      List.iter
+        (fun nbr ->
+          let entries =
+            List.map
+              (fun dst ->
+                if V.split_horizon && node.next_hop.(dst) = nbr && dst <> ad then
+                  (dst, infinity_metric)
+                else (dst, Stdlib.min node.metric.(dst) infinity_metric))
+              dests
+          in
+          Network.send t.net ~src:ad ~dst:nbr ~bytes:(vector_bytes entries) entries)
+        (Network.up_neighbors t.net ad)
+    end
+
+  let all_dests t = List.init (Graph.n t.graph) (fun i -> i)
+
+  let start t =
+    for ad = 0 to Graph.n t.graph - 1 do
+      advertise t ad (all_dests t)
+    done
+
+  let heard_table t ad nbr =
+    let node = t.nodes.(ad) in
+    match Hashtbl.find_opt node.heard nbr with
+    | Some table -> table
+    | None ->
+      let table = Array.make (Graph.n t.graph) infinity_metric in
+      Hashtbl.replace node.heard nbr table;
+      table
+
+  let handle_message t ~at ~from vector =
+    Metrics.record_computation (Network.metrics t.net) at ();
+    let table = heard_table t at from in
+    let changed = ref [] in
+    List.iter
+      (fun (dst, metric) ->
+        table.(dst) <- Stdlib.min metric infinity_metric;
+        if recompute t at dst then changed := dst :: !changed)
+      vector;
+    advertise t at (List.rev !changed)
+
+  let handle_link t ~at ~link ~up =
+    let l = Graph.link t.graph link in
+    let nbr = Link.other_end l at in
+    if up then
+      (* Fresh adjacency: share the whole table; the neighbor's vector
+         will arrive symmetrically. *)
+      advertise t at (all_dests t)
+    else begin
+      Hashtbl.remove t.nodes.(at).heard nbr;
+      let changed = List.filter (recompute t at) (all_dests t) in
+      advertise t at changed
+    end
+
+  let prepare_flow _t _flow = Packet.no_prep
+
+  let originate _t _packet = ()
+
+  let forward t ~at ~from:_ packet =
+    let dst = packet.Packet.flow.Flow.dst in
+    if at = dst then Packet.Deliver
+    else begin
+      let node = t.nodes.(at) in
+      if node.metric.(dst) >= infinity_metric || node.next_hop.(dst) < 0 then
+        Packet.Drop "no route"
+      else Packet.Forward node.next_hop.(dst)
+    end
+
+  let table_entries t ad =
+    Array.fold_left
+      (fun acc m -> if m < infinity_metric then acc + 1 else acc)
+      0 t.nodes.(ad).metric
+
+  (* Test/experiment introspection (not part of PROTOCOL). *)
+  let route_of t ~at ~dst =
+    let node = t.nodes.(at) in
+    if node.metric.(dst) >= infinity_metric then None
+    else Some (node.metric.(dst), node.next_hop.(dst))
+end
+
+module Plain = Make (struct
+  let name = "dv-plain"
+
+  let split_horizon = false
+end)
+
+module Split_horizon = Make (struct
+  let name = "dv-split-horizon"
+
+  let split_horizon = true
+end)
+
+let route_of = Plain.route_of
+
+let route_of_sh = Split_horizon.route_of

@@ -1,0 +1,1 @@
+lib/ecma/ecma.mli: Pr_policy Pr_proto Pr_topology

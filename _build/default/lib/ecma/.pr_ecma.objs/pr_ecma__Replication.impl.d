@@ -1,0 +1,1 @@
+lib/ecma/replication.ml: Array Hashtbl List Pr_topology Printf

@@ -1,0 +1,1 @@
+lib/ecma/replication.mli: Pr_topology

@@ -1,0 +1,59 @@
+(** The ECMA/NIST inter-domain routing proposal (paper §5.1.1):
+    distance vector, hop-by-hop forwarding, policy embedded in the
+    topology through a globally coordinated partial ordering of ADs.
+
+    {b Up/down rule.} Every link is directed by the ordering (ties are
+    broken by AD id so the order is strict on every link). Once a
+    route advertisement has traveled {e down} the ordering it may never
+    be passed {e up} again; symmetrically a data packet that has gone
+    down may not go up. This suppresses both routing loops and the
+    count-to-infinity behaviour of plain DV in cyclic topologies —
+    experiment E2's subject.
+
+    {b Two routes per destination.} Each AD keeps, per (QOS,
+    destination), its best {e all-down} route (usable by packets that
+    have already descended, and the only kind it may advertise upward)
+    and its best {e mixed} route (packet path climbs before
+    descending).
+
+    {b Policy projection.} ECMA can express destination filters and
+    per-QOS support, and whatever source discrimination the single
+    partial ordering happens to encode. Finer policies (source
+    lists, UCI, prev/next-hop constraints) are {e inexpressible}; this
+    module projects each AD's configured Policy Terms onto the
+    mechanisms ECMA has, and experiments E3/E9 measure the resulting
+    violations and availability loss. *)
+
+type update_entry = {
+  qos : Pr_policy.Qos.t;
+  dest : Pr_topology.Ad.id;
+  metric : int;  (** {!Pr_dv.Dv.infinity_metric}-style unreachability *)
+  gone_down : bool;
+      (** the advertisement has traversed a down link; equivalently the
+          packet path it describes contains an up step *)
+}
+
+type message = update_entry list
+
+include Pr_proto.Protocol_intf.PROTOCOL with type message := message
+
+val infinity_metric : int
+(** Unreachability sentinel; large, because per-QOS metrics accumulate
+    ~10 per hop and ECMA (unlike plain DV) never counts toward it. *)
+
+val supports_qos : Pr_policy.Config.t -> Pr_topology.Ad.id -> Pr_policy.Qos.t -> bool
+(** The projection of an AD's PTs onto ECMA's QOS mechanism: does any
+    term admit this service class. *)
+
+val route_of :
+  t ->
+  at:Pr_topology.Ad.id ->
+  dst:Pr_topology.Ad.id ->
+  qos:Pr_policy.Qos.t ->
+  gone_down:bool ->
+  (int * Pr_topology.Ad.id) option
+(** Current (metric, next hop), respecting the packet's gone-down
+    state. *)
+
+val is_down_step : t -> from_ad:Pr_topology.Ad.id -> to_ad:Pr_topology.Ad.id -> bool
+(** The strict link direction ECMA derived from the topology. *)

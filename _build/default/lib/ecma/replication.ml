@@ -1,0 +1,130 @@
+module Ad = Pr_topology.Ad
+module Link = Pr_topology.Link
+module Graph = Pr_topology.Graph
+
+type spec = { ad : Pr_topology.Ad.id; groups : Pr_topology.Ad.id list list }
+
+type mapping = {
+  expanded : Graph.t;
+  physical_of : Pr_topology.Ad.id -> Pr_topology.Ad.id;
+  logical_of : Pr_topology.Ad.id -> Pr_topology.Ad.id list;
+}
+
+let validate g spec =
+  let neighbors = Graph.neighbor_ids g spec.ad in
+  if spec.groups = [] then invalid_arg "Replication.expand: no groups";
+  List.iter
+    (fun group ->
+      if group = [] then invalid_arg "Replication.expand: empty group";
+      List.iter
+        (fun nbr ->
+          if not (List.mem nbr neighbors) then
+            invalid_arg "Replication.expand: group member is not a neighbor")
+        group)
+    spec.groups;
+  List.iter
+    (fun nbr ->
+      if not (List.exists (List.mem nbr) spec.groups) then
+        invalid_arg "Replication.expand: neighbor covered by no group")
+    neighbors
+
+let expand g specs =
+  List.iter (validate g) specs;
+  let n = Graph.n g in
+  let replicated = Hashtbl.create 4 in
+  List.iter
+    (fun spec ->
+      if Hashtbl.mem replicated spec.ad then
+        invalid_arg "Replication.expand: duplicate spec for an AD";
+      Hashtbl.replace replicated spec.ad spec)
+    specs;
+  (* Assign ids: originals keep theirs; extra clusters append. *)
+  let next_id = ref n in
+  let physical = Hashtbl.create 16 in
+  (* (physical ad, group index) -> logical id *)
+  let logical_id = Hashtbl.create 16 in
+  let extra_ads = ref [] in
+  for ad = 0 to n - 1 do
+    Hashtbl.replace physical ad ad
+  done;
+  List.iter
+    (fun spec ->
+      List.iteri
+        (fun gi _ ->
+          let id =
+            if gi = 0 then spec.ad
+            else begin
+              let id = !next_id in
+              incr next_id;
+              let base = Graph.ad g spec.ad in
+              extra_ads :=
+                Ad.make ~id
+                  ~name:(Printf.sprintf "%s/%d" base.Ad.name gi)
+                  ~klass:base.Ad.klass ~level:base.Ad.level
+                :: !extra_ads;
+              Hashtbl.replace physical id spec.ad;
+              id
+            end
+          in
+          Hashtbl.replace logical_id (spec.ad, gi) id)
+        spec.groups)
+    specs;
+  let ads =
+    Array.append (Graph.ads g) (Array.of_list (List.rev !extra_ads))
+    |> Array.map (fun (a : Ad.t) -> a)
+  in
+  (* Rebuild links. A link incident to a replicated AD is duplicated
+     once per group containing its far endpoint; other links pass
+     through unchanged. Links between two replicated ADs expand over
+     both group sets. *)
+  let next_link = ref 0 in
+  let links = ref [] in
+  let emit a b kind cost =
+    if a <> b then begin
+      let id = !next_link in
+      incr next_link;
+      links := Link.make ~id ~a ~b ~cost kind :: !links
+    end
+  in
+  let clusters_facing ad other =
+    (* Logical ids of [ad] whose group contains [other]; [ad] itself
+       when unreplicated. *)
+    match Hashtbl.find_opt replicated ad with
+    | None -> [ ad ]
+    | Some spec ->
+      List.mapi (fun gi group -> (gi, group)) spec.groups
+      |> List.filter_map (fun (gi, group) ->
+             if List.mem other group then Some (Hashtbl.find logical_id (ad, gi))
+             else None)
+  in
+  Graph.fold_links g ~init:() ~f:(fun () l ->
+      let left = clusters_facing l.Link.a l.Link.b in
+      let right = clusters_facing l.Link.b l.Link.a in
+      List.iter
+        (fun a -> List.iter (fun b -> emit a b l.Link.kind l.Link.cost) right)
+        left);
+  let links = Array.of_list (List.rev !links) in
+  (* Re-derive campus classes: a replicated stub cluster with several
+     logical adjacencies stays a stub of its physical AD — classes are
+     copied, not recomputed. *)
+  let expanded = Graph.create ads links in
+  let physical_of id =
+    match Hashtbl.find_opt physical id with
+    | Some p -> p
+    | None -> id
+  in
+  let logical_of ad =
+    match Hashtbl.find_opt replicated ad with
+    | None -> [ ad ]
+    | Some spec -> List.mapi (fun gi _ -> Hashtbl.find logical_id (ad, gi)) spec.groups
+  in
+  { expanded; physical_of; logical_of }
+
+let collapse_path mapping path =
+  (* Adjacent logical ids of the same physical AD collapse to one. *)
+  let rec dedup = function
+    | a :: (b :: _ as rest) when a = b -> dedup rest
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup (List.map mapping.physical_of path)

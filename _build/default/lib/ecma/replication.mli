@@ -1,0 +1,46 @@
+(** Logical cluster replication (paper §5.1.1, footnote 4).
+
+    "It has been proposed that the same physical group of AD resources
+    may be replicated and represented as multiple logical clusters for
+    the sake of reflecting policy in the topology, thus allowing a
+    wider range of policies to coexist. However, logical replication
+    requires that the replicated region be assigned multiple network
+    addresses…"
+
+    This module performs the replication as a topology transformation:
+    a physical AD is split into one logical cluster per {e neighbor
+    group}; each cluster keeps links only to its group's neighbors, and
+    the clusters are not interconnected. Transit across the physical AD
+    is thereby possible only between neighbors sharing a group — which
+    expresses prev/next-hop policies ("carry A–C and B–C transit but
+    never A–B") that no single partial ordering could. The price,
+    exactly as the footnote warns, is extra logical nodes, addresses
+    and routing-table state, measured in experiment E14. *)
+
+type spec = {
+  ad : Pr_topology.Ad.id;  (** the physical AD to replicate *)
+  groups : Pr_topology.Ad.id list list;
+      (** neighbor groups, one logical cluster each; every neighbor of
+          [ad] must appear in at least one group (neighbors may appear
+          in several — they then hold one logical adjacency, i.e. "one
+          address", per cluster) *)
+}
+
+type mapping = {
+  expanded : Pr_topology.Graph.t;
+  physical_of : Pr_topology.Ad.id -> Pr_topology.Ad.id;
+      (** collapse a logical AD id back to its physical AD *)
+  logical_of : Pr_topology.Ad.id -> Pr_topology.Ad.id list;
+      (** all logical ids of a physical AD (itself when unreplicated) *)
+}
+
+val expand : Pr_topology.Graph.t -> spec list -> mapping
+(** Build the expanded internet. The first group of each spec reuses
+    the physical id; later groups get fresh ids with derived names
+    ("X/1", "X/2", …), the same class and level.
+    @raise Invalid_argument if a group is empty, names a non-neighbor,
+    or some neighbor of the AD is covered by no group. *)
+
+val collapse_path : mapping -> Pr_topology.Path.t -> Pr_topology.Path.t
+(** Rewrite a path in the expanded internet back to physical AD ids
+    (for comparison against policies on the original internet). *)

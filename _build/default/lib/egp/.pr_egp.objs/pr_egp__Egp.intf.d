@@ -1,0 +1,1 @@
+lib/egp/egp.mli: Pr_proto Pr_topology

@@ -1,0 +1,27 @@
+(** An EGP-like reachability protocol (paper §3).
+
+    EGP exchanges {e reachability} information between autonomous
+    regions; its distance fields are not comparable across neighbors,
+    so a receiver cannot meaningfully pick "the shortest" route. We
+    model route choice as sticky first-heard (kept until the advertiser
+    withdraws, then the lowest-id remaining advertiser), and — faithful
+    to EGP's NR messages — gateways advertise {e everything} they
+    reach, with no split horizon.
+
+    On a tree — the only topology EGP legally supports: "there can be
+    no cycles in the EGP graph" — first-heard choices follow the unique
+    paths and routing is correct. On cyclic topologies the binary
+    reachability model admits {e stable, silent} forwarding loops after
+    a failure: the re-chosen advertiser may route through the chooser,
+    both keep "reaching" the destination, and no metric ever grows to
+    reveal the loop. Experiment E1 quantifies this failure as cycles
+    are added. *)
+
+type message = (Pr_topology.Ad.id * bool) list
+(** Announce ([true]) or withdraw ([false]) reachability of each
+    destination. *)
+
+include Pr_proto.Protocol_intf.PROTOCOL with type message := message
+
+val next_hop_of :
+  t -> at:Pr_topology.Ad.id -> dst:Pr_topology.Ad.id -> Pr_topology.Ad.id option

@@ -1,0 +1,1 @@
+lib/idrp/idrp.ml: Array Hashtbl List Pr_policy Pr_proto Pr_sim Pr_topology Pr_util Stdlib

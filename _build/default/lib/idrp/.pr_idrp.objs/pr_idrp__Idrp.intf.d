@@ -1,0 +1,1 @@
+lib/idrp/idrp.mli: Pr_policy Pr_proto Pr_topology Pr_util

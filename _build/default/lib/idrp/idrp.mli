@@ -1,0 +1,94 @@
+(** The Inter-Domain Routing Protocol / BGP-2 design point (paper
+    §5.2.1): distance vector (path vector), hop-by-hop forwarding,
+    explicit policy attributes in routing updates.
+
+    Each update carries the {e full AD path} (suppressing loops and
+    count-to-infinity) and an {e allowed-sources} attribute: the set of
+    source ADs permitted to use the advertised route, computed by
+    intersecting, at every hop, the advertising AD's Policy Terms with
+    the attribute received. A single best route is kept and advertised
+    per (policy class, destination).
+
+    The design's structural weakness, which experiment E4 measures: a
+    route class is (QOS, UCI) — or, in the [Per_source] variant,
+    (QOS, UCI, source AD). Coarse classes mean packets from sources
+    outside a route's allowed set are dropped even when a legal route
+    exists; per-source classes recover availability at the cost of
+    replicating the routing table per source, "effectively replicating
+    the routing table per forwarding entity for each QOS, UCI, source
+    combination" (§5.2.1). *)
+
+type route = {
+  dest : Pr_topology.Ad.id;
+  class_idx : int;
+  path : Pr_topology.Ad.id list;  (** advertiser first, destination last *)
+  allowed : Pr_util.Bitset.t;  (** source ADs permitted to use the route *)
+}
+
+type update = { route : route; withdraw : bool }
+
+type message = update list
+
+module type VARIANT = sig
+  val name : string
+
+  val per_source : bool
+
+  val distribution_scope : bool
+  (** Enforce the allowed-sources attribute by {e distribution} as well
+      as by forwarding: a host-only (stub) neighbor whose sources a
+      route does not admit never receives the route at all — "updates
+      can specify what other ADs are allowed to receive the
+      information" (§5.2.1). Transit neighbors always receive routes,
+      since they may carry admitted third-party traffic. *)
+end
+
+module Make (V : VARIANT) : sig
+  include Pr_proto.Protocol_intf.PROTOCOL with type message = message
+
+  val selected_route :
+    t ->
+    at:Pr_topology.Ad.id ->
+    dst:Pr_topology.Ad.id ->
+    flow:Pr_policy.Flow.t ->
+    route option
+  (** The route the AD would apply to this flow (regardless of whether
+      the flow's source is allowed to use it). *)
+end
+
+module Standard : sig
+  include Pr_proto.Protocol_intf.PROTOCOL with type message = message
+
+  val selected_route :
+    t ->
+    at:Pr_topology.Ad.id ->
+    dst:Pr_topology.Ad.id ->
+    flow:Pr_policy.Flow.t ->
+    route option
+end
+(** Routes per (QOS, UCI) class. *)
+
+module Per_source : sig
+  include Pr_proto.Protocol_intf.PROTOCOL with type message = message
+
+  val selected_route :
+    t ->
+    at:Pr_topology.Ad.id ->
+    dst:Pr_topology.Ad.id ->
+    flow:Pr_policy.Flow.t ->
+    route option
+end
+(** Routes per (QOS, UCI, source) class — the state blow-up variant. *)
+
+module Scoped : sig
+  include Pr_proto.Protocol_intf.PROTOCOL with type message = message
+
+  val selected_route :
+    t ->
+    at:Pr_topology.Ad.id ->
+    dst:Pr_topology.Ad.id ->
+    flow:Pr_policy.Flow.t ->
+    route option
+end
+(** (QOS, UCI) classes with distribution-scope enforcement: excluded
+    stubs never learn the routes they may not use. *)

@@ -1,0 +1,1 @@
+lib/ls/ls.ml: Array List Pr_policy Pr_proto Pr_sim Pr_topology Pr_util

@@ -1,0 +1,1 @@
+lib/ls/ls.mli: Pr_proto Pr_topology

@@ -1,0 +1,121 @@
+module Graph = Pr_topology.Graph
+module Network = Pr_sim.Network
+module Metrics = Pr_sim.Metrics
+module Flow = Pr_policy.Flow
+module Packet = Pr_proto.Packet
+module Lsdb = Pr_proto.Lsdb
+module Ls_flood = Pr_proto.Ls_flood
+module Design_point = Pr_proto.Design_point
+module Pqueue = Pr_util.Pqueue
+
+type message = Lsdb.lsa
+
+type node = {
+  mutable next_hops : Pr_topology.Ad.id array;  (* -1 = unreachable *)
+  mutable dirty : bool;
+}
+
+type t = {
+  graph : Graph.t;
+  net : message Network.t;
+  flood : Ls_flood.t;
+  nodes : node array;
+  mutable spf_count : int;
+}
+
+let name = "link-state"
+
+let design_point =
+  Design_point.make Design_point.Link_state Design_point.Hop_by_hop
+    Design_point.In_topology
+
+let create graph _config net =
+  let n = Graph.n graph in
+  let flood = Ls_flood.create net ~terms_for:(fun _ -> []) () in
+  let t =
+    {
+      graph;
+      net;
+      flood;
+      nodes = Array.init n (fun _ -> { next_hops = Array.make n (-1); dirty = true });
+      spf_count = 0;
+    }
+  in
+  Ls_flood.set_on_change flood (fun ad -> t.nodes.(ad).dirty <- true);
+  t
+
+let start t = Ls_flood.start t.flood
+
+let handle_message t ~at ~from lsa = Ls_flood.handle_message t.flood ~at ~from lsa
+
+let handle_link t ~at ~link:_ ~up = Ls_flood.handle_link t.flood ~at ~up
+
+(* Plain Dijkstra over the AD's database, recording the first hop of
+   each shortest path. *)
+let run_spf t ad =
+  let n = Graph.n t.graph in
+  let db = Ls_flood.db t.flood ad in
+  let dist = Array.make n infinity in
+  let first_hop = Array.make n (-1) in
+  let settled = Array.make n false in
+  let q = Pqueue.create () in
+  dist.(ad) <- 0.0;
+  Pqueue.add q ~priority:0.0 ad;
+  let work = ref 0 in
+  let rec drain () =
+    match Pqueue.pop q with
+    | None -> ()
+    | Some (d, u) ->
+      if not settled.(u) then begin
+        settled.(u) <- true;
+        incr work;
+        (match Lsdb.get db u with
+        | None -> ()
+        | Some lsa ->
+          List.iter
+            (fun (a : Lsdb.adjacency) ->
+              let v = a.Lsdb.nbr in
+              match Lsdb.bidirectional db u v with
+              | None -> ()
+              | Some cost ->
+                let d' = d +. float_of_int cost in
+                if d' < dist.(v) then begin
+                  dist.(v) <- d';
+                  first_hop.(v) <- (if u = ad then v else first_hop.(u));
+                  Pqueue.add q ~priority:d' v
+                end)
+            lsa.Lsdb.adjacencies)
+      end;
+      drain ()
+  in
+  drain ();
+  t.spf_count <- t.spf_count + 1;
+  Metrics.record_computation (Network.metrics t.net) ad ~work:!work ();
+  t.nodes.(ad).next_hops <- first_hop;
+  t.nodes.(ad).dirty <- false
+
+let ensure_fresh t ad = if t.nodes.(ad).dirty then run_spf t ad
+
+let prepare_flow _t _flow = Packet.no_prep
+
+let originate _t _packet = ()
+
+let forward t ~at ~from:_ packet =
+  let dst = packet.Packet.flow.Flow.dst in
+  if at = dst then Packet.Deliver
+  else begin
+    ensure_fresh t at;
+    let nh = t.nodes.(at).next_hops.(dst) in
+    if nh < 0 then Packet.Drop "no route" else Packet.Forward nh
+  end
+
+let table_entries t ad =
+  Ls_flood.db_entries t.flood ad
+  + Array.fold_left (fun acc nh -> if nh >= 0 then acc + 1 else acc) 0 t.nodes.(ad).next_hops
+
+let next_hop_of t ~at ~dst =
+  ensure_fresh t at;
+  let nh = t.nodes.(at).next_hops.(dst) in
+  if nh < 0 then None else Some nh
+
+let spf_runs t = t.spf_count

@@ -1,0 +1,1 @@
+lib/lshbh/lshbh.ml: Array Hashtbl Pr_policy Pr_proto Pr_sim Pr_topology

@@ -1,0 +1,1 @@
+lib/lshbh/lshbh.mli: Pr_policy Pr_proto Pr_topology

@@ -1,0 +1,94 @@
+module Graph = Pr_topology.Graph
+module Network = Pr_sim.Network
+module Metrics = Pr_sim.Metrics
+module Flow = Pr_policy.Flow
+module Config = Pr_policy.Config
+module Transit_policy = Pr_policy.Transit_policy
+module Packet = Pr_proto.Packet
+module Lsdb = Pr_proto.Lsdb
+module Ls_flood = Pr_proto.Ls_flood
+module Policy_route = Pr_proto.Policy_route
+module Design_point = Pr_proto.Design_point
+
+type message = Lsdb.lsa
+
+type node = {
+  (* (src, dst, class) -> computed policy route (None = uncomputable) *)
+  route_cache : (int * int * int, Pr_topology.Path.t option) Hashtbl.t;
+}
+
+type t = {
+  graph : Graph.t;
+  net : message Network.t;
+  flood : Ls_flood.t;
+  nodes : node array;
+}
+
+let name = "ls-hbh-pt"
+
+let design_point =
+  Design_point.make Design_point.Link_state Design_point.Hop_by_hop
+    Design_point.Policy_terms
+
+let create graph config net =
+  let n = Graph.n graph in
+  let terms_for ad = (Config.transit config ad).Transit_policy.terms in
+  let flood = Ls_flood.create net ~terms_for () in
+  let t =
+    { graph; net; flood; nodes = Array.init n (fun _ -> { route_cache = Hashtbl.create 32 }) }
+  in
+  (* A database change invalidates every cached route at that AD: the
+     uniform computation must be repeated on fresh data. *)
+  Ls_flood.set_on_change flood (fun ad -> Hashtbl.reset t.nodes.(ad).route_cache);
+  t
+
+let start t = Ls_flood.start t.flood
+
+let handle_message t ~at ~from lsa = Ls_flood.handle_message t.flood ~at ~from lsa
+
+let handle_link t ~at ~link:_ ~up = Ls_flood.handle_link t.flood ~at ~up
+
+(* The uniform computation every AD replicates: the policy-constrained
+   shortest route for the flow, from the flow's *source*, over this
+   AD's own database. Source selection criteria are NOT applied — they
+   are not advertised, so no transit AD could stay consistent with
+   them. *)
+let compute_route t at (flow : Flow.t) =
+  let n = Graph.n t.graph in
+  let key = (flow.Flow.src, flow.Flow.dst, Flow.class_key flow) in
+  let node = t.nodes.(at) in
+  match Hashtbl.find_opt node.route_cache key with
+  | Some cached -> cached
+  | None ->
+    let db = Ls_flood.db t.flood at in
+    let path, work = Policy_route.shortest db ~n flow () in
+    Metrics.record_computation (Network.metrics t.net) at ~work ();
+    Hashtbl.replace node.route_cache key path;
+    path
+
+let prepare_flow _t _flow = Packet.no_prep
+
+let originate _t _packet = ()
+
+let rec successor_on path at =
+  match path with
+  | [] | [ _ ] -> None
+  | x :: (y :: _ as rest) -> if x = at then Some y else successor_on rest at
+
+let forward t ~at ~from:_ packet =
+  let flow = packet.Packet.flow in
+  if at = flow.Flow.dst then Packet.Deliver
+  else
+    match compute_route t at flow with
+    | None -> Packet.Drop "no policy route"
+    | Some path -> (
+      match successor_on path at with
+      | Some next -> Packet.Forward next
+      | None -> Packet.Drop "not on my computed route (inconsistent databases)")
+
+let table_entries t ad =
+  Ls_flood.db_entries t.flood ad + Hashtbl.length t.nodes.(ad).route_cache
+
+let computed_route t ~at flow = compute_route t at flow
+
+let cache_entries t ad = Hashtbl.length t.nodes.(ad).route_cache

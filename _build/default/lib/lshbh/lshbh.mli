@@ -1,0 +1,34 @@
+(** Link state, hop-by-hop forwarding, explicit Policy Terms — the
+    design point of paper §5.3.
+
+    Policy Terms are flooded in link-state advertisements, so every AD
+    can compute a route satisfying any policy combination: this design
+    never misses an existing legal route (unlike ECMA/IDRP). Its costs,
+    which experiment E5 measures:
+
+    - {b replicated computation}: to stay loop-free, every AD on a
+      path must {e repeat the source's computation} — each forwarding
+      AD computes the policy route for the packet's (source,
+      destination, class) from its own database and forwards along its
+      own position in that path. Transit ADs therefore hold per-source
+      route state ("potentially … a separate spanning tree for each
+      potential source of traffic").
+    - {b no source control}: the source's private selection criteria
+      are not advertised, so the uniform computation cannot honor
+      them (measured in E6/E9 as source-policy satisfaction).
+
+    Transient database inconsistency shows up as drops ("not on my
+    computed route") or loops — experiment E10. *)
+
+type message = Pr_proto.Lsdb.lsa
+
+include Pr_proto.Protocol_intf.PROTOCOL with type message := message
+
+val computed_route :
+  t -> at:Pr_topology.Ad.id -> Pr_policy.Flow.t -> Pr_topology.Path.t option
+(** The policy route for the flow as computed (and cached) by this
+    AD from its own database. *)
+
+val cache_entries : t -> Pr_topology.Ad.id -> int
+(** Cached per-(source, destination, class) routes held by the AD —
+    the per-source state burden. *)

@@ -1,0 +1,1 @@
+lib/orwg/orwg.ml: Array Hashtbl List Option Pr_policy Pr_proto Pr_sim Pr_topology Printf Stdlib

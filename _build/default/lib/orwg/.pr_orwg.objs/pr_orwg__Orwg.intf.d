@@ -1,0 +1,1 @@
+lib/orwg/orwg.mli: Pr_policy Pr_proto Pr_topology

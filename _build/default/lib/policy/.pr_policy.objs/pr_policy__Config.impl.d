@@ -1,0 +1,1 @@
+lib/policy/config.ml: Array Format Pr_topology Source_policy Transit_policy

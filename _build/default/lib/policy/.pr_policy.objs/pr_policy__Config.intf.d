@@ -1,0 +1,1 @@
+lib/policy/config.mli: Format Pr_topology Source_policy Transit_policy

@@ -1,0 +1,1 @@
+lib/policy/flow.ml: Format Pr_topology Qos Uci

@@ -1,0 +1,1 @@
+lib/policy/flow.mli: Format Pr_topology Qos Uci

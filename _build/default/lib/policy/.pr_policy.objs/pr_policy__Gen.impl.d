@@ -1,0 +1,1 @@
+lib/policy/gen.ml: Array Config List Policy_term Pr_topology Pr_util Qos Source_policy Stdlib Transit_policy Uci

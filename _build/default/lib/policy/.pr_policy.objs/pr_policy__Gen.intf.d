@@ -1,0 +1,1 @@
+lib/policy/gen.mli: Config Pr_topology Pr_util

@@ -1,0 +1,1 @@
+lib/policy/policy_term.ml: Flow Format List Pr_topology Printf Qos Uci

@@ -1,0 +1,1 @@
+lib/policy/policy_term.mli: Flow Format Pr_topology Qos Uci

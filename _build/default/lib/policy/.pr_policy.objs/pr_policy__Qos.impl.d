@@ -1,0 +1,1 @@
+lib/policy/qos.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/policy/source_policy.ml: Format List Pr_topology Printf

@@ -1,0 +1,1 @@
+lib/policy/source_policy.mli: Format Pr_topology

@@ -1,0 +1,1 @@
+lib/policy/transit_policy.ml: Format List Policy_term Pr_topology

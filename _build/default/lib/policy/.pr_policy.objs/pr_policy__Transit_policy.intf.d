@@ -1,0 +1,1 @@
+lib/policy/transit_policy.mli: Format Policy_term Pr_topology

@@ -1,0 +1,1 @@
+lib/policy/uci.mli: Format

@@ -1,0 +1,1 @@
+lib/policy/validate.ml: Array Config Flow Format List Option Policy_term Pr_topology Pr_util Source_policy Transit_policy

@@ -1,0 +1,1 @@
+lib/policy/validate.mli: Config Flow Format Pr_topology

@@ -1,0 +1,64 @@
+module Graph = Pr_topology.Graph
+module Ad = Pr_topology.Ad
+
+type t = {
+  transit : Transit_policy.t array;
+  source : Source_policy.t option array;
+}
+
+let make ~transit ?source () =
+  Array.iteri
+    (fun i (p : Transit_policy.t) ->
+      if p.Transit_policy.owner <> i then invalid_arg "Config.make: transit owner mismatch")
+    transit;
+  let source =
+    match source with
+    | None -> Array.make (Array.length transit) None
+    | Some s ->
+      if Array.length s <> Array.length transit then
+        invalid_arg "Config.make: source array length mismatch";
+      Array.iteri
+        (fun i sp ->
+          match sp with
+          | Some (p : Source_policy.t) ->
+            if p.Source_policy.owner <> i then
+              invalid_arg "Config.make: source owner mismatch"
+          | None -> ())
+        s;
+      s
+  in
+  { transit; source }
+
+let n t = Array.length t.transit
+
+let transit t i = t.transit.(i)
+
+let source t i =
+  match t.source.(i) with
+  | Some p -> p
+  | None -> Source_policy.unrestricted i
+
+let has_source_policy t i = t.source.(i) <> None
+
+let defaults g =
+  let transit =
+    Array.map
+      (fun (a : Ad.t) ->
+        if Ad.is_transit_capable a then Transit_policy.open_transit a.Ad.id
+        else Transit_policy.no_transit a.Ad.id)
+      (Graph.ads g)
+  in
+  make ~transit ()
+
+let total_terms t =
+  Array.fold_left (fun acc p -> acc + Transit_policy.term_count p) 0 t.transit
+
+let total_advertisement_bytes t =
+  Array.fold_left (fun acc p -> acc + Transit_policy.advertisement_bytes p) 0 t.transit
+
+let pp_summary ppf t =
+  let with_source =
+    Array.fold_left (fun acc s -> if s = None then acc else acc + 1) 0 t.source
+  in
+  Format.fprintf ppf "%d ADs, %d policy terms, %d source policies" (n t) (total_terms t)
+    with_source

@@ -1,0 +1,34 @@
+(** The complete policy configuration of an internet: one transit
+    policy per AD plus optional source policies.
+
+    Protocols receive this configuration at startup (policies are
+    assumed to change much more slowly than routes — paper §2.3) and
+    each protocol uses as much of it as its design point can express. *)
+
+type t
+
+val make :
+  transit:Transit_policy.t array -> ?source:Source_policy.t option array -> unit -> t
+(** [transit.(i)] must be owned by AD [i]; [source], when given, must
+    have the same length. *)
+
+val n : t -> int
+
+val transit : t -> Pr_topology.Ad.id -> Transit_policy.t
+
+val source : t -> Pr_topology.Ad.id -> Source_policy.t
+(** The AD's source policy, or {!Source_policy.unrestricted} when none
+    was configured. *)
+
+val has_source_policy : t -> Pr_topology.Ad.id -> bool
+
+val defaults : Pr_topology.Graph.t -> t
+(** The policy configuration implied by AD classes alone: transit ADs
+    open, hybrids open, stubs and multihomed stubs carry no transit,
+    no source policies. *)
+
+val total_terms : t -> int
+
+val total_advertisement_bytes : t -> int
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+type t = {
+  src : Pr_topology.Ad.id;
+  dst : Pr_topology.Ad.id;
+  qos : Qos.t;
+  uci : Uci.t;
+  hour : int;
+  authenticated : bool;
+}
+
+let make ~src ~dst ?(qos = Qos.Default) ?(uci = Uci.Research) ?(hour = 12)
+    ?(authenticated = false) () =
+  if hour < 0 || hour >= 24 then invalid_arg "Flow.make: hour out of range";
+  { src; dst; qos; uci; hour; authenticated }
+
+let reverse t = { t with src = t.dst; dst = t.src }
+
+let class_count = Qos.count * Uci.count
+
+let class_key t = (Qos.index t.qos * Uci.count) + Uci.index t.uci
+
+let class_key_with_source ~n t = (class_key t * n) + t.src
+
+let pp ppf t =
+  Format.fprintf ppf "%d->%d qos=%a uci=%a h=%d auth=%b" t.src t.dst Qos.pp t.qos Uci.pp
+    t.uci t.hour t.authenticated
+
+let equal a b = a = b

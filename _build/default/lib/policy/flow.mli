@@ -1,0 +1,48 @@
+(** Traffic flow descriptors.
+
+    A flow is the unit against which policies are evaluated: who is
+    talking to whom, with what service class, what user class, at what
+    time of day, and whether the source authenticated itself. The paper
+    (§2.3) lists exactly these attributes as the common bases for
+    source and transit policies. *)
+
+type t = {
+  src : Pr_topology.Ad.id;
+  dst : Pr_topology.Ad.id;
+  qos : Qos.t;
+  uci : Uci.t;
+  hour : int;  (** hour of day in [\[0, 24)] *)
+  authenticated : bool;
+}
+
+val make :
+  src:Pr_topology.Ad.id ->
+  dst:Pr_topology.Ad.id ->
+  ?qos:Qos.t ->
+  ?uci:Uci.t ->
+  ?hour:int ->
+  ?authenticated:bool ->
+  unit ->
+  t
+(** Defaults: [Qos.Default], [Uci.Research], [hour = 12],
+    [authenticated = false]. *)
+
+val reverse : t -> t
+(** Swap source and destination. *)
+
+val class_key : t -> int
+(** Dense key identifying the flow's policy class [(qos, uci)] — the
+    granularity at which IDRP-style protocols must replicate routes and
+    ORWG-style protocols key their route caches. Ranges over
+    [\[0, class_count)]. *)
+
+val class_count : int
+
+val class_key_with_source : n:int -> t -> int
+(** Key identifying [(qos, uci, src)]: the per-source policy class that
+    drives the state blow-up arguments of §5.2.1 and §5.3. [n] is the
+    number of ADs. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

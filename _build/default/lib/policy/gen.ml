@@ -1,0 +1,143 @@
+module Rng = Pr_util.Rng
+module Graph = Pr_topology.Graph
+module Ad = Pr_topology.Ad
+
+type granularity = Coarse | Destination | Source_specific | Fine
+
+type params = {
+  restrictiveness : float;
+  granularity : granularity;
+  source_policy_prob : float;
+}
+
+let default =
+  { restrictiveness = 0.3; granularity = Source_specific; source_policy_prob = 0.3 }
+
+let granularity_to_string = function
+  | Coarse -> "coarse"
+  | Destination -> "destination"
+  | Source_specific -> "source-specific"
+  | Fine -> "fine"
+
+let all_granularities = [ Coarse; Destination; Source_specific; Fine ]
+
+(* Random non-empty sublist keeping roughly [keep] of the elements. *)
+let sublist rng keep xs =
+  let chosen = List.filter (fun _ -> Rng.chance rng keep) xs in
+  match chosen with
+  | [] -> [ Rng.choose rng xs ]
+  | _ -> chosen
+
+let coarse_terms rng r owner =
+  if Rng.chance rng 0.5 then
+    (* Drop some QOS classes. *)
+    [ Policy_term.make ~owner ~qos:(sublist rng (1.0 -. r) Qos.all) () ]
+  else begin
+    (* Off-hours only window whose width shrinks with restrictiveness. *)
+    let width = Stdlib.max 4 (24 - int_of_float (r *. 20.0)) in
+    let start = Rng.int rng 24 in
+    [ Policy_term.make ~owner ~hours:(start, (start + width) mod 24) () ]
+  end
+
+let destination_terms rng r owner hosts =
+  let keep = Stdlib.max 0.1 (1.0 -. r) in
+  let dests = sublist rng keep hosts in
+  [ Policy_term.make ~owner ~destinations:(Policy_term.Only (List.sort compare dests)) () ]
+
+let source_specific_terms rng r owner hosts =
+  let excluded =
+    List.filter (fun ad -> ad <> owner && Rng.chance rng (r *. 0.5)) hosts
+  in
+  match excluded with
+  | [] -> [ Policy_term.open_term owner ]
+  | _ ->
+    [ Policy_term.make ~owner ~sources:(Policy_term.Except (List.sort compare excluded)) () ]
+
+let fine_terms rng r owner hosts =
+  (* One PT per UCI, each admitting a different random slice of
+     sources and service classes: the state-multiplying shape. *)
+  List.map
+    (fun uci ->
+      let keep = Stdlib.max 0.15 (1.0 -. r) in
+      let sources = sublist rng keep hosts in
+      Policy_term.make ~owner
+        ~sources:(Policy_term.Only (List.sort compare sources))
+        ~qos:(sublist rng (1.0 -. (r *. 0.5)) Qos.all)
+        ~ucis:[ uci ] ())
+    Uci.all
+
+let transit_terms rng p g (ad : Ad.t) hosts =
+  let owner = ad.Ad.id in
+  let restricted = Rng.chance rng p.restrictiveness in
+  let base =
+    if not restricted then [ Policy_term.open_term owner ]
+    else
+      match p.granularity with
+      | Coarse -> coarse_terms rng p.restrictiveness owner
+      | Destination -> destination_terms rng p.restrictiveness owner hosts
+      | Source_specific -> source_specific_terms rng p.restrictiveness owner hosts
+      | Fine -> fine_terms rng p.restrictiveness owner hosts
+  in
+  (* A provider always carries traffic from and to its own customer
+     cone, whatever other restrictions it imposes: without this, a
+     restricted metro would cut its own campuses off the internet. *)
+  let cone = Pr_topology.Graph.hierarchy_descendants g owner in
+  let customer_terms =
+    if List.length cone <= 1 then []
+    else
+      [
+        Policy_term.make ~owner ~sources:(Policy_term.Only cone) ();
+        Policy_term.make ~owner ~destinations:(Policy_term.Only cone) ();
+      ]
+  in
+  match ad.Ad.klass with
+  | Ad.Hybrid ->
+    (* Hybrids only ever offer limited transit: scope every base term
+       to a destination subset; their customers stay fully served. *)
+    let scope = sublist rng 0.4 hosts in
+    let dests = Policy_term.Only (List.sort compare scope) in
+    let scoped =
+      List.map
+        (fun (t : Policy_term.t) ->
+          match t.Policy_term.destinations with
+          | Policy_term.Any -> { t with Policy_term.destinations = dests }
+          | _ -> t)
+        base
+    in
+    customer_terms @ scoped
+  | Ad.Transit -> if restricted then customer_terms @ base else base
+  | Ad.Stub | Ad.Multihomed -> []
+
+let generate rng g p =
+  let hosts = Graph.host_ids g in
+  let transit =
+    Array.map
+      (fun (ad : Ad.t) ->
+        if Ad.is_transit_capable ad then
+          Transit_policy.make ad.Ad.id (transit_terms rng p g ad hosts)
+        else Transit_policy.no_transit ad.Ad.id)
+      (Graph.ads g)
+  in
+  let transit_ids = Graph.transit_ids g in
+  let source =
+    Array.map
+      (fun (ad : Ad.t) ->
+        let hosts_here =
+          match ad.Ad.klass with
+          | Ad.Stub | Ad.Multihomed | Ad.Hybrid -> true
+          | Ad.Transit -> false
+        in
+        if hosts_here && Rng.chance rng p.source_policy_prob && transit_ids <> [] then begin
+          let avoid =
+            List.filter
+              (fun t -> t <> ad.Ad.id && Rng.chance rng (p.restrictiveness *. 0.4))
+              transit_ids
+          in
+          match avoid with
+          | [] -> None
+          | _ -> Some (Source_policy.make ~owner:ad.Ad.id ~avoid ())
+        end
+        else None)
+      (Graph.ads g)
+  in
+  Config.make ~transit ~source ()

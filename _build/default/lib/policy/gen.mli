@@ -1,0 +1,40 @@
+(** Random policy generation.
+
+    The paper's scaling arguments are parameterised by how restrictive
+    and how fine-grained AD policies are (§2.3: "ADs should adopt the
+    least restrictive policies possible and should control access at
+    the coarsest granularity possible"). This generator exposes both
+    as knobs so experiments can sweep them. *)
+
+type granularity =
+  | Coarse  (** per-AD restrictions only: QOS classes, hour windows *)
+  | Destination  (** transit offered only toward chosen destinations *)
+  | Source_specific  (** transit refused to chosen source ADs *)
+  | Fine
+      (** per-(source set, UCI, QOS) terms — the granularity the paper
+          warns blows up hop-by-hop designs (§5.2.1) *)
+
+type params = {
+  restrictiveness : float;
+      (** in [\[0,1\]]: probability that a transit AD restricts at all,
+          and the strength of each restriction *)
+  granularity : granularity;
+  source_policy_prob : float;
+      (** probability that a host AD configures route selection
+          criteria (avoid lists) *)
+}
+
+val default : params
+(** Moderate: restrictiveness 0.3, [Source_specific], source policies
+    on 30% of host ADs. *)
+
+val generate : Pr_util.Rng.t -> Pr_topology.Graph.t -> params -> Config.t
+(** Stub and multihomed ADs always get {!Transit_policy.no_transit};
+    transit and hybrid ADs get PTs drawn per [params]; host ADs get
+    source policies with probability [source_policy_prob]. The result
+    always leaves every AD's own traffic unconstrained (policies govern
+    transit, not access — paper §2.3). *)
+
+val granularity_to_string : granularity -> string
+
+val all_granularities : granularity list

@@ -1,0 +1,104 @@
+type ad_pred = Any | Only of Pr_topology.Ad.id list | Except of Pr_topology.Ad.id list
+
+let pred_admits pred ad =
+  match pred with
+  | Any -> true
+  | Only ids -> List.mem ad ids
+  | Except ids -> not (List.mem ad ids)
+
+let pred_size = function
+  | Any -> 0
+  | Only ids | Except ids -> List.length ids
+
+type t = {
+  owner : Pr_topology.Ad.id;
+  sources : ad_pred;
+  destinations : ad_pred;
+  prev_hops : ad_pred;
+  next_hops : ad_pred;
+  qos : Qos.t list;
+  ucis : Uci.t list;
+  hours : (int * int) option;
+  auth_required : bool;
+}
+
+let open_term owner =
+  {
+    owner;
+    sources = Any;
+    destinations = Any;
+    prev_hops = Any;
+    next_hops = Any;
+    qos = Qos.all;
+    ucis = Uci.all;
+    hours = None;
+    auth_required = false;
+  }
+
+let make ~owner ?(sources = Any) ?(destinations = Any) ?(prev_hops = Any)
+    ?(next_hops = Any) ?(qos = Qos.all) ?(ucis = Uci.all) ?hours
+    ?(auth_required = false) () =
+  if qos = [] then invalid_arg "Policy_term.make: empty QOS list";
+  if ucis = [] then invalid_arg "Policy_term.make: empty UCI list";
+  (match hours with
+  | Some (h1, h2) when h1 < 0 || h1 >= 24 || h2 < 0 || h2 >= 24 ->
+    invalid_arg "Policy_term.make: hour out of range"
+  | _ -> ());
+  { owner; sources; destinations; prev_hops; next_hops; qos; ucis; hours; auth_required }
+
+type transit_ctx = {
+  flow : Flow.t;
+  prev : Pr_topology.Ad.id option;
+  next : Pr_topology.Ad.id option;
+}
+
+let hour_in_window window hour =
+  match window with
+  | None -> true
+  | Some (h1, h2) -> if h1 <= h2 then h1 <= hour && hour < h2 else hour >= h1 || hour < h2
+
+let opt_admits pred = function
+  | None -> true
+  | Some ad -> pred_admits pred ad
+
+let admits t ctx =
+  let f = ctx.flow in
+  pred_admits t.sources f.Flow.src
+  && pred_admits t.destinations f.Flow.dst
+  && opt_admits t.prev_hops ctx.prev
+  && opt_admits t.next_hops ctx.next
+  && List.exists (Qos.equal f.Flow.qos) t.qos
+  && List.exists (Uci.equal f.Flow.uci) t.ucis
+  && hour_in_window t.hours f.Flow.hour
+  && ((not t.auth_required) || f.Flow.authenticated)
+
+let advertisement_bytes t =
+  (* 8-byte fixed part (owner, flags, QOS/UCI bitmaps, hours) plus
+     2 bytes per AD id carried in the four predicates. *)
+  8
+  + (2 * (pred_size t.sources + pred_size t.destinations + pred_size t.prev_hops
+         + pred_size t.next_hops))
+
+let pp_pred ppf = function
+  | Any -> Format.pp_print_string ppf "any"
+  | Only ids ->
+    Format.fprintf ppf "only{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+         Format.pp_print_int)
+      ids
+  | Except ids ->
+    Format.fprintf ppf "except{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+         Format.pp_print_int)
+      ids
+
+let pp ppf t =
+  Format.fprintf ppf "PT[ad %d: src=%a dst=%a prev=%a next=%a qos=%d uci=%d%s%s]" t.owner
+    pp_pred t.sources pp_pred t.destinations pp_pred t.prev_hops pp_pred t.next_hops
+    (List.length t.qos) (List.length t.ucis)
+    (match t.hours with
+    | None -> ""
+    | Some (a, b) -> Printf.sprintf " hours=%d-%d" a b)
+    (if t.auth_required then " auth" else "")

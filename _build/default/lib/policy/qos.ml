@@ -1,0 +1,30 @@
+type t = Default | Low_delay | High_throughput | High_reliability
+
+let all = [ Default; Low_delay; High_throughput; High_reliability ]
+
+let count = 4
+
+let index = function
+  | Default -> 0
+  | Low_delay -> 1
+  | High_throughput -> 2
+  | High_reliability -> 3
+
+let of_index = function
+  | 0 -> Default
+  | 1 -> Low_delay
+  | 2 -> High_throughput
+  | 3 -> High_reliability
+  | _ -> invalid_arg "Qos.of_index"
+
+let to_string = function
+  | Default -> "default"
+  | Low_delay -> "low-delay"
+  | High_throughput -> "high-throughput"
+  | High_reliability -> "high-reliability"
+
+let equal a b = a = b
+
+let compare a b = Stdlib.compare (index a) (index b)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

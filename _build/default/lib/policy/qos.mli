@@ -1,0 +1,24 @@
+(** Quality-of-Service classes (paper §2.3, §3).
+
+    The new-generation IGPs the paper reviews (IGRP, OSPF, IS-IS)
+    support a small, fixed set of service classes; we model the same
+    four that OSPF's type-of-service routing used. *)
+
+type t = Default | Low_delay | High_throughput | High_reliability
+
+val all : t list
+
+val count : int
+
+val index : t -> int
+(** Dense index in [\[0, count)], used for per-QOS FIB arrays. *)
+
+val of_index : int -> t
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

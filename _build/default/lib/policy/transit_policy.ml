@@ -1,0 +1,25 @@
+type t = { owner : Pr_topology.Ad.id; terms : Policy_term.t list }
+
+let make owner terms =
+  List.iter
+    (fun (term : Policy_term.t) ->
+      if term.Policy_term.owner <> owner then
+        invalid_arg "Transit_policy.make: term owner mismatch")
+    terms;
+  { owner; terms }
+
+let no_transit owner = { owner; terms = [] }
+
+let open_transit owner = { owner; terms = [ Policy_term.open_term owner ] }
+
+let allows t ctx = List.exists (fun term -> Policy_term.admits term ctx) t.terms
+
+let admitting_term t ctx = List.find_opt (fun term -> Policy_term.admits term ctx) t.terms
+
+let term_count t = List.length t.terms
+
+let advertisement_bytes t =
+  List.fold_left (fun acc term -> acc + Policy_term.advertisement_bytes term) 0 t.terms
+
+let pp ppf t =
+  Format.fprintf ppf "policy(ad %d, %d terms)" t.owner (List.length t.terms)

@@ -1,0 +1,27 @@
+type t = Research | Commercial | Government
+
+let all = [ Research; Commercial; Government ]
+
+let count = 3
+
+let index = function
+  | Research -> 0
+  | Commercial -> 1
+  | Government -> 2
+
+let of_index = function
+  | 0 -> Research
+  | 1 -> Commercial
+  | 2 -> Government
+  | _ -> invalid_arg "Uci.of_index"
+
+let to_string = function
+  | Research -> "research"
+  | Commercial -> "commercial"
+  | Government -> "government"
+
+let equal a b = a = b
+
+let compare a b = Stdlib.compare (index a) (index b)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,23 @@
+(** User Class Identifiers (paper §2.3).
+
+    A UCI classifies the originator of traffic — e.g. research versus
+    commercial use of a government-funded backbone, the canonical
+    policy example of the era. *)
+
+type t = Research | Commercial | Government
+
+val all : t list
+
+val count : int
+
+val index : t -> int
+
+val of_index : int -> t
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

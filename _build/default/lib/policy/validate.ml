@@ -1,0 +1,200 @@
+module Graph = Pr_topology.Graph
+module Path = Pr_topology.Path
+
+type verdict =
+  | Legal
+  | Transit_refused of {
+      ad : Pr_topology.Ad.id;
+      prev : Pr_topology.Ad.id option;
+      next : Pr_topology.Ad.id option;
+    }
+  | Source_refused
+  | Broken of string
+
+(* Check every interior crossing of the path against its AD's PTs. *)
+let transit_verdict config flow path =
+  let rec scan = function
+    | prev :: ad :: next :: rest ->
+      let ctx = { Policy_term.flow; prev = Some prev; next = Some next } in
+      if Transit_policy.allows (Config.transit config ad) ctx then scan (ad :: next :: rest)
+      else Transit_refused { ad; prev = Some prev; next = Some next }
+    | _ -> Legal
+  in
+  scan path
+
+let check g config flow path =
+  if not (Path.is_valid g path) then Broken "not a simple path in the graph"
+  else if Path.source path <> flow.Flow.src then Broken "path does not start at the source"
+  else if Path.destination path <> flow.Flow.dst then
+    Broken "path does not end at the destination"
+  else
+    match transit_verdict config flow path with
+    | Legal ->
+      if Source_policy.permits (Config.source config flow.Flow.src) path then Legal
+      else Source_refused
+    | v -> v
+
+let transit_legal g config flow path =
+  Path.is_valid g path
+  && Path.source path = flow.Flow.src
+  && Path.destination path = flow.Flow.dst
+  && transit_verdict config flow path = Legal
+
+let legal g config flow path = check g config flow path = Legal
+
+let legal_paths g config flow ~max_hops ?(limit = 10_000) () =
+  let src = flow.Flow.src and dst = flow.Flow.dst in
+  let results = ref [] in
+  let count = ref 0 in
+  let on_path = Array.make (Graph.n g) false in
+  (* DFS where extending ...prev,u with v requires u (if interior) to
+     admit the crossing prev -> u -> v. *)
+  let rec go u prev prefix_rev depth =
+    if !count < limit then
+      if u = dst then begin
+        incr count;
+        results := List.rev (dst :: prefix_rev) :: !results
+      end
+      else if depth < max_hops then
+        List.iter
+          (fun v ->
+            if not on_path.(v) then begin
+              let u_ok =
+                u = src
+                || Transit_policy.allows (Config.transit config u)
+                     { Policy_term.flow; prev; next = Some v }
+              in
+              if u_ok then begin
+                on_path.(v) <- true;
+                go v (Some u) (u :: prefix_rev) (depth + 1);
+                on_path.(v) <- false
+              end
+            end)
+          (Graph.neighbor_ids g u)
+  in
+  if src = dst then [ [ src ] ]
+  else begin
+    on_path.(src) <- true;
+    go src None [] 0;
+    List.rev !results
+  end
+
+(* Dijkstra over (node, arrived-from) states. Interior admission
+   depends on the previous and next hop, so node-states are (v, p):
+   at v having arrived from p. The reconstructed state-path can in
+   principle revisit an AD; then we fall back to bounded DFS. *)
+let shortest_legal_dijkstra g config flow ~avoid =
+  let n = Graph.n g in
+  let src = flow.Flow.src and dst = flow.Flow.dst in
+  if src = dst then Some [ src ]
+  else begin
+    let module Pqueue = Pr_util.Pqueue in
+    let size = n * n in
+    let dist = Array.make size infinity in
+    let parent = Array.make size (-1) in
+    let settled = Array.make size false in
+    let avoid_arr = Array.make n false in
+    List.iter (fun a -> if a >= 0 && a < n then avoid_arr.(a) <- true) avoid;
+    let q = Pqueue.create () in
+    let encode v p = (v * n) + p in
+    let start = encode src src in
+    dist.(start) <- 0.0;
+    Pqueue.add q ~priority:0.0 start;
+    let final = ref None in
+    let continue_ = ref true in
+    while !continue_ do
+      match Pqueue.pop q with
+      | None -> continue_ := false
+      | Some (d, state) ->
+        if not settled.(state) then begin
+          settled.(state) <- true;
+          let v = state / n and p = state mod n in
+          if v = dst then begin
+            final := Some state;
+            continue_ := false
+          end
+          else begin
+            let prev = if v = src then None else Some p in
+            List.iter
+              (fun (w, lid) ->
+                if w <> src then begin
+                  let interior_ok =
+                    v = src
+                    || Transit_policy.allows (Config.transit config v)
+                         { Policy_term.flow; prev; next = Some w }
+                  in
+                  let avoid_ok = w = dst || not avoid_arr.(w) in
+                  if interior_ok && avoid_ok then begin
+                    let cost = (Graph.link g lid).Pr_topology.Link.cost in
+                    let state' = encode w v in
+                    let d' = d +. float_of_int cost in
+                    if d' < dist.(state') then begin
+                      dist.(state') <- d';
+                      parent.(state') <- state;
+                      Pqueue.add q ~priority:d' state'
+                    end
+                  end
+                end)
+              (Graph.neighbors g v)
+          end
+        end
+    done;
+    match !final with
+    | None -> None
+    | Some state ->
+      let rec build acc state steps =
+        if steps > size then None
+        else begin
+          let v = state / n in
+          if parent.(state) < 0 then Some (v :: acc)
+          else build (v :: acc) parent.(state) (steps + 1)
+        end
+      in
+      (match build [] state 0 with
+      | Some p when Path.is_loop_free p -> Some p
+      | _ -> None)
+  end
+
+let shortest_legal g config flow ?(apply_source_policy = false) () =
+  let policy = Config.source config flow.Flow.src in
+  let avoid = if apply_source_policy then policy.Source_policy.avoid else [] in
+  match shortest_legal_dijkstra g config flow ~avoid with
+  | Some p when (not apply_source_policy) || Source_policy.permits policy p -> Some p
+  | _ ->
+    (* Fallback: bounded enumeration (rare — only when the cheapest
+       state-path self-intersects or violates a non-avoid criterion). *)
+    let paths = legal_paths g config flow ~max_hops:12 ~limit:2000 () in
+    if apply_source_policy then Source_policy.best policy g paths
+    else begin
+      let scored =
+        List.filter_map (fun p -> Option.map (fun c -> (c, p)) (Path.cost g p)) paths
+      in
+      match List.sort compare scored with
+      | [] -> None
+      | (_, p) :: _ -> Some p
+    end
+
+let route_exists g config flow ~max_hops =
+  match shortest_legal_dijkstra g config flow ~avoid:[] with
+  | Some p when Pr_topology.Path.hops p <= max_hops -> true
+  | Some _ | None -> legal_paths g config flow ~max_hops ~limit:1 () <> []
+
+let best_legal g config flow ~max_hops =
+  match shortest_legal g config flow ~apply_source_policy:true () with
+  | Some p when Pr_topology.Path.hops p <= max_hops -> Some p
+  | _ ->
+    let paths = legal_paths g config flow ~max_hops ~limit:2000 () in
+    Source_policy.best (Config.source config flow.Flow.src) g paths
+
+let pp_verdict ppf = function
+  | Legal -> Format.pp_print_string ppf "legal"
+  | Transit_refused { ad; prev; next } ->
+    Format.fprintf ppf "transit refused at AD %d (prev=%s next=%s)" ad
+      (match prev with
+      | None -> "-"
+      | Some p -> string_of_int p)
+      (match next with
+      | None -> "-"
+      | Some n -> string_of_int n)
+  | Source_refused -> Format.pp_print_string ppf "source policy refused"
+  | Broken msg -> Format.fprintf ppf "broken path: %s" msg

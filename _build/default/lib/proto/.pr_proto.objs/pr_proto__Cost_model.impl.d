@@ -1,0 +1,1 @@
+lib/proto/cost_model.ml:

@@ -1,0 +1,1 @@
+lib/proto/design_point.ml: Printf

@@ -1,0 +1,1 @@
+lib/proto/forwarding.ml: Format Hashtbl List Packet Pr_policy Pr_topology Printf

@@ -1,0 +1,1 @@
+lib/proto/forwarding.mli: Format Packet Pr_policy Pr_topology

@@ -1,0 +1,1 @@
+lib/proto/ls_flood.ml: Array List Lsdb Option Pr_policy Pr_sim Pr_topology

@@ -1,0 +1,1 @@
+lib/proto/ls_flood.mli: Lsdb Pr_policy Pr_sim Pr_topology

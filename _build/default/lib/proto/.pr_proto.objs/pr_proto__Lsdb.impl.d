@@ -1,0 +1,1 @@
+lib/proto/lsdb.ml: Array Cost_model List Option Pr_policy Pr_topology Qos_metric Stdlib

@@ -1,0 +1,1 @@
+lib/proto/lsdb.mli: Pr_policy Pr_topology

@@ -1,0 +1,1 @@
+lib/proto/packet.ml: Cost_model Format Pr_policy Pr_topology

@@ -1,0 +1,1 @@
+lib/proto/policy_route.ml: Array List Lsdb Option Pr_policy Pr_topology Pr_util

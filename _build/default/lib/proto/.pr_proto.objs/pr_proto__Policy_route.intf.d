@@ -1,0 +1,1 @@
+lib/proto/policy_route.mli: Lsdb Pr_policy Pr_topology

@@ -1,0 +1,1 @@
+lib/proto/protocol_intf.ml: Design_point Packet Pr_policy Pr_sim Pr_topology

@@ -1,0 +1,1 @@
+lib/proto/qos_metric.ml: Float Pr_policy Pr_topology Stdlib

@@ -1,0 +1,1 @@
+lib/proto/qos_metric.mli: Pr_policy Pr_topology

@@ -1,0 +1,1 @@
+lib/proto/runner.mli: Format Forwarding Pr_policy Pr_sim Pr_topology Protocol_intf

@@ -1,0 +1,19 @@
+let ad_id_bytes = 2
+
+let base_header_bytes = 20
+
+let source_route_bytes len = 2 + (ad_id_bytes * len)
+
+let handle_bytes = 4
+
+let update_fixed_bytes = 8
+
+let dv_entry_bytes = 6
+
+let path_vector_entry_bytes ~path_len ~pt_bytes =
+  dv_entry_bytes + (ad_id_bytes * path_len) + pt_bytes
+
+let lsa_bytes ~link_count ~pt_bytes = 12 + (4 * link_count) + pt_bytes
+
+let setup_packet_bytes ~route_len ~pt_count =
+  base_header_bytes + source_route_bytes route_len + (4 * pt_count)

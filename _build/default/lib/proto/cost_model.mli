@@ -1,0 +1,40 @@
+(** The shared byte-accounting model.
+
+    All protocols charge message and header sizes through these
+    constants so that overhead comparisons across design points reflect
+    structural differences (full AD paths vs single metrics, source
+    routes vs handles) rather than arbitrary encodings. Sizes are
+    loosely modelled on the era's protocols (2-byte AD numbers as in
+    BGP/EGP autonomous system numbers). *)
+
+val ad_id_bytes : int
+(** 2, like an autonomous system number. *)
+
+val base_header_bytes : int
+(** Fixed network-layer header carried by every data packet (20). *)
+
+val source_route_bytes : int -> int
+(** Extra header bytes to carry a source route of the given AD-path
+    length (one AD id per hop plus a 2-byte pointer). *)
+
+val handle_bytes : int
+(** Extra header bytes for an ORWG policy-route handle (4). *)
+
+val update_fixed_bytes : int
+(** Fixed cost of any routing protocol message (8). *)
+
+val dv_entry_bytes : int
+(** One traditional distance-vector entry: destination + metric +
+    flags (6). *)
+
+val path_vector_entry_bytes : path_len:int -> pt_bytes:int -> int
+(** One IDRP-style route: destination + metric + full AD path + policy
+    attributes. *)
+
+val lsa_bytes : link_count:int -> pt_bytes:int -> int
+(** One link-state advertisement: fixed part + per-adjacency part +
+    attached policy terms. *)
+
+val setup_packet_bytes : route_len:int -> pt_count:int -> int
+(** An ORWG policy-route setup packet: base header, the full source
+    route, and one cited policy-term reference per AD on the route. *)

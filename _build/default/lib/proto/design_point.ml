@@ -1,0 +1,45 @@
+type algorithm = Distance_vector | Link_state
+
+type location = Hop_by_hop | Source_routing
+
+type policy_expression = In_topology | Policy_terms
+
+type t = {
+  algorithm : algorithm;
+  location : location;
+  policy_expression : policy_expression;
+}
+
+let make algorithm location policy_expression = { algorithm; location; policy_expression }
+
+let all =
+  [
+    make Distance_vector Hop_by_hop In_topology;
+    make Distance_vector Hop_by_hop Policy_terms;
+    make Link_state Hop_by_hop Policy_terms;
+    make Link_state Source_routing Policy_terms;
+    make Link_state Hop_by_hop In_topology;
+    make Link_state Source_routing In_topology;
+    make Distance_vector Source_routing In_topology;
+    make Distance_vector Source_routing Policy_terms;
+  ]
+
+let algorithm_to_string = function
+  | Distance_vector -> "distance vector"
+  | Link_state -> "link state"
+
+let location_to_string = function
+  | Hop_by_hop -> "hop-by-hop"
+  | Source_routing -> "source routing"
+
+let policy_expression_to_string = function
+  | In_topology -> "policy in topology"
+  | Policy_terms -> "explicit policy terms"
+
+let to_string t =
+  Printf.sprintf "%s / %s / %s"
+    (algorithm_to_string t.algorithm)
+    (location_to_string t.location)
+    (policy_expression_to_string t.policy_expression)
+
+let equal a b = a = b

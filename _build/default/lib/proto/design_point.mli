@@ -1,0 +1,32 @@
+(** The three design axes of the paper's Table 1.
+
+    Every protocol in this repository declares its position in the
+    eight-point design space; {!Pr_core.Design_space} assembles the
+    table from these declarations. *)
+
+type algorithm = Distance_vector | Link_state
+
+type location = Hop_by_hop | Source_routing
+
+type policy_expression = In_topology | Policy_terms
+
+type t = {
+  algorithm : algorithm;
+  location : location;
+  policy_expression : policy_expression;
+}
+
+val all : t list
+(** The eight points, in the order the paper steps through them. *)
+
+val make : algorithm -> location -> policy_expression -> t
+
+val algorithm_to_string : algorithm -> string
+
+val location_to_string : location -> string
+
+val policy_expression_to_string : policy_expression -> string
+
+val to_string : t -> string
+
+val equal : t -> t -> bool

@@ -1,0 +1,77 @@
+module Flow = Pr_policy.Flow
+
+type outcome =
+  | Delivered of {
+      path : Pr_topology.Path.t;
+      header_bytes : int;
+      prep : Packet.prep;
+    }
+  | Dropped of {
+      at : Pr_topology.Ad.id;
+      reason : string;
+      path_so_far : Pr_topology.Path.t;
+      prep : Packet.prep;
+    }
+  | Looped of { path_so_far : Pr_topology.Path.t; prep : Packet.prep }
+  | Prep_failed of { reason : string; prep : Packet.prep }
+
+let delivered = function
+  | Delivered _ -> true
+  | Dropped _ | Looped _ | Prep_failed _ -> false
+
+let delivered_path = function
+  | Delivered { path; _ } -> Some path
+  | Dropped _ | Looped _ | Prep_failed _ -> None
+
+let pp_outcome ppf = function
+  | Delivered { path; header_bytes; _ } ->
+    Format.fprintf ppf "delivered via %a (%d header bytes)" Pr_topology.Path.pp path
+      header_bytes
+  | Dropped { at; reason; _ } -> Format.fprintf ppf "dropped at AD %d: %s" at reason
+  | Looped { path_so_far; _ } ->
+    Format.fprintf ppf "looped: %a" Pr_topology.Path.pp path_so_far
+  | Prep_failed { reason; _ } -> Format.fprintf ppf "setup failed: %s" reason
+
+let send ~n ~prepare ~originate ~forward ~adjacent flow =
+  let prep = prepare flow in
+  match prep.Packet.failure with
+  | Some reason -> Prep_failed { reason; prep }
+  | None ->
+    let packet = Packet.create flow in
+    originate packet;
+    let seen = Hashtbl.create 16 in
+    let max_hops = 4 * n in
+    let rec step at from trail_rev hops =
+      let path_so_far () = List.rev (at :: trail_rev) in
+      let state = (at, from) in
+      if hops > max_hops || Hashtbl.mem seen state then
+        Looped { path_so_far = path_so_far (); prep }
+      else begin
+        Hashtbl.add seen state ();
+        match forward ~at ~from packet with
+        | Packet.Deliver ->
+          if at = flow.Flow.dst then
+            Delivered
+              { path = path_so_far (); header_bytes = packet.Packet.header_bytes; prep }
+          else
+            Dropped
+              {
+                at;
+                reason = "delivered at wrong AD";
+                path_so_far = path_so_far ();
+                prep;
+              }
+        | Packet.Drop reason -> Dropped { at; reason; path_so_far = path_so_far (); prep }
+        | Packet.Forward next ->
+          if not (adjacent at next) then
+            Dropped
+              {
+                at;
+                reason = Printf.sprintf "no up link to AD %d" next;
+                path_so_far = path_so_far ();
+                prep;
+              }
+          else step next (Some at) (at :: trail_rev) (hops + 1)
+      end
+    in
+    step flow.Flow.src None [] 0

@@ -1,0 +1,46 @@
+(** The data-plane driver: walks a packet across the internet by
+    consulting each AD's forwarding decision, and classifies the
+    outcome.
+
+    This is where routing loops become observable (experiment E10):
+    hop-by-hop designs can loop transiently when databases are
+    inconsistent, while source-routed packets cannot revisit an AD
+    unless the source route itself is broken. *)
+
+type outcome =
+  | Delivered of {
+      path : Pr_topology.Path.t;  (** ADs actually traversed, source first *)
+      header_bytes : int;  (** header size carried by the packet *)
+      prep : Packet.prep;
+    }
+  | Dropped of {
+      at : Pr_topology.Ad.id;
+      reason : string;
+      path_so_far : Pr_topology.Path.t;
+      prep : Packet.prep;
+    }
+  | Looped of { path_so_far : Pr_topology.Path.t; prep : Packet.prep }
+      (** the packet revisited an (AD, came-from) state or exceeded the
+          hop budget *)
+  | Prep_failed of { reason : string; prep : Packet.prep }
+      (** route setup failed before any packet was sent *)
+
+val delivered : outcome -> bool
+
+val delivered_path : outcome -> Pr_topology.Path.t option
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val send :
+  n:int ->
+  prepare:(Pr_policy.Flow.t -> Packet.prep) ->
+  originate:(Packet.t -> unit) ->
+  forward:
+    (at:Pr_topology.Ad.id -> from:Pr_topology.Ad.id option -> Packet.t -> Packet.decision) ->
+  adjacent:(Pr_topology.Ad.id -> Pr_topology.Ad.id -> bool) ->
+  Pr_policy.Flow.t ->
+  outcome
+(** Drive one packet of the flow from source to destination. A
+    [Forward] decision to a non-adjacent or unreachable neighbor is a
+    drop (the link is down); revisiting the same (AD, from) pair, or
+    taking more than [4 * n] hops, is a loop. *)

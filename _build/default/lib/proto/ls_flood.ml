@@ -1,0 +1,91 @@
+module Graph = Pr_topology.Graph
+module Network = Pr_sim.Network
+
+type t = {
+  net : Lsdb.lsa Network.t;
+  dbs : Lsdb.t array;
+  seqs : int array;
+  terms_for : Pr_topology.Ad.id -> Pr_policy.Policy_term.t list;
+  flood_to : Pr_topology.Ad.id -> bool;
+  mutable on_change : Pr_topology.Ad.id -> unit;
+}
+
+let create net ~terms_for ?(flood_to = fun _ -> true) () =
+  let n = Graph.n (Network.graph net) in
+  {
+    net;
+    dbs = Array.init n (fun _ -> Lsdb.create ~n);
+    seqs = Array.make n 0;
+    terms_for;
+    flood_to;
+    on_change = (fun _ -> ());
+  }
+
+let set_on_change t f = t.on_change <- f
+
+let db t ad = t.dbs.(ad)
+
+let db_entries t ad = Lsdb.entry_count t.dbs.(ad)
+
+(* Current up adjacencies of [ad]: the cheapest up link per neighbor,
+   with its cost and delay. *)
+let current_adjacencies t ad =
+  let g = Network.graph t.net in
+  List.filter_map
+    (fun nbr ->
+      let cheapest =
+        List.fold_left
+          (fun best (v, lid) ->
+            if v = nbr && Network.link_is_up t.net lid then
+              let l = Graph.link g lid in
+              match best with
+              | None -> Some l
+              | Some (b : Pr_topology.Link.t) ->
+                if l.Pr_topology.Link.cost < b.Pr_topology.Link.cost then Some l else best
+            else best)
+          None (Graph.neighbors g ad)
+      in
+      Option.map
+        (fun (l : Pr_topology.Link.t) ->
+          {
+            Lsdb.nbr;
+            cost = l.Pr_topology.Link.cost;
+            delay = l.Pr_topology.Link.delay;
+          })
+        cheapest)
+    (Network.up_neighbors t.net ad)
+
+let flood_from t ad ?except lsa =
+  let bytes = Lsdb.lsa_bytes lsa in
+  List.iter
+    (fun nbr ->
+      if Some nbr <> except && t.flood_to nbr then
+        Network.send t.net ~src:ad ~dst:nbr ~bytes lsa)
+    (Network.up_neighbors t.net ad)
+
+let originate t ad =
+  t.seqs.(ad) <- t.seqs.(ad) + 1;
+  let lsa =
+    {
+      Lsdb.origin = ad;
+      seq = t.seqs.(ad);
+      adjacencies = current_adjacencies t ad;
+      terms = t.terms_for ad;
+    }
+  in
+  if Lsdb.insert t.dbs.(ad) lsa then t.on_change ad;
+  flood_from t ad lsa
+
+let start t =
+  let n = Graph.n (Network.graph t.net) in
+  for ad = 0 to n - 1 do
+    originate t ad
+  done
+
+let handle_message t ~at ~from lsa =
+  if Lsdb.insert t.dbs.(at) lsa then begin
+    t.on_change at;
+    flood_from t at ~except:from lsa
+  end
+
+let handle_link t ~at ~up:_ = originate t at

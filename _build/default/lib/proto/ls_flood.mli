@@ -1,0 +1,46 @@
+(** Sequence-numbered link-state flooding, shared by every link-state
+    protocol (plain LS, LS hop-by-hop with PTs, ORWG).
+
+    Each AD originates an LSA describing its up adjacencies (and,
+    in the policy protocols, its Policy Terms) and re-originates with a
+    higher sequence number whenever an incident link changes state.
+    Received LSAs that are newer than the stored copy are installed
+    and flooded onward to all neighbors except the sender. *)
+
+type t
+
+val create :
+  Lsdb.lsa Pr_sim.Network.t ->
+  terms_for:(Pr_topology.Ad.id -> Pr_policy.Policy_term.t list) ->
+  ?flood_to:(Pr_topology.Ad.id -> bool) ->
+  unit ->
+  t
+(** [terms_for ad] is the policy payload attached to [ad]'s LSAs
+    (constant [\[\]] for non-policy protocols).
+
+    [flood_to] scopes the flood: LSAs are only forwarded to neighbors
+    satisfying the predicate (default: everyone). Every AD still
+    {e originates} — a stub's LSA reaches its providers and floods
+    onward within the scope — but out-of-scope ADs never receive
+    databases. This implements the database distribution strategies of
+    the paper's section 6: most ADs are stubs, and excluding them from
+    the flood removes most of the distribution overhead at the price
+    that their route servers must delegate. *)
+
+val start : t -> unit
+(** Every AD originates its first LSA and floods it. *)
+
+val handle_message : t -> at:Pr_topology.Ad.id -> from:Pr_topology.Ad.id -> Lsdb.lsa -> unit
+
+val handle_link : t -> at:Pr_topology.Ad.id -> up:bool -> unit
+(** The AD re-originates and floods a fresh LSA reflecting its current
+    adjacencies. *)
+
+val db : t -> Pr_topology.Ad.id -> Lsdb.t
+(** The AD's current link-state database. *)
+
+val set_on_change : t -> (Pr_topology.Ad.id -> unit) -> unit
+(** Callback invoked at an AD whenever its database changes — used by
+    protocols to invalidate computed routes. *)
+
+val db_entries : t -> Pr_topology.Ad.id -> int

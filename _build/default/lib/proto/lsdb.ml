@@ -1,0 +1,82 @@
+type adjacency = { nbr : Pr_topology.Ad.id; cost : int; delay : float }
+
+type lsa = {
+  origin : Pr_topology.Ad.id;
+  seq : int;
+  adjacencies : adjacency list;
+  terms : Pr_policy.Policy_term.t list;
+}
+
+let lsa_bytes lsa =
+  let pt_bytes =
+    List.fold_left
+      (fun acc t -> acc + Pr_policy.Policy_term.advertisement_bytes t)
+      0 lsa.terms
+  in
+  (* 2 extra bytes per adjacency for the delay metric. *)
+  Cost_model.lsa_bytes ~link_count:(List.length lsa.adjacencies) ~pt_bytes
+  + (2 * List.length lsa.adjacencies)
+
+type t = { store : lsa option array }
+
+let create ~n = { store = Array.make n None }
+
+let seq_of t origin =
+  match t.store.(origin) with
+  | None -> -1
+  | Some lsa -> lsa.seq
+
+let insert t lsa =
+  if lsa.seq > seq_of t lsa.origin then begin
+    t.store.(lsa.origin) <- Some lsa;
+    true
+  end
+  else false
+
+let get t origin = t.store.(origin)
+
+let known_ads t =
+  let acc = ref [] in
+  Array.iter
+    (function
+      | Some lsa -> acc := lsa.origin :: !acc
+      | None -> ())
+    t.store;
+  List.rev !acc
+
+let fold t ~init ~f =
+  Array.fold_left
+    (fun acc slot ->
+      match slot with
+      | Some lsa -> f acc lsa
+      | None -> acc)
+    init t.store
+
+let find_adjacency t u v =
+  match t.store.(u) with
+  | None -> None
+  | Some lsa -> List.find_opt (fun a -> a.nbr = v) lsa.adjacencies
+
+let adjacency_cost t u v = Option.map (fun a -> a.cost) (find_adjacency t u v)
+
+let bidirectional t u v =
+  match (adjacency_cost t u v, adjacency_cost t v u) with
+  | Some a, Some b -> Some (Stdlib.max a b)
+  | _ -> None
+
+let bidirectional_metric t qos u v =
+  match (find_adjacency t u v, find_adjacency t v u) with
+  | Some a, Some b ->
+    Some
+      (Qos_metric.metric qos
+         ~cost:(Stdlib.max a.cost b.cost)
+         ~delay:(Stdlib.max a.delay b.delay))
+  | _ -> None
+
+let terms_of t origin =
+  match t.store.(origin) with
+  | None -> []
+  | Some lsa -> lsa.terms
+
+let entry_count t =
+  Array.fold_left (fun acc slot -> if slot = None then acc else acc + 1) 0 t.store

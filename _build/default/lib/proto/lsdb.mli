@@ -1,0 +1,64 @@
+(** Link-state databases with sequence-numbered flooding.
+
+    Shared by every link-state design point (plain LS, LS hop-by-hop
+    with policy terms, and ORWG). An LSA describes one AD: its current
+    adjacencies with costs and — in the policy-routing protocols — the
+    Policy Terms attached to the resources it advertises (paper §4.2:
+    "link or path updates contain administrative constraints … that
+    apply to the resources they advertise"). *)
+
+type adjacency = {
+  nbr : Pr_topology.Ad.id;
+  cost : int;  (** administrative cost of the cheapest up link *)
+  delay : float;  (** its propagation delay (feeds the Low_delay metric) *)
+}
+
+type lsa = {
+  origin : Pr_topology.Ad.id;
+  seq : int;
+  adjacencies : adjacency list;  (** up links only *)
+  terms : Pr_policy.Policy_term.t list;  (** empty in non-policy protocols *)
+}
+
+val lsa_bytes : lsa -> int
+(** Advertisement size under {!Cost_model}. *)
+
+type t
+(** One AD's copy of the database. *)
+
+val create : n:int -> t
+
+val insert : t -> lsa -> bool
+(** [insert db lsa] is true when the LSA is newer than the stored one
+    (strictly larger sequence number) — the caller should then flood
+    it onward. Stale or duplicate LSAs return false and are ignored. *)
+
+val get : t -> Pr_topology.Ad.id -> lsa option
+
+val seq_of : t -> Pr_topology.Ad.id -> int
+(** Stored sequence number, or -1 when none. *)
+
+val known_ads : t -> Pr_topology.Ad.id list
+(** Origins with a stored LSA. *)
+
+val fold : t -> init:'a -> f:('a -> lsa -> 'a) -> 'a
+
+val adjacency_cost : t -> Pr_topology.Ad.id -> Pr_topology.Ad.id -> int option
+(** Cost of the directed adjacency [u -> v] according to [u]'s stored
+    LSA. Routing computations require the adjacency in both directions
+    before using a link (standard two-way connectivity check). *)
+
+val bidirectional : t -> Pr_topology.Ad.id -> Pr_topology.Ad.id -> int option
+(** Max of the two directed costs when both LSAs agree the link is up. *)
+
+val bidirectional_metric :
+  t -> Pr_policy.Qos.t -> Pr_topology.Ad.id -> Pr_topology.Ad.id -> int option
+(** The per-QOS metric ({!Qos_metric.metric}) of the adjacency, when
+    both LSAs agree it is up — what QOS-aware route computations
+    accumulate instead of the raw cost. *)
+
+val terms_of : t -> Pr_topology.Ad.id -> Pr_policy.Policy_term.t list
+(** Stored policy terms for the AD ([] when unknown). *)
+
+val entry_count : t -> int
+(** Number of stored LSAs — the database footprint gauge. *)

@@ -1,0 +1,32 @@
+type t = {
+  flow : Pr_policy.Flow.t;
+  mutable source_route : Pr_topology.Path.t option;
+  mutable handle : int option;
+  mutable header_bytes : int;
+  mutable gone_down : bool;
+}
+
+let create flow =
+  {
+    flow;
+    source_route = None;
+    handle = None;
+    header_bytes = Cost_model.base_header_bytes;
+    gone_down = false;
+  }
+
+type decision = Deliver | Forward of Pr_topology.Ad.id | Drop of string
+
+let pp_decision ppf = function
+  | Deliver -> Format.pp_print_string ppf "deliver"
+  | Forward ad -> Format.fprintf ppf "forward->%d" ad
+  | Drop reason -> Format.fprintf ppf "drop(%s)" reason
+
+type prep = {
+  setup_hops : int;
+  setup_bytes : int;
+  cache_hit : bool;
+  failure : string option;
+}
+
+let no_prep = { setup_hops = 0; setup_bytes = 0; cache_hit = false; failure = None }

@@ -1,0 +1,42 @@
+(** Data packets and per-hop forwarding decisions.
+
+    The forwarding engine ({!Forwarding}) drives a packet from its
+    source AD by asking each AD's protocol agent for a decision. The
+    packet's mutable header fields let source-routing protocols stamp
+    a route or handle at origination. *)
+
+type t = {
+  flow : Pr_policy.Flow.t;
+  mutable source_route : Pr_topology.Path.t option;
+      (** full AD route carried in the header (source routing only) *)
+  mutable handle : int option;
+      (** ORWG policy-route handle replacing the source route on
+          packets after setup *)
+  mutable header_bytes : int;
+      (** current header size under {!Cost_model} *)
+  mutable gone_down : bool;
+      (** ECMA marking: the packet has traversed a down (or level)
+          link and may no longer go up (paper §5.1.1) *)
+}
+
+val create : Pr_policy.Flow.t -> t
+(** A fresh packet with the base header and no route/handle. *)
+
+type decision =
+  | Deliver  (** the packet has reached its destination AD *)
+  | Forward of Pr_topology.Ad.id  (** hand to this neighbor AD *)
+  | Drop of string  (** discard, with a diagnostic reason *)
+
+val pp_decision : Format.formatter -> decision -> unit
+
+(** Result of preparing a flow before its first packet (route setup in
+    ORWG; a no-op elsewhere). *)
+type prep = {
+  setup_hops : int;  (** control hops spent on route setup *)
+  setup_bytes : int;  (** control bytes spent on route setup *)
+  cache_hit : bool;  (** an existing policy route/handle was reused *)
+  failure : string option;  (** no route could be prepared *)
+}
+
+val no_prep : prep
+(** The trivial preparation: zero cost, no failure. *)

@@ -1,0 +1,211 @@
+module Flow = Pr_policy.Flow
+module Policy_term = Pr_policy.Policy_term
+module Pqueue = Pr_util.Pqueue
+
+let admits db ad flow ~prev ~next =
+  let terms = Lsdb.terms_of db ad in
+  let ctx = { Policy_term.flow; prev; next } in
+  List.exists (fun term -> Policy_term.admits term ctx) terms
+
+(* Neighbors of u according to the database, bidirectionally
+   confirmed, weighted by the flow's QOS metric: the per-QOS route
+   computation of paper section 3's IGP discussion, lifted to the
+   inter-AD databases. *)
+let db_neighbors db ~n qos u =
+  match Lsdb.get db u with
+  | None -> []
+  | Some lsa ->
+    List.filter_map
+      (fun (a : Lsdb.adjacency) ->
+        let v = a.Lsdb.nbr in
+        if v < 0 || v >= n then None
+        else Option.map (fun m -> (v, m)) (Lsdb.bidirectional_metric db qos u v))
+      lsa.Lsdb.adjacencies
+
+let shortest db ~n flow ?(avoid = []) () =
+  let src = flow.Flow.src and dst = flow.Flow.dst in
+  if src = dst then (Some [ src ], 0)
+  else begin
+    (* State (v, p): we are at v having arrived from p. Encoded as
+       v * n + p; the initial state uses p = src (harmless: src is on
+       the path anyway and never re-enterable as interior). *)
+    let size = n * n in
+    let dist = Array.make size infinity in
+    let parent = Array.make size (-1) in
+    let settled = Array.make size false in
+    let work = ref 0 in
+    let q = Pqueue.create () in
+    let encode v p = (v * n) + p in
+    let avoid_arr = Array.make n false in
+    List.iter (fun a -> if a >= 0 && a < n then avoid_arr.(a) <- true) avoid;
+    let start = encode src src in
+    dist.(start) <- 0.0;
+    Pqueue.add q ~priority:0.0 start;
+    let best_final = ref None in
+    let continue_ = ref true in
+    while !continue_ do
+      match Pqueue.pop q with
+      | None -> continue_ := false
+      | Some (d, state) ->
+        if not settled.(state) then begin
+          settled.(state) <- true;
+          incr work;
+          let v = state / n and p = state mod n in
+          if v = dst then begin
+            best_final := Some state;
+            continue_ := false
+          end
+          else begin
+            let prev = if v = src then None else Some p in
+            List.iter
+              (fun (w, cost) ->
+                let interior_ok =
+                  v = src
+                  || admits db v flow ~prev ~next:(Some w)
+                in
+                let avoid_ok = w = dst || not avoid_arr.(w) in
+                if interior_ok && avoid_ok && w <> src then begin
+                  let state' = encode w v in
+                  let d' = d +. float_of_int cost in
+                  if d' < dist.(state') then begin
+                    dist.(state') <- d';
+                    parent.(state') <- state;
+                    Pqueue.add q ~priority:d' state'
+                  end
+                end)
+              (db_neighbors db ~n flow.Flow.qos v)
+          end
+        end
+    done;
+    match !best_final with
+    | None -> (None, !work)
+    | Some state ->
+      (* Reconstruct by walking parents; guard against cycles in the
+         state graph (there are none, but be defensive). *)
+      let rec build acc state steps =
+        if steps > size then None
+        else begin
+          let v = state / n in
+          if parent.(state) < 0 then Some (v :: acc)
+          else build (v :: acc) parent.(state) (steps + 1)
+        end
+      in
+      let path = build [] state 0 in
+      (* A path can revisit an AD through different (v, p) states;
+         such routes are rejected (sources require loop-free routes,
+         paper §4.4). *)
+      (match path with
+      | Some p when Pr_topology.Path.is_loop_free p -> (Some p, !work)
+      | _ -> (None, !work))
+  end
+
+(* Optimistic node-level Dijkstra: admission is checked per node,
+   ignoring prev/next-hop predicates (a None hop satisfies any
+   predicate, so this over-approximates legality). The state space is
+   n nodes instead of n^2 (node, arrived-from) states. The caller
+   validates the result and falls back to the exact search when some
+   hop-constrained term rejects it. *)
+let shortest_optimistic db ~n flow ~avoid =
+  let src = flow.Flow.src and dst = flow.Flow.dst in
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let settled = Array.make n false in
+  let work = ref 0 in
+  let q = Pqueue.create () in
+  let avoid_arr = Array.make n false in
+  List.iter (fun a -> if a >= 0 && a < n then avoid_arr.(a) <- true) avoid;
+  dist.(src) <- 0.0;
+  Pqueue.add q ~priority:0.0 src;
+  let continue_ = ref true in
+  let found = ref false in
+  while !continue_ do
+    match Pqueue.pop q with
+    | None -> continue_ := false
+    | Some (d, v) ->
+      if not settled.(v) then begin
+        settled.(v) <- true;
+        incr work;
+        if v = dst then begin
+          found := true;
+          continue_ := false
+        end
+        else begin
+          let v_ok = v = src || admits db v flow ~prev:None ~next:None in
+          if v_ok then
+            List.iter
+              (fun (w, cost) ->
+                let avoid_ok = w = dst || not avoid_arr.(w) in
+                if avoid_ok && w <> src then begin
+                  let d' = d +. float_of_int cost in
+                  if d' < dist.(w) then begin
+                    dist.(w) <- d';
+                    parent.(w) <- v;
+                    Pqueue.add q ~priority:d' w
+                  end
+                end)
+              (db_neighbors db ~n flow.Flow.qos v)
+        end
+      end
+  done;
+  if not !found then (None, !work)
+  else begin
+    let rec build acc v = if v = src then src :: acc else build (v :: acc) parent.(v) in
+    (Some (build [] dst), !work)
+  end
+
+(* Is the path exactly legal per the database, including prev/next-hop
+   constrained terms? *)
+let path_admitted db flow path =
+  let rec scan = function
+    | prev :: ad :: next :: rest ->
+      admits db ad flow ~prev:(Some prev) ~next:(Some next)
+      && scan (ad :: next :: rest)
+    | _ -> true
+  in
+  scan path
+
+let shortest_pruned db ~n ~ranks flow ?(avoid = []) () =
+  ignore ranks;
+  match shortest_optimistic db ~n flow ~avoid with
+  | Some path, work when path_admitted db flow path ->
+    (* The optimistic route survives exact validation: done, at node
+       (not node-pair) search cost. *)
+    (Some path, work)
+  | _, work ->
+    (* Either nothing was found or a hop-constrained term rejected the
+       optimistic route: run the exact search. *)
+    let path, full_work = shortest db ~n flow ~avoid () in
+    (path, work + full_work)
+
+let enumerate db ~n flow ~max_hops ?(limit = 2000) () =
+  let src = flow.Flow.src and dst = flow.Flow.dst in
+  let results = ref [] in
+  let count = ref 0 in
+  let on_path = Array.make n false in
+  let rec go u prev prefix_rev depth =
+    if !count < limit then
+      if u = dst then begin
+        incr count;
+        results := List.rev (dst :: prefix_rev) :: !results
+      end
+      else if depth < max_hops then
+        List.iter
+          (fun (v, _) ->
+            if (not on_path.(v)) && v <> src then begin
+              let u_ok = u = src || admits db u flow ~prev ~next:(Some v) in
+              if u_ok then begin
+                on_path.(v) <- true;
+                go v (Some u) (u :: prefix_rev) (depth + 1);
+                on_path.(v) <- false
+              end
+            end)
+          (db_neighbors db ~n flow.Flow.qos u)
+  in
+  if src = dst then [ [ src ] ]
+  else begin
+    on_path.(src) <- true;
+    go src None [] 0;
+    List.rev !results
+  end
+
+let spanning_work ~n = n * n

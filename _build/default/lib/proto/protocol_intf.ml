@@ -1,0 +1,54 @@
+(** The common interface every inter-AD routing protocol implements.
+
+    A protocol instance manages the routing agents of {e all} ADs in
+    one simulated internet (this is a simulator: global state is held
+    in one value, but agents only ever read their own node's slice and
+    the messages delivered to them). The {!Runner} functor wires an
+    instance to a {!Pr_sim.Network} and drives it. *)
+
+module type PROTOCOL = sig
+  type t
+  (** Instance state: all per-AD agents for one simulation. *)
+
+  type message
+  (** Control messages exchanged between neighbor ADs. *)
+
+  val name : string
+
+  val design_point : Design_point.t
+  (** Position in the paper's Table 1 design space. *)
+
+  val create : Pr_topology.Graph.t -> Pr_policy.Config.t -> message Pr_sim.Network.t -> t
+  (** Build agents for every AD. The protocol may keep the network for
+      sending but must not send until {!start}. *)
+
+  val start : t -> unit
+  (** Emit initial advertisements (full tables, LSA origination). *)
+
+  val handle_message : t -> at:Pr_topology.Ad.id -> from:Pr_topology.Ad.id -> message -> unit
+  (** A control message arrived at AD [at] from neighbor [from]. *)
+
+  val handle_link : t -> at:Pr_topology.Ad.id -> link:Pr_topology.Link.id -> up:bool -> unit
+  (** Link state change visible at endpoint [at]. *)
+
+  (** {2 Data plane} *)
+
+  val prepare_flow : t -> Pr_policy.Flow.t -> Packet.prep
+  (** Called once before the first packet of a flow: route synthesis
+      and setup for ORWG, a no-op ({!Packet.no_prep}) elsewhere. *)
+
+  val originate : t -> Packet.t -> unit
+  (** Stamp origination-time header state onto a fresh packet (source
+      route, handle, header size). Hop-by-hop protocols leave the base
+      header. *)
+
+  val forward :
+    t -> at:Pr_topology.Ad.id -> from:Pr_topology.Ad.id option -> Packet.t -> Packet.decision
+  (** Forwarding decision of AD [at] for a packet arriving from
+      neighbor [from] ([None] at the source). *)
+
+  val table_entries : t -> Pr_topology.Ad.id -> int
+  (** Current routing/forwarding state held by the AD (routing table
+      entries, LSDB size, or cached policy routes) — the state gauge
+      of experiments E4/E5. *)
+end

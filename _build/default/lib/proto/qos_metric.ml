@@ -1,0 +1,17 @@
+module Qos = Pr_policy.Qos
+
+let metric qos ~cost ~delay =
+  match qos with
+  | Qos.Default | Qos.High_throughput -> Stdlib.max 1 cost
+  | Qos.Low_delay -> Stdlib.max 1 (int_of_float (Float.round (delay *. 10.0)))
+  | Qos.High_reliability -> 1
+
+let path_delay g path =
+  let rec sum acc = function
+    | [] | [ _ ] -> Some acc
+    | a :: (b :: _ as rest) -> (
+      match Pr_topology.Graph.find_link g a b with
+      | None -> None
+      | Some lid -> sum (acc +. (Pr_topology.Graph.link g lid).Pr_topology.Link.delay) rest)
+  in
+  sum 0.0 path

@@ -1,0 +1,19 @@
+(** Per-QOS link metrics (paper §3, §5.1.1).
+
+    The era's IGPs (IGRP, OSPF ToS, IS-IS) supported a small set of
+    service classes by keeping one metric per class; ECMA carries this
+    into inter-AD routing with one FIB per QOS, and the LS designs can
+    compute per-QOS routes from the same advertisements. We model the
+    four classes over the two physical link attributes we have:
+
+    - [Default] and [High_throughput]: the administrative cost (a
+      capacity/price proxy);
+    - [Low_delay]: propagation delay, in deci-units so it stays an
+      integer metric;
+    - [High_reliability]: hop count — fewer links, fewer failures. *)
+
+val metric : Pr_policy.Qos.t -> cost:int -> delay:float -> int
+(** The additive per-link metric for a service class; always >= 1. *)
+
+val path_delay : Pr_topology.Graph.t -> Pr_topology.Path.t -> float option
+(** Sum of link delays along a path in the physical topology. *)

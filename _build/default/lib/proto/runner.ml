@@ -1,0 +1,111 @@
+module Engine = Pr_sim.Engine
+module Network = Pr_sim.Network
+module Metrics = Pr_sim.Metrics
+module Graph = Pr_topology.Graph
+
+type convergence = {
+  converged : bool;
+  sim_time : float;
+  events : int;
+  messages : int;
+  bytes : int;
+}
+
+let pp_convergence ppf c =
+  Format.fprintf ppf "%s t=%.1f events=%d msgs=%d bytes=%d"
+    (if c.converged then "converged" else "DIVERGED")
+    c.sim_time c.events c.messages c.bytes
+
+module Make (P : Protocol_intf.PROTOCOL) = struct
+  type t = {
+    graph : Graph.t;
+    config : Pr_policy.Config.t;
+    engine : Engine.t;
+    net : P.message Network.t;
+    metrics : Metrics.t;
+    proto : P.t;
+    mutable started : bool;
+    (* Metrics state at the end of the previous converge, so that
+       control traffic triggered between converges (e.g. by fail_link
+       handlers) is attributed to the next convergence delta. *)
+    mutable marker : Metrics.t;
+    mutable events_marker : int;
+  }
+
+  let setup graph config =
+    let engine = Engine.create () in
+    let metrics = Metrics.create ~n:(Graph.n graph) in
+    let net = Network.create engine graph metrics in
+    let proto = P.create graph config net in
+    Network.set_message_handler net (fun ~at ~from msg ->
+        P.handle_message proto ~at ~from msg);
+    Network.set_link_handler net (fun ~at ~link ~up -> P.handle_link proto ~at ~link ~up);
+    {
+      graph;
+      config;
+      engine;
+      net;
+      metrics;
+      proto;
+      started = false;
+      marker = Metrics.snapshot metrics;
+      events_marker = 0;
+    }
+
+  let graph t = t.graph
+
+  let config t = t.config
+
+  let protocol t = t.proto
+
+  let metrics t = t.metrics
+
+  let network t = t.net
+
+  let converge ?max_events t =
+    let before = t.marker in
+    let events_before = t.events_marker in
+    if not t.started then begin
+      t.started <- true;
+      P.start t.proto
+    end;
+    let stop = Engine.run ?max_events t.engine in
+    let delta = Metrics.diff ~after:t.metrics ~before in
+    t.marker <- Metrics.snapshot t.metrics;
+    t.events_marker <- Engine.events_executed t.engine;
+    {
+      converged = stop = Engine.Drained;
+      sim_time = Engine.now t.engine;
+      events = Engine.events_executed t.engine - events_before;
+      messages = Metrics.messages delta;
+      bytes = Metrics.bytes delta;
+    }
+
+  let fail_link t lid = Network.set_link_state t.net lid ~up:false
+
+  let restore_link t lid = Network.set_link_state t.net lid ~up:true
+
+  let send_flow t flow =
+    Forwarding.send ~n:(Graph.n t.graph)
+      ~prepare:(fun f -> P.prepare_flow t.proto f)
+      ~originate:(fun packet -> P.originate t.proto packet)
+      ~forward:(fun ~at ~from packet -> P.forward t.proto ~at ~from packet)
+      ~adjacent:(fun x y -> Network.adjacent_and_up t.net x y)
+      flow
+
+  let table_entries t =
+    let n = Graph.n t.graph in
+    let total = ref 0 in
+    for ad = 0 to n - 1 do
+      total := !total + P.table_entries t.proto ad
+    done;
+    !total
+
+  let max_table_entries t =
+    let n = Graph.n t.graph in
+    let best = ref 0 in
+    for ad = 0 to n - 1 do
+      best := Stdlib.max !best (P.table_entries t.proto ad)
+    done;
+    !best
+end

@@ -1,0 +1,53 @@
+(** Wires a protocol to a simulated network and drives it.
+
+    The runner owns the engine/network/metrics triple, installs the
+    protocol's handlers, runs the control plane to quiescence, injects
+    topology changes, and sends data packets through the protocol's
+    forwarding plane. *)
+
+type convergence = {
+  converged : bool;  (** false when the event budget was exhausted *)
+  sim_time : float;  (** simulated time when the system quiesced *)
+  events : int;  (** events executed during this run *)
+  messages : int;  (** control messages sent during this run *)
+  bytes : int;  (** control bytes sent during this run *)
+}
+
+val pp_convergence : Format.formatter -> convergence -> unit
+
+module Make (P : Protocol_intf.PROTOCOL) : sig
+  type t
+
+  val setup : Pr_topology.Graph.t -> Pr_policy.Config.t -> t
+  (** Build engine, network, metrics and protocol agents; handlers are
+      installed but nothing has been sent yet. *)
+
+  val graph : t -> Pr_topology.Graph.t
+
+  val config : t -> Pr_policy.Config.t
+
+  val protocol : t -> P.t
+
+  val metrics : t -> Pr_sim.Metrics.t
+
+  val network : t -> P.message Pr_sim.Network.t
+
+  val converge : ?max_events:int -> t -> convergence
+  (** First call starts the protocol; later calls just drain whatever
+      events are pending (e.g. after a link event). *)
+
+  val fail_link : t -> Pr_topology.Link.id -> unit
+  (** Take a link down and notify the protocol at both ends (run
+      {!converge} afterwards to let it react). *)
+
+  val restore_link : t -> Pr_topology.Link.id -> unit
+
+  val send_flow : t -> Pr_policy.Flow.t -> Forwarding.outcome
+  (** Send one packet of the flow through the protocol's forwarding
+      plane (including any route setup the protocol performs). *)
+
+  val table_entries : t -> int
+  (** Sum of per-AD routing state. *)
+
+  val max_table_entries : t -> int
+end

@@ -1,0 +1,1 @@
+lib/sim/churn.mli: Network Pr_topology Pr_util

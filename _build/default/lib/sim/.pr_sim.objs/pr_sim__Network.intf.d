@@ -1,0 +1,1 @@
+lib/sim/network.mli: Engine Logs Metrics Pr_topology Pr_util

@@ -1,0 +1,41 @@
+module Pqueue = Pr_util.Pqueue
+
+type t = {
+  queue : (unit -> unit) Pqueue.t;
+  mutable clock : float;
+  mutable executed : int;
+}
+
+let create () = { queue = Pqueue.create (); clock = 0.0; executed = 0 }
+
+let now t = t.clock
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  Pqueue.add t.queue ~priority:(t.clock +. delay) f
+
+let schedule_at t ~time f =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  Pqueue.add t.queue ~priority:time f
+
+let pending t = Pqueue.length t.queue
+
+type stop_reason = Drained | Reached_limit
+
+let run ?(max_events = 10_000_000) t =
+  let budget = ref max_events in
+  let rec loop () =
+    if !budget <= 0 then Reached_limit
+    else
+      match Pqueue.pop t.queue with
+      | None -> Drained
+      | Some (time, f) ->
+        t.clock <- time;
+        t.executed <- t.executed + 1;
+        decr budget;
+        f ();
+        loop ()
+  in
+  loop ()
+
+let events_executed t = t.executed

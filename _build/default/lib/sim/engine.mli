@@ -1,0 +1,33 @@
+(** Discrete-event simulation engine.
+
+    A simple event-list simulator: closures scheduled at simulated
+    times, executed in time order with deterministic FIFO tie-breaking
+    (see {!Pr_util.Pqueue}). Routing protocols are message-driven, so a
+    drained queue means the protocol has converged. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time; 0 before any event runs. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Schedule an event [delay >= 0] time units from now. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** Schedule at an absolute simulated time, which must not be in the
+    past. *)
+
+val pending : t -> int
+
+type stop_reason =
+  | Drained  (** no events left: the system has quiesced *)
+  | Reached_limit  (** stopped by [max_events] — usually a divergence *)
+
+val run : ?max_events:int -> t -> stop_reason
+(** Execute events until none remain or [max_events] (default 10^7)
+    have run. Returns why it stopped. *)
+
+val events_executed : t -> int
+(** Total events executed so far over the engine's lifetime. *)

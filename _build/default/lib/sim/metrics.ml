@@ -1,0 +1,75 @@
+type t = {
+  n : int;
+  msgs : int array;
+  bytes_sent : int array;
+  comps : int array;
+  tables : int array;
+}
+
+let create ~n =
+  {
+    n;
+    msgs = Array.make n 0;
+    bytes_sent = Array.make n 0;
+    comps = Array.make n 0;
+    tables = Array.make n 0;
+  }
+
+let reset t =
+  Array.fill t.msgs 0 t.n 0;
+  Array.fill t.bytes_sent 0 t.n 0;
+  Array.fill t.comps 0 t.n 0;
+  Array.fill t.tables 0 t.n 0
+
+let record_send t ad ~bytes =
+  t.msgs.(ad) <- t.msgs.(ad) + 1;
+  t.bytes_sent.(ad) <- t.bytes_sent.(ad) + bytes
+
+let record_computation t ad ?(work = 1) () = t.comps.(ad) <- t.comps.(ad) + work
+
+let set_table_entries t ad entries = t.tables.(ad) <- entries
+
+let add_table_entries t ad entries = t.tables.(ad) <- t.tables.(ad) + entries
+
+let sum a = Array.fold_left ( + ) 0 a
+
+let messages t = sum t.msgs
+
+let bytes t = sum t.bytes_sent
+
+let computations t = sum t.comps
+
+let table_entries t = sum t.tables
+
+let messages_of t ad = t.msgs.(ad)
+
+let bytes_of t ad = t.bytes_sent.(ad)
+
+let computations_of t ad = t.comps.(ad)
+
+let table_entries_of t ad = t.tables.(ad)
+
+let max_table_entries t = Array.fold_left Stdlib.max 0 t.tables
+
+let snapshot t =
+  {
+    n = t.n;
+    msgs = Array.copy t.msgs;
+    bytes_sent = Array.copy t.bytes_sent;
+    comps = Array.copy t.comps;
+    tables = Array.copy t.tables;
+  }
+
+let diff ~after ~before =
+  if after.n <> before.n then invalid_arg "Metrics.diff: size mismatch";
+  {
+    n = after.n;
+    msgs = Array.init after.n (fun i -> after.msgs.(i) - before.msgs.(i));
+    bytes_sent = Array.init after.n (fun i -> after.bytes_sent.(i) - before.bytes_sent.(i));
+    comps = Array.init after.n (fun i -> after.comps.(i) - before.comps.(i));
+    tables = Array.copy after.tables;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "msgs=%d bytes=%d comp=%d tables=%d" (messages t) (bytes t)
+    (computations t) (table_entries t)

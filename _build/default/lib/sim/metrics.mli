@@ -1,0 +1,56 @@
+(** Per-node accounting of protocol overhead.
+
+    The paper's comparisons are in terms of information exchanged
+    (messages, bytes), computation performed (route computations,
+    especially at transit ADs — §5.3), and state held (routing table
+    entries — §5.2.1). Every protocol records into one of these. *)
+
+type t
+
+val create : n:int -> t
+(** [n] is the number of ADs. *)
+
+val reset : t -> unit
+
+val record_send : t -> Pr_topology.Ad.id -> bytes:int -> unit
+(** One control message of the given size sent by the AD. *)
+
+val record_computation : t -> Pr_topology.Ad.id -> ?work:int -> unit -> unit
+(** One route computation at the AD; [work] (default 1) scales it,
+    e.g. by the number of nodes visited by a Dijkstra run. *)
+
+val set_table_entries : t -> Pr_topology.Ad.id -> int -> unit
+(** Gauge: current routing/forwarding table size at the AD. *)
+
+val add_table_entries : t -> Pr_topology.Ad.id -> int -> unit
+
+val messages : t -> int
+(** Total control messages sent. *)
+
+val bytes : t -> int
+
+val computations : t -> int
+(** Total computation work units. *)
+
+val table_entries : t -> int
+(** Sum of the table-size gauges. *)
+
+val messages_of : t -> Pr_topology.Ad.id -> int
+
+val bytes_of : t -> Pr_topology.Ad.id -> int
+
+val computations_of : t -> Pr_topology.Ad.id -> int
+
+val table_entries_of : t -> Pr_topology.Ad.id -> int
+
+val max_table_entries : t -> int
+(** Largest per-AD table gauge — the state burden on the worst-loaded
+    AD. *)
+
+val snapshot : t -> t
+(** An independent copy, for before/after deltas. *)
+
+val diff : after:t -> before:t -> t
+(** Counter-wise difference (gauges are taken from [after]). *)
+
+val pp : Format.formatter -> t -> unit

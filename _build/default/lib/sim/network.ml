@@ -1,0 +1,110 @@
+module Graph = Pr_topology.Graph
+module Link = Pr_topology.Link
+module Rng = Pr_util.Rng
+
+(* Debug tracing: enable with Logs.Src.set_level Network.log_src
+   (Some Logs.Debug) and a reporter. Off by default and free when
+   disabled (messages are built lazily). *)
+let log_src = Logs.Src.create "pr.network" ~doc:"Inter-AD message passing"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type 'msg t = {
+  engine : Engine.t;
+  graph : Graph.t;
+  metrics : Metrics.t;
+  link_up : bool array;
+  mutable on_message : at:Pr_topology.Ad.id -> from:Pr_topology.Ad.id -> 'msg -> unit;
+  mutable on_link : at:Pr_topology.Ad.id -> link:Link.id -> up:bool -> unit;
+}
+
+let create engine graph metrics =
+  {
+    engine;
+    graph;
+    metrics;
+    link_up = Array.make (Graph.num_links graph) true;
+    on_message = (fun ~at:_ ~from:_ _ -> ());
+    on_link = (fun ~at:_ ~link:_ ~up:_ -> ());
+  }
+
+let graph t = t.graph
+
+let engine t = t.engine
+
+let metrics t = t.metrics
+
+let set_message_handler t f = t.on_message <- f
+
+let set_link_handler t f = t.on_link <- f
+
+let link_is_up t lid = t.link_up.(lid)
+
+let up_link_between t x y =
+  List.fold_left
+    (fun best (nbr, lid) ->
+      if nbr = y && t.link_up.(lid) then
+        match best with
+        | None -> Some lid
+        | Some b ->
+          if (Graph.link t.graph lid).Link.cost < (Graph.link t.graph b).Link.cost then
+            Some lid
+          else best
+      else best)
+    None
+    (Graph.neighbors t.graph x)
+
+let adjacent_and_up t x y = up_link_between t x y <> None
+
+let up_neighbors t x =
+  Graph.neighbors t.graph x
+  |> List.filter_map (fun (nbr, lid) -> if t.link_up.(lid) then Some nbr else None)
+  |> List.sort_uniq compare
+
+let send t ~src ~dst ~bytes msg =
+  match up_link_between t src dst with
+  | None -> ()
+  | Some lid ->
+    Metrics.record_send t.metrics src ~bytes;
+    Log.debug (fun m ->
+        m "t=%.1f send %d -> %d (%d bytes)" (Engine.now t.engine) src dst bytes);
+    let delay = (Graph.link t.graph lid).Link.delay in
+    Engine.schedule t.engine ~delay (fun () ->
+        (* The message is lost if the link failed while in flight. *)
+        if t.link_up.(lid) then t.on_message ~at:dst ~from:src msg
+        else
+          Log.debug (fun m ->
+              m "t=%.1f message %d -> %d lost in flight" (Engine.now t.engine) src dst))
+
+let broadcast t ~src ~bytes msg =
+  let neighbors = up_neighbors t src in
+  List.iter (fun nbr -> send t ~src ~dst:nbr ~bytes msg) neighbors;
+  List.length neighbors
+
+let set_link_state t lid ~up =
+  if t.link_up.(lid) <> up then begin
+    t.link_up.(lid) <- up;
+    let l = Graph.link t.graph lid in
+    Log.info (fun m ->
+        m "t=%.1f link %d--%d %s" (Engine.now t.engine) l.Link.a l.Link.b
+          (if up then "restored" else "FAILED"));
+    t.on_link ~at:l.Link.a ~link:lid ~up;
+    t.on_link ~at:l.Link.b ~link:lid ~up
+  end
+
+let fail_random_link t rng ?kind () =
+  let candidates =
+    Graph.fold_links t.graph ~init:[] ~f:(fun acc l ->
+        let kind_ok =
+          match kind with
+          | None -> true
+          | Some k -> l.Link.kind = k
+        in
+        if kind_ok && t.link_up.(l.Link.id) then l.Link.id :: acc else acc)
+  in
+  match candidates with
+  | [] -> None
+  | _ ->
+    let lid = Rng.choose rng candidates in
+    set_link_state t lid ~up:false;
+    Some lid

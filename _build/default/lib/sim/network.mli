@@ -1,0 +1,63 @@
+(** The message-passing substrate connecting AD routing agents.
+
+    Wraps a {!Pr_topology.Graph} with dynamic link state and delivers
+    protocol messages between neighboring ADs through the
+    {!Engine}, charging each send to {!Metrics}. Messages in flight
+    when their link fails are lost — protocols must tolerate this, as
+    the paper's model requires adaptivity to inter-AD topology change
+    (§2.2). *)
+
+type 'msg t
+
+val log_src : Logs.src
+(** Debug log source ("pr.network"): set its level to [Debug] (and
+    install a reporter) to trace sends, in-flight losses and link
+    state changes. *)
+
+val create : Engine.t -> Pr_topology.Graph.t -> Metrics.t -> 'msg t
+(** All links start up. Handlers must be installed before any
+    traffic flows. *)
+
+val graph : 'msg t -> Pr_topology.Graph.t
+
+val engine : 'msg t -> Engine.t
+
+val metrics : 'msg t -> Metrics.t
+
+val set_message_handler :
+  'msg t -> (at:Pr_topology.Ad.id -> from:Pr_topology.Ad.id -> 'msg -> unit) -> unit
+(** Called on delivery of each message at the receiving AD. *)
+
+val set_link_handler :
+  'msg t -> (at:Pr_topology.Ad.id -> link:Pr_topology.Link.id -> up:bool -> unit) -> unit
+(** Called at both endpoints when a link changes state. *)
+
+val send :
+  'msg t -> src:Pr_topology.Ad.id -> dst:Pr_topology.Ad.id -> bytes:int -> 'msg -> unit
+(** Send over (the cheapest) link between neighbors [src] and [dst].
+    Silently dropped when no such link is up — protocols discover
+    failures via the link handler, not via send errors. The send is
+    charged to metrics even if the message is later lost (the bits
+    were transmitted). *)
+
+val broadcast :
+  'msg t -> src:Pr_topology.Ad.id -> bytes:int -> 'msg -> int
+(** Send to every currently reachable neighbor; returns how many were
+    sent. *)
+
+val link_is_up : 'msg t -> Pr_topology.Link.id -> bool
+
+val adjacent_and_up : 'msg t -> Pr_topology.Ad.id -> Pr_topology.Ad.id -> bool
+(** Some up link joins the two ADs. *)
+
+val up_neighbors : 'msg t -> Pr_topology.Ad.id -> Pr_topology.Ad.id list
+(** Deduplicated neighbors reachable over at least one up link. *)
+
+val set_link_state : 'msg t -> Pr_topology.Link.id -> up:bool -> unit
+(** Change a link's state immediately and notify both endpoints
+    through the link handler. No-op when the state is unchanged. *)
+
+val fail_random_link :
+  'msg t -> Pr_util.Rng.t -> ?kind:Pr_topology.Link.kind -> unit -> Pr_topology.Link.id option
+(** Fail a uniformly chosen currently-up link (optionally of a given
+    kind). Returns the failed link. *)

@@ -1,0 +1,1 @@
+lib/topology/ad.ml: Format

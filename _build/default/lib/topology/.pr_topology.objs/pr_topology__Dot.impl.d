@@ -1,0 +1,1 @@
+lib/topology/dot.ml: Ad Array Buffer Graph Link List Printf

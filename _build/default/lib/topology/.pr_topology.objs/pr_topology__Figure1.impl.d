@@ -1,0 +1,1 @@
+lib/topology/figure1.ml: Ad Array Buffer Graph Link List Printf

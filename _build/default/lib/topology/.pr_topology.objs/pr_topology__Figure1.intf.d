@@ -1,0 +1,1 @@
+lib/topology/figure1.mli: Ad Graph

@@ -1,0 +1,1 @@
+lib/topology/generator.ml: Ad Array Float Graph Hashtbl Link List Pr_util Printf Stdlib

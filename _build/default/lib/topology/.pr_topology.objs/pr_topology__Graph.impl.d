@@ -1,0 +1,1 @@
+lib/topology/graph.ml: Ad Array Format Link List Queue

@@ -1,0 +1,1 @@
+lib/topology/partial_order.ml: Ad Array Graph List Queue Stdlib

@@ -1,0 +1,1 @@
+lib/topology/partial_order.mli: Ad Graph Path

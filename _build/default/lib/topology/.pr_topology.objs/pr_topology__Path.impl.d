@@ -1,0 +1,1 @@
+lib/topology/path.ml: Ad Array Format Graph Link List Stdlib String

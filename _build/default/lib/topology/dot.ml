@@ -1,0 +1,65 @@
+let node_attrs (a : Ad.t) =
+  let shape =
+    match a.Ad.klass with
+    | Ad.Transit -> "box"
+    | Ad.Hybrid -> "hexagon"
+    | Ad.Stub -> "ellipse"
+    | Ad.Multihomed -> "doublecircle"
+  in
+  let fill =
+    match a.Ad.level with
+    | Ad.Backbone -> "#c6dbef"
+    | Ad.Regional -> "#e5f5e0"
+    | Ad.Metro -> "#fee6ce"
+    | Ad.Campus -> "#f2f0f7"
+  in
+  Printf.sprintf "shape=%s style=filled fillcolor=\"%s\" label=\"%s\\n#%d\"" shape fill
+    a.Ad.name a.Ad.id
+
+let edge_attrs highlight (l : Link.t) =
+  let style =
+    match l.Link.kind with
+    | Link.Hierarchical -> "solid"
+    | Link.Lateral -> "dashed"
+    | Link.Bypass -> "bold"
+  in
+  let on_path =
+    match highlight with
+    | None -> false
+    | Some path ->
+      let rec scan = function
+        | a :: (b :: _ as rest) -> Link.connects l a b || scan rest
+        | _ -> false
+      in
+      scan path
+  in
+  Printf.sprintf "style=%s label=\"%d\"%s" style l.Link.cost
+    (if on_path then " color=red penwidth=3" else "")
+
+let to_dot ?highlight g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph internet {\n";
+  Buffer.add_string buf "  rankdir=TB;\n  node [fontsize=10];\n  edge [fontsize=8];\n";
+  (* Group ADs of the same level on one rank, backbone first. *)
+  List.iter
+    (fun level ->
+      let ids =
+        Array.to_list (Graph.ads g)
+        |> List.filter_map (fun (a : Ad.t) ->
+               if a.Ad.level = level then Some a.Ad.id else None)
+      in
+      if ids <> [] then begin
+        Buffer.add_string buf "  { rank=same; ";
+        List.iter (fun id -> Buffer.add_string buf (Printf.sprintf "n%d; " id)) ids;
+        Buffer.add_string buf "}\n"
+      end)
+    [ Ad.Backbone; Ad.Regional; Ad.Metro; Ad.Campus ];
+  Array.iter
+    (fun (a : Ad.t) ->
+      Buffer.add_string buf (Printf.sprintf "  n%d [%s];\n" a.Ad.id (node_attrs a)))
+    (Graph.ads g);
+  Graph.fold_links g ~init:() ~f:(fun () l ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -- n%d [%s];\n" l.Link.a l.Link.b (edge_attrs highlight l)));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,11 @@
+(** Graphviz export of AD-level internets.
+
+    Renders the hierarchy top-down (backbones at the top rank) with the
+    paper's Figure-1 conventions: solid edges for hierarchical links,
+    dashed for lateral, bold for bypass; node shape encodes the AD
+    class. *)
+
+val to_dot : ?highlight:Path.t -> Graph.t -> string
+(** A complete [graphviz] document. [highlight] colors one AD path
+    (e.g. a route under discussion). Render with
+    [dot -Tsvg out.dot > out.svg]. *)

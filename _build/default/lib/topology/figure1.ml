@@ -1,0 +1,84 @@
+(* Hand-built rendition of the paper's Figure 1. The figure shows
+   backbones, regionals and campuses joined by hierarchical links, with
+   a lateral link between two regionals, a lateral link between two
+   campuses, a bypass link from a campus to a backbone, and (implied by
+   the multi-homed stub discussion in §2.1) one campus attached to two
+   regionals. *)
+
+let backbone_1 = 0
+
+let backbone_2 = 1
+
+let regionals = [ 2; 3; 4; 5 ]
+
+let campuses = [ 6; 7; 8; 9; 10; 11; 12; 13 ]
+
+let bypass_campus = 6
+
+let multihomed_campus = 13
+
+let graph () =
+  let ad id name klass level = Ad.make ~id ~name ~klass ~level in
+  let ads =
+    [|
+      ad 0 "BB1" Ad.Transit Ad.Backbone;
+      ad 1 "BB2" Ad.Transit Ad.Backbone;
+      ad 2 "R1" Ad.Transit Ad.Regional;
+      ad 3 "R2" Ad.Transit Ad.Regional;
+      ad 4 "R3" Ad.Transit Ad.Regional;
+      ad 5 "R4" Ad.Transit Ad.Regional;
+      ad 6 "C1a" Ad.Multihomed Ad.Campus;
+      (* bypass to BB2 *)
+      ad 7 "C1b" Ad.Stub Ad.Campus;
+      ad 8 "C2a" Ad.Stub Ad.Campus;
+      ad 9 "C2b" Ad.Stub Ad.Campus;
+      ad 10 "C3a" Ad.Stub Ad.Campus;
+      ad 11 "C3b" Ad.Stub Ad.Campus;
+      ad 12 "C4a" Ad.Stub Ad.Campus;
+      ad 13 "C4b" Ad.Multihomed Ad.Campus (* homed to R4 and R3 *);
+    |]
+  in
+  let specs =
+    [
+      (0, 1, Link.Lateral);
+      (0, 2, Link.Hierarchical);
+      (0, 3, Link.Hierarchical);
+      (1, 4, Link.Hierarchical);
+      (1, 5, Link.Hierarchical);
+      (2, 6, Link.Hierarchical);
+      (2, 7, Link.Hierarchical);
+      (3, 8, Link.Hierarchical);
+      (3, 9, Link.Hierarchical);
+      (4, 10, Link.Hierarchical);
+      (4, 11, Link.Hierarchical);
+      (5, 12, Link.Hierarchical);
+      (5, 13, Link.Hierarchical);
+      (3, 4, Link.Lateral);
+      (* regional lateral, crossing the backbone boundary *)
+      (9, 10, Link.Lateral);
+      (* campus-to-campus lateral *)
+      (6, 1, Link.Bypass);
+      (* campus bypass straight to the other backbone *)
+      (13, 4, Link.Hierarchical) (* second home of C4b *);
+    ]
+  in
+  let links =
+    Array.of_list specs
+    |> Array.mapi (fun id (a, b, kind) -> Link.make ~id ~a ~b kind)
+  in
+  Graph.create ads links
+
+let describe () =
+  let g = graph () in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "Figure 1 example internet: 2 backbones, 4 regionals, 8 campuses.\n";
+  List.iter
+    (fun (k, c) ->
+      Buffer.add_string buf (Printf.sprintf "  %-12s %d\n" (Ad.klass_to_string k) c))
+    (Graph.count_by_klass g);
+  List.iter
+    (fun (k, c) ->
+      Buffer.add_string buf (Printf.sprintf "  %-12s links: %d\n" (Link.kind_to_string k) c))
+    (Graph.count_links_by_kind g);
+  Buffer.contents buf

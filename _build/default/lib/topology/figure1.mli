@@ -1,0 +1,32 @@
+(** The example internet of the paper's Figure 1.
+
+    A hand-built rendition of the figure: two interconnected backbone
+    networks, regionals beneath them, campuses beneath the regionals,
+    plus one lateral link between regionals, one lateral link between
+    campuses, one bypass link from a campus to a backbone, and one
+    multihomed campus attached to two regionals. It is used by the F1
+    experiment, the quickstart example and many unit tests as a small,
+    fully understood internet. *)
+
+val graph : unit -> Graph.t
+(** Build a fresh copy of the Figure 1 topology (14 ADs, 17 links). *)
+
+val backbone_1 : Ad.id
+
+val backbone_2 : Ad.id
+
+val regionals : Ad.id list
+(** The four regional ADs, two per backbone. *)
+
+val campuses : Ad.id list
+(** The eight campus ADs (two per regional; one is multihomed, one has
+    a bypass link). *)
+
+val multihomed_campus : Ad.id
+(** The campus attached to two regionals. *)
+
+val bypass_campus : Ad.id
+(** The campus with a direct link to a backbone. *)
+
+val describe : unit -> string
+(** Human-readable inventory used by the F1 experiment output. *)

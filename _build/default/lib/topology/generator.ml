@@ -1,0 +1,223 @@
+module Rng = Pr_util.Rng
+
+type params = {
+  backbones : int;
+  regionals_per_backbone : int;
+  metros_per_regional : int;
+  campuses_per_metro : int;
+  backbone_mesh : bool;
+  lateral_prob : float;
+  bypass_prob : float;
+  multihoming_prob : float;
+  hybrid_fraction : float;
+  max_cost : int;
+  max_delay : float;
+}
+
+let default =
+  {
+    backbones = 2;
+    regionals_per_backbone = 3;
+    metros_per_regional = 2;
+    campuses_per_metro = 3;
+    backbone_mesh = true;
+    lateral_prob = 0.3;
+    bypass_prob = 0.1;
+    multihoming_prob = 0.15;
+    hybrid_fraction = 0.5;
+    max_cost = 3;
+    max_delay = 1.0;
+  }
+
+let scaled ~target_ads =
+  (* Keep the default fan-outs for regionals and metros and solve for
+     the backbone count and campus fan-out so that
+     b * (1 + r * (1 + m * (1 + c))) ~ target_ads. *)
+  let r = default.regionals_per_backbone and m = default.metros_per_regional in
+  let b = Stdlib.max 2 (int_of_float (sqrt (float_of_int target_ads) /. 4.0)) in
+  let per_backbone = float_of_int target_ads /. float_of_int b in
+  let c =
+    int_of_float
+      (Float.round
+         ((((per_backbone -. 1.0) /. float_of_int r) -. 1.0) /. float_of_int m -. 1.0))
+  in
+  { default with backbones = b; campuses_per_metro = Stdlib.max 1 c }
+
+(* Mutable builder used by all generators. *)
+type builder = {
+  mutable ads_rev : (string * Ad.level) list;  (* klass decided later *)
+  mutable links_rev : (Ad.id * Ad.id * Link.kind * int * float) list;
+  mutable next_ad : int;
+  mutable next_link : int;
+}
+
+let new_builder () = { ads_rev = []; links_rev = []; next_ad = 0; next_link = 0 }
+
+let add_ad b name level =
+  let id = b.next_ad in
+  b.next_ad <- id + 1;
+  b.ads_rev <- (name, level) :: b.ads_rev;
+  id
+
+let link_exists b x y =
+  List.exists (fun (a, b', _, _, _) -> (a = x && b' = y) || (a = y && b' = x)) b.links_rev
+
+let add_link ?(delay = 1.0) b a b' kind cost =
+  if a <> b' && not (link_exists b a b') then begin
+    b.next_link <- b.next_link + 1;
+    b.links_rev <- (a, b', kind, cost, delay) :: b.links_rev
+  end
+
+let rand_cost rng max_cost = if max_cost <= 1 then 1 else Rng.int_in_range rng ~min:1 ~max:max_cost
+
+let rand_delay rng max_delay =
+  if max_delay <= 1.0 then 1.0 else 0.5 +. Rng.float rng (max_delay -. 0.5)
+
+(* Finalize: compute klass from level + connectivity, build the graph. *)
+let finalize ?(hybrid : Ad.id -> bool = fun _ -> false) b =
+  let n = b.next_ad in
+  let degree = Array.make n 0 in
+  List.iter
+    (fun (a, b', _, _, _) ->
+      degree.(a) <- degree.(a) + 1;
+      degree.(b') <- degree.(b') + 1)
+    b.links_rev;
+  let ads =
+    Array.of_list (List.rev b.ads_rev)
+    |> Array.mapi (fun id (name, level) ->
+           let klass =
+             match (level : Ad.level) with
+             | Ad.Backbone | Ad.Regional -> Ad.Transit
+             | Ad.Metro -> if hybrid id then Ad.Hybrid else Ad.Transit
+             | Ad.Campus -> if degree.(id) > 1 then Ad.Multihomed else Ad.Stub
+           in
+           Ad.make ~id ~name ~klass ~level)
+  in
+  let links =
+    Array.of_list (List.rev b.links_rev)
+    |> Array.mapi (fun id (a, bb, kind, cost, delay) ->
+           Link.make ~id ~a ~b:bb ~cost ~delay kind)
+  in
+  Graph.create ads links
+
+let generate rng p =
+  if p.backbones < 1 then invalid_arg "Generator.generate: need at least one backbone";
+  let b = new_builder () in
+  let add_link bld x y kind cost =
+    add_link ~delay:(rand_delay rng p.max_delay) bld x y kind cost
+  in
+  let hybrids = Hashtbl.create 16 in
+  let backbones =
+    List.init p.backbones (fun i -> add_ad b (Printf.sprintf "BB%d" i) Ad.Backbone)
+  in
+  let regionals = ref [] in
+  let metros = ref [] in
+  let campuses = ref [] in
+  List.iteri
+    (fun bi bb ->
+      for ri = 0 to p.regionals_per_backbone - 1 do
+        let reg = add_ad b (Printf.sprintf "R%d.%d" bi ri) Ad.Regional in
+        regionals := reg :: !regionals;
+        add_link b bb reg Link.Hierarchical (rand_cost rng p.max_cost);
+        for mi = 0 to p.metros_per_regional - 1 do
+          let met = add_ad b (Printf.sprintf "M%d.%d.%d" bi ri mi) Ad.Metro in
+          metros := met :: !metros;
+          if Rng.chance rng p.hybrid_fraction then Hashtbl.replace hybrids met ();
+          add_link b reg met Link.Hierarchical (rand_cost rng p.max_cost);
+          for ci = 0 to p.campuses_per_metro - 1 do
+            let cam = add_ad b (Printf.sprintf "C%d.%d.%d.%d" bi ri mi ci) Ad.Campus in
+            campuses := cam :: !campuses;
+            add_link b met cam Link.Hierarchical (rand_cost rng p.max_cost)
+          done
+        done
+      done)
+    backbones;
+  (* Interconnect the backbones. *)
+  (match backbones with
+  | [] | [ _ ] -> ()
+  | _ :: _ :: _ ->
+    if p.backbone_mesh then
+      List.iteri
+        (fun i x ->
+          List.iteri
+            (fun j y -> if j > i then add_link b x y Link.Lateral (rand_cost rng p.max_cost))
+            backbones)
+        backbones
+    else begin
+      let arr = Array.of_list backbones in
+      for i = 0 to Array.length arr - 1 do
+        add_link b arr.(i) arr.((i + 1) mod Array.length arr) Link.Lateral
+          (rand_cost rng p.max_cost)
+      done
+    end);
+  (* Lateral links at each level. *)
+  let add_laterals ids =
+    let arr = Array.of_list ids in
+    if Array.length arr > 1 then
+      Array.iter
+        (fun x ->
+          if Rng.chance rng p.lateral_prob then begin
+            let y = Rng.choose_array rng arr in
+            if y <> x then add_link b x y Link.Lateral (rand_cost rng p.max_cost)
+          end)
+        arr
+  in
+  add_laterals !regionals;
+  add_laterals !metros;
+  add_laterals !campuses;
+  (* Bypass links campus -> backbone, and multihoming campus -> second metro. *)
+  let backbone_arr = Array.of_list backbones in
+  let metro_arr = Array.of_list !metros in
+  List.iter
+    (fun cam ->
+      if Rng.chance rng p.bypass_prob then
+        add_link b cam (Rng.choose_array rng backbone_arr) Link.Bypass
+          (rand_cost rng p.max_cost);
+      if Array.length metro_arr > 1 && Rng.chance rng p.multihoming_prob then begin
+        let met = Rng.choose_array rng metro_arr in
+        add_link b cam met Link.Hierarchical (rand_cost rng p.max_cost)
+      end)
+    !campuses;
+  finalize ~hybrid:(Hashtbl.mem hybrids) b
+
+let random_mesh rng ~n ~extra_links =
+  if n < 1 then invalid_arg "Generator.random_mesh: n < 1";
+  let b = new_builder () in
+  let ids = List.init n (fun i -> add_ad b (Printf.sprintf "N%d" i) Ad.Metro) in
+  let arr = Array.of_list ids in
+  (* Random recursive tree keeps the graph connected. *)
+  for i = 1 to n - 1 do
+    let parent = Rng.int rng i in
+    add_link b arr.(parent) arr.(i) Link.Hierarchical 1
+  done;
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < extra_links && !attempts < 50 * (extra_links + 1) do
+    incr attempts;
+    let x = Rng.int rng n and y = Rng.int rng n in
+    if x <> y && not (link_exists b arr.(x) arr.(y)) then begin
+      add_link b arr.(x) arr.(y) Link.Lateral 1;
+      incr added
+    end
+  done;
+  finalize ~hybrid:(fun _ -> true) b
+
+let ring ~n =
+  if n < 3 then invalid_arg "Generator.ring: n < 3";
+  let b = new_builder () in
+  let ids = List.init n (fun i -> add_ad b (Printf.sprintf "N%d" i) Ad.Metro) in
+  let arr = Array.of_list ids in
+  for i = 0 to n - 1 do
+    add_link b arr.(i) arr.((i + 1) mod n) Link.Lateral 1
+  done;
+  finalize ~hybrid:(fun _ -> true) b
+
+let line ~n =
+  if n < 1 then invalid_arg "Generator.line: n < 1";
+  let b = new_builder () in
+  let ids = List.init n (fun i -> add_ad b (Printf.sprintf "N%d" i) Ad.Metro) in
+  let arr = Array.of_list ids in
+  for i = 0 to n - 2 do
+    add_link b arr.(i) arr.(i + 1) Link.Hierarchical 1
+  done;
+  finalize ~hybrid:(fun _ -> true) b

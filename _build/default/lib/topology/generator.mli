@@ -1,0 +1,53 @@
+(** Synthetic inter-AD topologies.
+
+    The main generator produces the topology class of paper §2.1: a
+    backbone/regional/metro/campus hierarchy augmented with lateral
+    links at every level and bypass links from stubs straight to wide
+    area backbones. Auxiliary generators produce the degenerate shapes
+    used by specific experiments (trees for EGP, meshes, rings, lines). *)
+
+type params = {
+  backbones : int;
+  regionals_per_backbone : int;
+  metros_per_regional : int;
+  campuses_per_metro : int;
+  backbone_mesh : bool;  (** fully mesh the backbones (else a ring) *)
+  lateral_prob : float;
+      (** per regional/metro/campus, probability of one extra lateral
+          link to a random same-level AD *)
+  bypass_prob : float;
+      (** per campus, probability of a direct bypass link to a random
+          backbone *)
+  multihoming_prob : float;
+      (** per campus, probability of a second hierarchical parent *)
+  hybrid_fraction : float;
+      (** fraction of metro-level ADs that are hybrid (limited transit)
+          rather than full transit *)
+  max_cost : int;  (** link costs are drawn uniformly from [\[1, max_cost\]] *)
+  max_delay : float;
+      (** link delays are drawn uniformly from [\[0.5, max_delay\]] when
+          [max_delay > 1.0]; at the default 1.0 every link has delay
+          1.0 (QOS metrics then coincide with hop count) *)
+}
+
+val default : params
+(** A small research-internet-like default: 2 backbones, 56 ADs. *)
+
+val scaled : target_ads:int -> params
+(** Parameters whose expected AD count approximates [target_ads],
+    keeping the default structural ratios. *)
+
+val generate : Pr_util.Rng.t -> params -> Graph.t
+(** Generate a connected hierarchical internet. AD classes are derived
+    from position and connectivity: backbones/regionals are transit,
+    metros are transit or hybrid, campuses are stub (multihomed when
+    they end up with more than one inter-AD connection). *)
+
+val random_mesh : Pr_util.Rng.t -> n:int -> extra_links:int -> Graph.t
+(** A connected random graph over [n] hybrid ADs: a uniform random
+    spanning tree plus [extra_links] additional random links. With
+    [extra_links = 0] the result is a tree (EGP's legal topology). *)
+
+val ring : n:int -> Graph.t
+
+val line : n:int -> Graph.t

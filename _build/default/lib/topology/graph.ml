@@ -1,0 +1,196 @@
+type t = {
+  ads : Ad.t array;
+  links : Link.t array;
+  adj : (Ad.id * Link.id) list array;
+}
+
+let create ads links =
+  let n = Array.length ads in
+  Array.iteri
+    (fun i (a : Ad.t) ->
+      if a.Ad.id <> i then invalid_arg "Graph.create: AD id must equal its index")
+    ads;
+  Array.iteri
+    (fun i (l : Link.t) ->
+      if l.Link.id <> i then invalid_arg "Graph.create: link id must equal its index";
+      if l.Link.a < 0 || l.Link.a >= n || l.Link.b < 0 || l.Link.b >= n then
+        invalid_arg "Graph.create: link endpoint out of range")
+    links;
+  let adj = Array.make n [] in
+  Array.iter
+    (fun (l : Link.t) ->
+      adj.(l.Link.a) <- (l.Link.b, l.Link.id) :: adj.(l.Link.a);
+      adj.(l.Link.b) <- (l.Link.a, l.Link.id) :: adj.(l.Link.b))
+    links;
+  Array.iteri (fun i entries -> adj.(i) <- List.sort compare entries) adj;
+  { ads; links; adj }
+
+let n t = Array.length t.ads
+
+let num_links t = Array.length t.links
+
+let ad t i = t.ads.(i)
+
+let ads t = t.ads
+
+let link t i = t.links.(i)
+
+let links t = t.links
+
+let neighbors t i = t.adj.(i)
+
+let neighbor_ids t i = List.sort_uniq compare (List.map fst t.adj.(i))
+
+let degree t i = List.length t.adj.(i)
+
+let find_link t x y =
+  let candidates = List.filter (fun (nbr, _) -> nbr = y) t.adj.(x) in
+  match candidates with
+  | [] -> None
+  | _ :: _ ->
+    let cheapest =
+      List.fold_left
+        (fun best (_, lid) ->
+          match best with
+          | None -> Some lid
+          | Some b -> if t.links.(lid).Link.cost < t.links.(b).Link.cost then Some lid else best)
+        None candidates
+    in
+    cheapest
+
+let bfs_hops t src =
+  let dist = Array.make (n t) (-1) in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun (v, _) ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v q
+        end)
+      t.adj.(u)
+  done;
+  dist
+
+let is_connected t =
+  if n t = 0 then true
+  else begin
+    let dist = bfs_hops t 0 in
+    Array.for_all (fun d -> d >= 0) dist
+  end
+
+let has_cycle t =
+  (* Undirected cycle detection via DFS with parent-link tracking:
+     seeing a visited vertex through a link other than the one we
+     arrived by means a cycle (parallel links count). *)
+  let visited = Array.make (n t) false in
+  let found = ref false in
+  let rec dfs u via_link =
+    visited.(u) <- true;
+    List.iter
+      (fun (v, lid) ->
+        if Some lid <> via_link then
+          if visited.(v) then found := true else dfs v (Some lid))
+      t.adj.(u)
+  in
+  for i = 0 to n t - 1 do
+    if not visited.(i) then dfs i None
+  done;
+  !found
+
+let shortest_path_hops t src dst =
+  let dist = Array.make (n t) (-1) in
+  let parent = Array.make (n t) (-1) in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun (v, _) ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          parent.(v) <- u;
+          Queue.add v q
+        end)
+      t.adj.(u)
+  done;
+  if dist.(dst) < 0 then None
+  else begin
+    let rec build acc v = if v = src then src :: acc else build (v :: acc) parent.(v) in
+    Some (build [] dst)
+  end
+
+let fold_links t ~init ~f = Array.fold_left f init t.links
+
+let count_by pred_list extract =
+  List.map
+    (fun key -> (key, List.length (List.filter (fun x -> extract x = key) pred_list)))
+
+let count_by_klass t =
+  let all = Array.to_list t.ads in
+  count_by all (fun (a : Ad.t) -> a.Ad.klass) [ Ad.Stub; Ad.Multihomed; Ad.Transit; Ad.Hybrid ]
+
+let count_by_level t =
+  let all = Array.to_list t.ads in
+  count_by all (fun (a : Ad.t) -> a.Ad.level) [ Ad.Backbone; Ad.Regional; Ad.Metro; Ad.Campus ]
+
+let count_links_by_kind t =
+  let all = Array.to_list t.links in
+  count_by all (fun (l : Link.t) -> l.Link.kind) [ Link.Hierarchical; Link.Lateral; Link.Bypass ]
+
+let ids_where t pred =
+  Array.to_list t.ads |> List.filter pred |> List.map (fun (a : Ad.t) -> a.Ad.id)
+
+let stub_ids t =
+  ids_where t (fun a ->
+      match a.Ad.klass with
+      | Ad.Stub | Ad.Multihomed -> true
+      | Ad.Transit | Ad.Hybrid -> false)
+
+let host_ids t =
+  ids_where t (fun a ->
+      match a.Ad.klass with
+      | Ad.Stub | Ad.Multihomed | Ad.Hybrid -> true
+      | Ad.Transit -> false)
+
+let transit_ids t =
+  ids_where t (fun a ->
+      match a.Ad.klass with
+      | Ad.Transit | Ad.Hybrid -> true
+      | Ad.Stub | Ad.Multihomed -> false)
+
+let hierarchy_descendants t root =
+  let seen = Array.make (n t) false in
+  let rec go u =
+    if not seen.(u) then begin
+      seen.(u) <- true;
+      List.iter
+        (fun (v, lid) ->
+          let l = t.links.(lid) in
+          if
+            l.Link.kind = Link.Hierarchical
+            && Ad.level_rank t.ads.(v).Ad.level > Ad.level_rank t.ads.(u).Ad.level
+          then go v)
+        t.adj.(u)
+    end
+  in
+  go root;
+  let acc = ref [] in
+  for i = n t - 1 downto 0 do
+    if seen.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let pp_summary ppf t =
+  Format.fprintf ppf "%d ADs, %d links;" (n t) (num_links t);
+  List.iter
+    (fun (k, c) -> if c > 0 then Format.fprintf ppf " %d %s" c (Ad.klass_to_string k))
+    (count_by_klass t);
+  Format.fprintf ppf ";";
+  List.iter
+    (fun (k, c) -> if c > 0 then Format.fprintf ppf " %d %s" c (Link.kind_to_string k))
+    (count_links_by_kind t)

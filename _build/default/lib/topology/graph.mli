@@ -1,0 +1,77 @@
+(** The AD-level internet: a static undirected multigraph of ADs and
+    inter-AD links.
+
+    Dynamic link status (up/down during a simulation) is the business of
+    {!Pr_sim}; this structure describes the configured topology. *)
+
+type t
+
+val create : Ad.t array -> Link.t array -> t
+(** Build a graph. AD ids must equal their array index; link endpoints
+    must be valid AD ids.
+    @raise Invalid_argument on malformed input. *)
+
+val n : t -> int
+(** Number of ADs. *)
+
+val num_links : t -> int
+
+val ad : t -> Ad.id -> Ad.t
+
+val ads : t -> Ad.t array
+
+val link : t -> Link.id -> Link.t
+
+val links : t -> Link.t array
+
+val neighbors : t -> Ad.id -> (Ad.id * Link.id) list
+(** Adjacent (neighbor, connecting link) pairs, in increasing neighbor
+    order. A pair of ADs connected by parallel links appears once per
+    link. *)
+
+val neighbor_ids : t -> Ad.id -> Ad.id list
+(** Deduplicated neighbor list. *)
+
+val degree : t -> Ad.id -> int
+
+val find_link : t -> Ad.id -> Ad.id -> Link.id option
+(** Some link joining the two ADs (the cheapest if parallel), if any. *)
+
+val is_connected : t -> bool
+
+val has_cycle : t -> bool
+(** True when the undirected graph contains a cycle (EGP's forbidden
+    configuration, paper §3). *)
+
+val bfs_hops : t -> Ad.id -> int array
+(** Hop distances from a source; [-1] marks unreachable ADs. *)
+
+val shortest_path_hops : t -> Ad.id -> Ad.id -> int list option
+(** A minimum-hop AD path from source to destination, inclusive. *)
+
+val fold_links : t -> init:'a -> f:('a -> Link.t -> 'a) -> 'a
+
+val count_by_klass : t -> (Ad.klass * int) list
+
+val count_by_level : t -> (Ad.level * int) list
+
+val count_links_by_kind : t -> (Link.kind * int) list
+
+val stub_ids : t -> Ad.id list
+(** ADs that may originate/sink traffic but never carry transit
+    ([Stub], [Multihomed], and [Hybrid] ADs all host end systems; this
+    returns stubs and multihomed stubs only). *)
+
+val host_ids : t -> Ad.id list
+(** ADs that host end systems: everything except pure transit ADs. *)
+
+val transit_ids : t -> Ad.id list
+
+val hierarchy_descendants : t -> Ad.id -> Ad.id list
+(** The AD's customer cone: itself plus every AD reachable by
+    repeatedly following hierarchical links toward strictly lower
+    hierarchy levels (backbone → regional → metro → campus). Sorted.
+    Used by policy generation: a provider always serves its own
+    customers. *)
+
+val pp_summary : Format.formatter -> t -> unit

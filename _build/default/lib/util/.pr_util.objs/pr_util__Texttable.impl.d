@@ -1,0 +1,1 @@
+lib/util/texttable.ml: Buffer List Printf Stdlib String

@@ -1,0 +1,29 @@
+(** Minimum priority queue on float priorities with deterministic FIFO
+    tie-breaking.
+
+    Entries with equal priority are returned in insertion order, which
+    makes discrete-event schedules reproducible independent of heap
+    internals. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val add : 'a t -> priority:float -> 'a -> unit
+(** Insert an element with the given priority. *)
+
+val min_priority : 'a t -> float option
+(** Priority of the next element to be popped, if any. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the entry with the smallest priority (FIFO among
+    equals). *)
+
+val clear : 'a t -> unit
+
+val fold : 'a t -> init:'b -> f:('b -> float -> 'a -> 'b) -> 'b
+(** Fold over the current contents in unspecified order. *)

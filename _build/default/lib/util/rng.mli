@@ -1,0 +1,57 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    The implementation is splitmix64. Every experiment in this repository
+    takes an integer seed and derives all randomness from a single [t],
+    so identical seeds reproduce identical topologies, policies and
+    schedules on any platform. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Generators created from the
+    same seed produce the same sequence. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; the copy evolves independently. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Used to give each subsystem (topology, policies, failures) its own
+    stream so that adding draws to one does not perturb the others. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [\[0, bound)]. [bound] must be
+    positive. *)
+
+val int_in_range : t -> min:int -> max:int -> int
+(** [int_in_range t ~min ~max] draws uniformly from [\[min, max\]]
+    inclusive. Requires [min <= max]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p] (clamped to [\[0,1\]]). *)
+
+val choose : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. @raise Invalid_argument on []. *)
+
+val choose_array : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val shuffle_list : t -> 'a list -> 'a list
+(** Returns a shuffled copy of the list. *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample t k xs] draws [min k (length xs)] distinct elements of [xs],
+    uniformly without replacement. *)

@@ -1,0 +1,166 @@
+type t = Atom of string | List of t list
+
+let needs_quoting s =
+  s = ""
+  || String.exists
+       (fun c ->
+         match c with
+         | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | '\\' -> true
+         | _ -> false)
+       s
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let atom_to_string s = if needs_quoting s then quote s else s
+
+let rec to_string = function
+  | Atom s -> atom_to_string s
+  | List items -> "(" ^ String.concat " " (List.map to_string items) ^ ")"
+
+let rec pretty buf indent = function
+  | Atom s -> Buffer.add_string buf (atom_to_string s)
+  | List items ->
+    let flat = to_string (List items) in
+    if String.length flat + indent <= 78 then Buffer.add_string buf flat
+    else begin
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i item ->
+          if i > 0 then begin
+            Buffer.add_char buf '\n';
+            Buffer.add_string buf (String.make (indent + 1) ' ')
+          end;
+          pretty buf (indent + 1) item)
+        items;
+      Buffer.add_char buf ')'
+    end
+
+let to_string_pretty t =
+  let buf = Buffer.create 256 in
+  pretty buf 0 t;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let of_string input =
+  let len = String.length input in
+  let pos = ref 0 in
+  let peek () = if !pos < len then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_space () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_space ()
+    | _ -> ()
+  in
+  let parse_quoted () =
+    advance ();
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> raise (Parse_error "unterminated string")
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some c -> Buffer.add_char buf c
+        | None -> raise (Parse_error "dangling escape"));
+        advance ();
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Atom (Buffer.contents buf)
+  in
+  let parse_bare () =
+    let start = !pos in
+    let rec go () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r' | '(' | ')' | '"') | None -> ()
+      | Some _ ->
+        advance ();
+        go ()
+    in
+    go ();
+    if !pos = start then raise (Parse_error "empty atom");
+    Atom (String.sub input start (!pos - start))
+  in
+  let rec parse_one () =
+    skip_space ();
+    match peek () with
+    | None -> raise (Parse_error "unexpected end of input")
+    | Some '(' ->
+      advance ();
+      let items = ref [] in
+      let rec go () =
+        skip_space ();
+        match peek () with
+        | Some ')' -> advance ()
+        | None -> raise (Parse_error "unterminated list")
+        | Some _ ->
+          items := parse_one () :: !items;
+          go ()
+      in
+      go ();
+      List (List.rev !items)
+    | Some '"' -> parse_quoted ()
+    | Some ')' -> raise (Parse_error "unexpected ')'")
+    | Some _ -> parse_bare ()
+  in
+  match
+    let v = parse_one () in
+    skip_space ();
+    if !pos <> len then raise (Parse_error "trailing garbage");
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+let atom s = Atom s
+
+let int i = Atom (string_of_int i)
+
+let field name values = List (Atom name :: values)
+
+let to_int = function
+  | Atom s -> (
+    match int_of_string_opt s with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "not an integer: %s" s))
+  | List _ -> Error "expected an integer atom, got a list"
+
+let to_atom = function
+  | Atom s -> Ok s
+  | List _ -> Error "expected an atom, got a list"
+
+let assoc_opt name = function
+  | Atom _ -> None
+  | List items ->
+    List.find_map
+      (function
+        | List (Atom n :: values) when n = name -> Some values
+        | _ -> None)
+      items
+
+let assoc name sexp =
+  match assoc_opt name sexp with
+  | Some values -> Ok values
+  | None -> Error (Printf.sprintf "missing field %s" name)

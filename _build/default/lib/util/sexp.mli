@@ -1,0 +1,37 @@
+(** Minimal s-expressions: the serialization format for scenarios.
+
+    Atoms are quoted when they contain whitespace, parentheses, quotes
+    or are empty; parsing accepts both quoted and bare atoms. The
+    format round-trips byte-exactly through {!to_string}/{!of_string}
+    for any value. *)
+
+type t = Atom of string | List of t list
+
+val to_string : t -> string
+(** Single-line rendering. *)
+
+val to_string_pretty : t -> string
+(** Indented rendering for files meant to be read by humans. *)
+
+val of_string : string -> (t, string) result
+(** Parse one s-expression; trailing whitespace is allowed, trailing
+    garbage is an error. *)
+
+(** {2 Construction and destruction helpers} *)
+
+val atom : string -> t
+
+val int : int -> t
+
+val field : string -> t list -> t
+(** [field name values] is [(name values...)]. *)
+
+val to_int : t -> (int, string) result
+
+val to_atom : t -> (string, string) result
+
+val assoc : string -> t -> (t list, string) result
+(** [assoc name (List fields)] finds the field [(name v...)] and
+    returns its values. *)
+
+val assoc_opt : string -> t -> t list option

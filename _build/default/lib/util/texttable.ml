@@ -1,0 +1,81 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = { columns : (string * align) list; mutable rows : row list }
+
+let create ~columns =
+  if columns = [] then invalid_arg "Texttable.create: no columns";
+  { columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Texttable.add_row: wrong number of cells";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let headers = List.map fst t.columns in
+  let widths =
+    List.mapi
+      (fun i header ->
+        List.fold_left
+          (fun acc row ->
+            match row with
+            | Separator -> acc
+            | Cells cells -> Stdlib.max acc (String.length (List.nth cells i)))
+          (String.length header) rows)
+      headers
+  in
+  let pad align width s =
+    let n = width - String.length s in
+    if n <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let buf = Buffer.create 256 in
+  let render_cells cells =
+    List.iteri
+      (fun i cell ->
+        let _, align = List.nth t.columns i in
+        let width = List.nth widths i in
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad align width cell))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let rule () =
+    List.iteri
+      (fun i width ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (String.make width '-'))
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  render_cells headers;
+  rule ();
+  List.iter
+    (function
+      | Cells cells -> render_cells cells
+      | Separator -> rule ())
+    rows;
+  Buffer.contents buf
+
+let print ?title t =
+  (match title with
+  | Some title ->
+    print_newline ();
+    print_endline title;
+    print_endline (String.make (String.length title) '=')
+  | None -> ());
+  print_string (render t)
+
+let cell_int = string_of_int
+
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let cell_pct x = Printf.sprintf "%.1f%%" (100.0 *. x)

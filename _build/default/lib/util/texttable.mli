@@ -1,0 +1,32 @@
+(** Plain-text table rendering for experiment output.
+
+    Every experiment prints its results through this module so that the
+    bench harness output reads like the rows of a paper table. *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+(** Create a table with the given column headers and alignments. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; the row must have exactly as many cells as there are
+    columns. *)
+
+val add_separator : t -> unit
+(** Insert a horizontal rule between row groups. *)
+
+val render : t -> string
+(** Render with a header rule and aligned columns. *)
+
+val print : ?title:string -> t -> unit
+(** [print ?title t] writes the table to stdout, preceded by an
+    underlined title when provided. *)
+
+val cell_int : int -> string
+
+val cell_float : ?decimals:int -> float -> string
+
+val cell_pct : float -> string
+(** Format a fraction in [\[0,1\]] as a percentage with one decimal. *)

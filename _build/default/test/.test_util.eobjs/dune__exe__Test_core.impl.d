@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Filename Fun List Option Pr_core Pr_policy Pr_proto Pr_topology Pr_util QCheck QCheck_alcotest Result String Sys

@@ -1,0 +1,1 @@
+test/test_dv.ml: Alcotest Array List Option Pr_dv Pr_policy Pr_proto Pr_topology Pr_util Printf QCheck QCheck_alcotest Stdlib

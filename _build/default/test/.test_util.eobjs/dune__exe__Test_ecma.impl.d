@@ -1,0 +1,1 @@
+test/test_ecma.ml: Alcotest Array List Pr_dv Pr_ecma Pr_policy Pr_proto Pr_topology Pr_util Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_egp.ml: Alcotest Option Pr_egp Pr_policy Pr_proto Pr_topology Pr_util

@@ -1,0 +1,1 @@
+test/test_idrp.ml: Alcotest Array List Option Pr_idrp Pr_policy Pr_proto Pr_topology Pr_util Printf QCheck QCheck_alcotest

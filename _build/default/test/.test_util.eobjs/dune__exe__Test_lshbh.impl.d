@@ -1,0 +1,1 @@
+test/test_lshbh.ml: Alcotest Array List Option Pr_lshbh Pr_orwg Pr_policy Pr_proto Pr_sim Pr_topology Pr_util Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Array List Pr_policy Pr_topology Pr_util QCheck QCheck_alcotest Stdlib

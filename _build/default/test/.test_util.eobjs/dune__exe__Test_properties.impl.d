@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest List Pr_core Pr_policy Printf

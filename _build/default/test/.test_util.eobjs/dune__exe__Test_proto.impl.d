@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest List Option Pr_ecma Pr_lshbh Pr_policy Pr_proto Pr_sim Pr_topology Pr_util Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_protocol_details.ml: Alcotest Array List Option Pr_dv Pr_ecma Pr_idrp Pr_ls Pr_orwg Pr_policy Pr_proto Pr_sim Pr_topology Pr_util Printf

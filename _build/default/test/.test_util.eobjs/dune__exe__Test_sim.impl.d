@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array List Option Pr_ls Pr_policy Pr_proto Pr_sim Pr_topology Pr_util Printf

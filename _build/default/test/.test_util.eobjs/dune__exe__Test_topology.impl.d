@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array List Pr_topology Pr_util Printf QCheck QCheck_alcotest Stdlib String

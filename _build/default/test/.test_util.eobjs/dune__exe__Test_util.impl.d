@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Gen List Pr_util QCheck QCheck_alcotest Result String Test

@@ -1,0 +1,191 @@
+(* Tests for the classic distance-vector baseline: correctness of
+   converged routes, failure handling, and the count-to-infinity
+   behaviour that motivates the paper's design discussion. *)
+
+module Rng = Pr_util.Rng
+module Graph = Pr_topology.Graph
+module Generator = Pr_topology.Generator
+module Figure1 = Pr_topology.Figure1
+module Flow = Pr_policy.Flow
+module Config = Pr_policy.Config
+module Forwarding = Pr_proto.Forwarding
+module Runner = Pr_proto.Runner
+module Dv = Pr_dv.Dv
+module R = Runner.Make (Dv.Plain)
+module Rsh = Runner.Make (Dv.Split_horizon)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let setup g =
+  let r = R.setup g (Config.defaults g) in
+  let c = R.converge r in
+  check_bool "converged" true c.Runner.converged;
+  r
+
+let dv_shortest_paths () =
+  let g = Figure1.graph () in
+  let r = setup g in
+  (* Converged DV metrics equal true shortest path costs. *)
+  let all_ok = ref true in
+  for src = 0 to Graph.n g - 1 do
+    for dst = 0 to Graph.n g - 1 do
+      if src <> dst then begin
+        match Dv.route_of (R.protocol r) ~at:src ~dst with
+        | None -> all_ok := false
+        | Some (metric, _) ->
+          (* Compare against Dijkstra-free reference: cost of the best
+             path by exhaustive enumeration. *)
+          let best =
+            Pr_topology.Path.enumerate_simple g ~src ~dst ~max_hops:13 ()
+            |> List.filter_map (fun p -> Pr_topology.Path.cost g p)
+            |> List.fold_left Stdlib.min max_int
+          in
+          if metric <> best then all_ok := false
+      end
+    done
+  done;
+  check_bool "all metrics optimal" true !all_ok
+
+let dv_delivers_all_pairs () =
+  let g = Figure1.graph () in
+  let r = setup g in
+  let undelivered = ref 0 in
+  for src = 0 to Graph.n g - 1 do
+    for dst = 0 to Graph.n g - 1 do
+      if src <> dst then begin
+        let flow = Flow.make ~src ~dst () in
+        if not (Forwarding.delivered (R.send_flow r flow)) then incr undelivered
+      end
+    done
+  done;
+  check_int "all pairs delivered" 0 !undelivered
+
+let dv_reconverges_after_failure () =
+  let g = Figure1.graph () in
+  let r = setup g in
+  (* Fail the backbone-backbone link; connectivity survives via the
+     regional lateral and the bypass. *)
+  let lid = Option.get (Graph.find_link g 0 1) in
+  R.fail_link r lid;
+  let c = R.converge r in
+  check_bool "reconverged" true c.Runner.converged;
+  let flow = Flow.make ~src:7 ~dst:12 () in
+  check_bool "still delivers" true (Forwarding.delivered (R.send_flow r flow))
+
+let dv_unreachable_after_partition () =
+  (* On a line, failing the middle link partitions the network: DV
+     counts to infinity and then reports no route. *)
+  let g = Generator.line ~n:6 in
+  let r = setup g in
+  let lid = Option.get (Graph.find_link g 2 3) in
+  R.fail_link r lid;
+  let c = R.converge ~max_events:500_000 r in
+  check_bool "count-to-infinity terminates" true c.Runner.converged;
+  check_bool "no route across partition" true
+    (Dv.route_of (R.protocol r) ~at:0 ~dst:5 = None);
+  check_bool "route within partition" true
+    (Dv.route_of (R.protocol r) ~at:0 ~dst:2 <> None);
+  let flow = Flow.make ~src:0 ~dst:5 () in
+  (match R.send_flow r flow with
+  | Forwarding.Dropped _ -> ()
+  | o -> Alcotest.failf "expected drop, got %a" Forwarding.pp_outcome o)
+
+(* Triangle 0-1-2 with a stub destination 3 hanging off 2: after the
+   stub link fails, 0 and 1 hold each other's stale routes to 3 and
+   bounce the metric up to infinity. The classic count-to-infinity. *)
+let count_to_infinity_graph () =
+  let module Ad = Pr_topology.Ad in
+  let module Link = Pr_topology.Link in
+  let ads =
+    Array.init 4 (fun id ->
+        Ad.make ~id ~name:(Printf.sprintf "N%d" id)
+          ~klass:(if id = 3 then Ad.Stub else Ad.Hybrid)
+          ~level:(if id = 3 then Ad.Campus else Ad.Metro))
+  in
+  let links =
+    [|
+      Link.make ~id:0 ~a:0 ~b:1 Link.Lateral;
+      Link.make ~id:1 ~a:1 ~b:2 Link.Lateral;
+      Link.make ~id:2 ~a:0 ~b:2 Link.Lateral;
+      Link.make ~id:3 ~a:2 ~b:3 Link.Hierarchical;
+    |]
+  in
+  Pr_topology.Graph.create ads links
+
+let dv_count_to_infinity_cost () =
+  let g = count_to_infinity_graph () in
+  let run_plain () =
+    let r = R.setup g (Config.defaults g) in
+    ignore (R.converge r);
+    R.fail_link r 3;
+    let c = R.converge ~max_events:500_000 r in
+    (c.Runner.converged, c.Runner.messages)
+  in
+  let run_sh () =
+    let r = Rsh.setup g (Config.defaults g) in
+    ignore (Rsh.converge r);
+    Rsh.fail_link r 3;
+    let c = Rsh.converge ~max_events:500_000 r in
+    (c.Runner.converged, c.Runner.messages)
+  in
+  let plain_ok, plain_msgs = run_plain () in
+  let sh_ok, sh_msgs = run_sh () in
+  check_bool "plain terminates (bounded by infinity metric)" true plain_ok;
+  check_bool "split horizon terminates" true sh_ok;
+  (* Poisoned reverse stops two-node bounces but not the three-node
+     cycle through the triangle, so both variants count upward — the
+     plain variant strictly worse. *)
+  check_bool
+    (Printf.sprintf "count-to-infinity is expensive (%d plain vs %d split-horizon)"
+       plain_msgs sh_msgs)
+    true
+    (plain_msgs > sh_msgs && plain_msgs > 100)
+
+let dv_table_entries () =
+  let g = Figure1.graph () in
+  let r = setup g in
+  (* Every node reaches every destination. *)
+  check_int "full tables" (14 * 14) (R.table_entries r)
+
+let dv_link_restoration () =
+  let g = Generator.line ~n:4 in
+  let r = setup g in
+  let lid = Option.get (Graph.find_link g 1 2) in
+  R.fail_link r lid;
+  ignore (R.converge ~max_events:500_000 r);
+  R.restore_link r lid;
+  let c = R.converge r in
+  check_bool "converged after restore" true c.Runner.converged;
+  check_bool "route restored" true (Dv.route_of (R.protocol r) ~at:0 ~dst:3 <> None)
+
+let dv_deterministic_runs =
+  QCheck.Test.make ~name:"two identical runs give identical metrics" ~count:10
+    QCheck.small_int (fun seed ->
+      let g = Generator.generate (Rng.create seed) Generator.default in
+      let once () =
+        let r = R.setup g (Config.defaults g) in
+        let c = R.converge r in
+        (c.Runner.messages, c.Runner.bytes, c.Runner.sim_time)
+      in
+      once () = once ())
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "pr_dv"
+    [
+      ( "dv",
+        [
+          Alcotest.test_case "shortest paths" `Quick dv_shortest_paths;
+          Alcotest.test_case "delivers all pairs" `Quick dv_delivers_all_pairs;
+          Alcotest.test_case "reconverges after failure" `Quick dv_reconverges_after_failure;
+          Alcotest.test_case "partition handled" `Quick dv_unreachable_after_partition;
+          Alcotest.test_case "count-to-infinity vs split horizon" `Quick
+            dv_count_to_infinity_cost;
+          Alcotest.test_case "table entries" `Quick dv_table_entries;
+          Alcotest.test_case "link restoration" `Quick dv_link_restoration;
+        ]
+        @ qsuite [ dv_deterministic_runs ] );
+    ]

@@ -1,0 +1,353 @@
+(* Tests for the ECMA design point: the up/down rule, loop and
+   count-to-infinity suppression, per-QOS FIBs, and the limits of
+   policy-in-topology. *)
+
+module Rng = Pr_util.Rng
+module Graph = Pr_topology.Graph
+module Ad = Pr_topology.Ad
+module Link = Pr_topology.Link
+module Generator = Pr_topology.Generator
+module Figure1 = Pr_topology.Figure1
+module Flow = Pr_policy.Flow
+module Qos = Pr_policy.Qos
+module Config = Pr_policy.Config
+module Gen = Pr_policy.Gen
+module Forwarding = Pr_proto.Forwarding
+module Runner = Pr_proto.Runner
+module Ecma = Pr_ecma.Ecma
+module R = Runner.Make (Ecma)
+
+let _check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let setup ?(config = fun g -> Config.defaults g) g =
+  let r = R.setup g (config g) in
+  let c = R.converge r in
+  check_bool "converged" true c.Runner.converged;
+  r
+
+let ecma_delivers_figure1 () =
+  let g = Figure1.graph () in
+  let r = setup g in
+  let missing = ref [] in
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          if src <> dst then begin
+            let flow = Flow.make ~src ~dst () in
+            if not (Forwarding.delivered (R.send_flow r flow)) then
+              missing := (src, dst) :: !missing
+          end)
+        (Graph.host_ids g))
+    (Graph.host_ids g);
+  Alcotest.(check (list (pair int int))) "all host pairs delivered" [] !missing
+
+let ecma_paths_are_valley_free () =
+  let g = Figure1.graph () in
+  let r = setup g in
+  let proto = R.protocol r in
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          if src <> dst then begin
+            match R.send_flow r (Flow.make ~src ~dst ()) with
+            | Forwarding.Delivered { path; _ } ->
+              (* No up-step after a down-step, under ECMA's own strict
+                 ordering. *)
+              let rec scan gone_down = function
+                | [] | [ _ ] -> true
+                | a :: (b :: _ as rest) ->
+                  if Ecma.is_down_step proto ~from_ad:a ~to_ad:b then scan true rest
+                  else if gone_down then false
+                  else scan false rest
+              in
+              check_bool (Printf.sprintf "valley-free %d->%d" src dst) true (scan false path)
+            | _ -> ()
+          end)
+        (Graph.host_ids g))
+    (Graph.host_ids g)
+
+let ecma_never_transits_stubs () =
+  (* The ordering automatically protects stubs: a path through a campus
+     would descend into it and climb out — forbidden. *)
+  let g = Figure1.graph () in
+  let r = setup g in
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          if src <> dst then
+            match R.send_flow r (Flow.make ~src ~dst ()) with
+            | Forwarding.Delivered { path; _ } ->
+              List.iter
+                (fun ad ->
+                  check_bool
+                    (Printf.sprintf "no stub transit on %s"
+                       (Pr_topology.Path.to_string path))
+                    true
+                    (Ad.is_transit_capable (Graph.ad g ad)))
+                (Pr_topology.Path.transit_ads path)
+            | _ -> ())
+        (Graph.host_ids g))
+    (Graph.host_ids g)
+
+(* The count-to-infinity topology from the DV tests: ECMA's ordering
+   must suppress the bounce. *)
+let count_to_infinity_graph () =
+  let ads =
+    Array.init 4 (fun id ->
+        Ad.make ~id ~name:(Printf.sprintf "N%d" id)
+          ~klass:(if id = 3 then Ad.Stub else Ad.Hybrid)
+          ~level:(if id = 3 then Ad.Campus else Ad.Metro))
+  in
+  let links =
+    [|
+      Link.make ~id:0 ~a:0 ~b:1 Link.Lateral;
+      Link.make ~id:1 ~a:1 ~b:2 Link.Lateral;
+      Link.make ~id:2 ~a:0 ~b:2 Link.Lateral;
+      Link.make ~id:3 ~a:2 ~b:3 Link.Hierarchical;
+    |]
+  in
+  Graph.create ads links
+
+let ecma_suppresses_count_to_infinity () =
+  let g = count_to_infinity_graph () in
+  let run_ecma () =
+    let r = R.setup g (Config.defaults g) in
+    ignore (R.converge r);
+    R.fail_link r 3;
+    let c = R.converge ~max_events:500_000 r in
+    (c.Runner.converged, c.Runner.messages)
+  in
+  let run_dv () =
+    let module Rdv = Runner.Make (Pr_dv.Dv.Plain) in
+    let r = Rdv.setup g (Config.defaults g) in
+    ignore (Rdv.converge r);
+    Rdv.fail_link r 3;
+    let c = Rdv.converge ~max_events:500_000 r in
+    (c.Runner.converged, c.Runner.messages)
+  in
+  let ecma_ok, ecma_msgs = run_ecma () in
+  let dv_ok, dv_msgs = run_dv () in
+  check_bool "ecma reconverges" true ecma_ok;
+  check_bool "dv terminates" true dv_ok;
+  check_bool
+    (Printf.sprintf "ordering suppresses the bounce (%d ecma vs %d dv msgs)" ecma_msgs
+       dv_msgs)
+    true
+    (ecma_msgs * 4 < dv_msgs)
+
+let ecma_qos_tables () =
+  (* An AD whose policy admits only Low_delay should carry no transit
+     at other QOS classes. *)
+  let g = Figure1.graph () in
+  let transit =
+    Array.map
+      (fun (a : Ad.t) ->
+        if a.Ad.id = 0 then
+          Pr_policy.Transit_policy.make 0
+            [ Pr_policy.Policy_term.make ~owner:0 ~qos:[ Qos.Low_delay ] () ]
+        else if Ad.is_transit_capable a then Pr_policy.Transit_policy.open_transit a.Ad.id
+        else Pr_policy.Transit_policy.no_transit a.Ad.id)
+      (Graph.ads g)
+  in
+  let config = Config.make ~transit () in
+  let r = setup ~config:(fun _ -> config) g in
+  (* 7 -> 8 must cross BB1 (0): only Low_delay flows can. *)
+  let deliver q = Forwarding.delivered (R.send_flow r (Flow.make ~src:7 ~dst:8 ~qos:q ())) in
+  check_bool "low delay delivered" true (deliver Qos.Low_delay);
+  check_bool "default refused" false (deliver Qos.Default);
+  check_bool "supports_qos projection" true (Ecma.supports_qos config 0 Qos.Low_delay);
+  check_bool "supports_qos projection negative" false (Ecma.supports_qos config 0 Qos.Default)
+
+let ecma_cannot_express_source_policy () =
+  (* A transit AD refusing a specific source cannot be encoded in the
+     ordering: ECMA delivers the flow anyway — a policy violation. *)
+  let g = Figure1.graph () in
+  let transit =
+    Array.map
+      (fun (a : Ad.t) ->
+        if a.Ad.id = 0 then
+          Pr_policy.Transit_policy.make 0
+            [
+              Pr_policy.Policy_term.make ~owner:0
+                ~sources:(Pr_policy.Policy_term.Except [ 7 ]) ();
+            ]
+        else if Ad.is_transit_capable a then Pr_policy.Transit_policy.open_transit a.Ad.id
+        else Pr_policy.Transit_policy.no_transit a.Ad.id)
+      (Graph.ads g)
+  in
+  let config = Config.make ~transit () in
+  let r = setup ~config:(fun _ -> config) g in
+  let flow = Flow.make ~src:7 ~dst:8 () in
+  match R.send_flow r flow with
+  | Forwarding.Delivered { path; _ } ->
+    (* Delivered through 0 although 0's policy forbids source 7. *)
+    check_bool "path crosses the refusing AD" true (List.mem 0 path);
+    check_bool "oracle flags the violation" false
+      (Pr_policy.Validate.transit_legal g config flow path)
+  | o -> Alcotest.failf "expected (violating) delivery, got %a" Forwarding.pp_outcome o
+
+let ecma_table_blowup () =
+  let g = Figure1.graph () in
+  let r = setup g in
+  let module Rdv = Runner.Make (Pr_dv.Dv.Plain) in
+  let rdv = Rdv.setup g (Config.defaults g) in
+  ignore (Rdv.converge rdv);
+  check_bool "per-QOS tables dominate plain DV" true
+    (R.table_entries r > 2 * Rdv.table_entries rdv)
+
+let ecma_reconverges =
+  QCheck.Test.make ~name:"ecma reconverges after a random failure" ~count:10
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let g = Generator.generate rng Generator.default in
+      let r = R.setup g (Config.defaults g) in
+      ignore (R.converge r);
+      let lid = Rng.int rng (Graph.num_links g) in
+      R.fail_link r lid;
+      let c = R.converge ~max_events:2_000_000 r in
+      c.Runner.converged)
+
+(* --- Logical cluster replication (5.1.1 footnote) ------------------- *)
+
+(* Diamond with a stub: transit X (cheap) and Y (expensive) between
+   hosts A and B; C is X's customer.
+
+        X (regional)          X's intent: carry C's traffic only —
+       /|\                    no A<->B transit. Inexpressible in a
+      A C B                   single ordering; expressible by
+       \ /                    replicating X into X{A,C} and X{B,C}.
+        Y (regional, costly)                                         *)
+let diamond () =
+  let ads =
+    [|
+      Ad.make ~id:0 ~name:"A" ~klass:Ad.Hybrid ~level:Ad.Metro;
+      Ad.make ~id:1 ~name:"B" ~klass:Ad.Hybrid ~level:Ad.Metro;
+      Ad.make ~id:2 ~name:"X" ~klass:Ad.Transit ~level:Ad.Regional;
+      Ad.make ~id:3 ~name:"Y" ~klass:Ad.Transit ~level:Ad.Regional;
+      Ad.make ~id:4 ~name:"C" ~klass:Ad.Stub ~level:Ad.Campus;
+    |]
+  in
+  let links =
+    [|
+      Link.make ~id:0 ~a:2 ~b:0 ~cost:1 Link.Hierarchical;
+      Link.make ~id:1 ~a:2 ~b:1 ~cost:1 Link.Hierarchical;
+      Link.make ~id:2 ~a:3 ~b:0 ~cost:3 Link.Hierarchical;
+      Link.make ~id:3 ~a:3 ~b:1 ~cost:3 Link.Hierarchical;
+      Link.make ~id:4 ~a:2 ~b:4 ~cost:1 Link.Hierarchical;
+    |]
+  in
+  Graph.create ads links
+
+(* X's intent as explicit policy terms, used as the oracle's yardstick. *)
+let intent_config g =
+  let transit =
+    Array.map
+      (fun (a : Ad.t) ->
+        if a.Ad.id = 2 then
+          Pr_policy.Transit_policy.make 2
+            [
+              Pr_policy.Policy_term.make ~owner:2
+                ~sources:(Pr_policy.Policy_term.Only [ 4 ]) ();
+              Pr_policy.Policy_term.make ~owner:2
+                ~destinations:(Pr_policy.Policy_term.Only [ 4 ]) ();
+            ]
+        else if Ad.is_transit_capable a then Pr_policy.Transit_policy.open_transit a.Ad.id
+        else Pr_policy.Transit_policy.no_transit a.Ad.id)
+      (Graph.ads g)
+  in
+  Config.make ~transit ()
+
+let replication_structure () =
+  let g = diamond () in
+  let mapping =
+    Pr_ecma.Replication.expand g [ { Pr_ecma.Replication.ad = 2; groups = [ [ 0; 4 ]; [ 1; 4 ] ] } ]
+  in
+  let e = mapping.Pr_ecma.Replication.expanded in
+  Alcotest.(check int) "one extra logical node" 6 (Graph.n e);
+  Alcotest.(check string) "derived name" "X/1" (Graph.ad e 5).Ad.name;
+  Alcotest.(check int) "links rebuilt" 6 (Graph.num_links e);
+  Alcotest.(check (list int)) "logical ids of X" [ 2; 5 ] (mapping.Pr_ecma.Replication.logical_of 2);
+  Alcotest.(check int) "physical of clone" 2 (mapping.Pr_ecma.Replication.physical_of 5);
+  (* X1 faces A and C; X2 faces B and C; the clusters are unconnected. *)
+  Alcotest.(check (list int)) "X1 neighbors" [ 0; 4 ] (Graph.neighbor_ids e 2);
+  Alcotest.(check (list int)) "X2 neighbors" [ 1; 4 ] (Graph.neighbor_ids e 5);
+  Alcotest.(check (list int)) "collapse path" [ 0; 2; 4 ]
+    (Pr_ecma.Replication.collapse_path mapping [ 0; 2; 4 ])
+
+let replication_validation () =
+  let g = diamond () in
+  Alcotest.check_raises "empty group" (Invalid_argument "Replication.expand: empty group")
+    (fun () ->
+      ignore (Pr_ecma.Replication.expand g [ { Pr_ecma.Replication.ad = 2; groups = [ [] ] } ]));
+  Alcotest.check_raises "uncovered neighbor"
+    (Invalid_argument "Replication.expand: neighbor covered by no group") (fun () ->
+      ignore
+        (Pr_ecma.Replication.expand g [ { Pr_ecma.Replication.ad = 2; groups = [ [ 0 ] ] } ]));
+  Alcotest.check_raises "non-neighbor"
+    (Invalid_argument "Replication.expand: group member is not a neighbor") (fun () ->
+      ignore
+        (Pr_ecma.Replication.expand g
+           [ { Pr_ecma.Replication.ad = 2; groups = [ [ 0; 1; 3; 4 ] ] } ]))
+
+let replication_expresses_prev_next_policy () =
+  let g = diamond () in
+  let intent = intent_config g in
+  (* Unexpanded: ECMA routes A->B through X — it cannot express the
+     intent, and the oracle flags the violation. *)
+  let r = setup ~config:(fun g -> Config.defaults g) g in
+  (match R.send_flow r (Flow.make ~src:0 ~dst:1 ()) with
+  | Forwarding.Delivered { path; _ } ->
+    check_bool "goes through X" true (List.mem 2 path);
+    check_bool "violates the intent" false
+      (Pr_policy.Validate.transit_legal g intent (Flow.make ~src:0 ~dst:1 ()) path)
+  | o -> Alcotest.failf "expected delivery, got %a" Forwarding.pp_outcome o);
+  (* Expanded: the intent holds structurally — A->B shifts to Y, and
+     C keeps both its providers' clusters. *)
+  let mapping =
+    Pr_ecma.Replication.expand g [ { Pr_ecma.Replication.ad = 2; groups = [ [ 0; 4 ]; [ 1; 4 ] ] } ]
+  in
+  let e = mapping.Pr_ecma.Replication.expanded in
+  let re = setup ~config:(fun g -> Config.defaults g) e in
+  (match R.send_flow re (Flow.make ~src:0 ~dst:1 ()) with
+  | Forwarding.Delivered { path; _ } ->
+    let collapsed = Pr_ecma.Replication.collapse_path mapping path in
+    check_bool "avoids X entirely" true (not (List.mem 2 collapsed));
+    check_bool "legal under the intent" true
+      (Pr_policy.Validate.transit_legal g intent (Flow.make ~src:0 ~dst:1 ()) collapsed)
+  | o -> Alcotest.failf "expected delivery via Y, got %a" Forwarding.pp_outcome o);
+  List.iter
+    (fun (src, dst) ->
+      check_bool
+        (Printf.sprintf "customer traffic %d->%d still flows" src dst)
+        true
+        (Forwarding.delivered (R.send_flow re (Flow.make ~src ~dst ()))))
+    [ (0, 4); (4, 0); (1, 4); (4, 1) ]
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "pr_ecma"
+    [
+      ( "ecma",
+        [
+          Alcotest.test_case "delivers figure1 host pairs" `Quick ecma_delivers_figure1;
+          Alcotest.test_case "valley-free forwarding" `Quick ecma_paths_are_valley_free;
+          Alcotest.test_case "stubs protected by ordering" `Quick ecma_never_transits_stubs;
+          Alcotest.test_case "suppresses count-to-infinity" `Quick
+            ecma_suppresses_count_to_infinity;
+          Alcotest.test_case "per-QOS tables" `Quick ecma_qos_tables;
+          Alcotest.test_case "source policy inexpressible" `Quick
+            ecma_cannot_express_source_policy;
+          Alcotest.test_case "table blow-up vs DV" `Quick ecma_table_blowup;
+          Alcotest.test_case "replication: structure" `Quick replication_structure;
+          Alcotest.test_case "replication: validation" `Quick replication_validation;
+          Alcotest.test_case "replication: expresses prev/next policy" `Quick
+            replication_expresses_prev_next_policy;
+        ]
+        @ qsuite [ ecma_reconverges ] );
+    ]

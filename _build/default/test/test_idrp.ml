@@ -1,0 +1,234 @@
+(* Tests for the IDRP/BGP-2 design point: AD-path loop suppression,
+   policy attributes, and the per-source replication trade-off. *)
+
+module Rng = Pr_util.Rng
+module Bitset = Pr_util.Bitset
+module Graph = Pr_topology.Graph
+module Ad = Pr_topology.Ad
+module Path = Pr_topology.Path
+module Generator = Pr_topology.Generator
+module Figure1 = Pr_topology.Figure1
+module Flow = Pr_policy.Flow
+module Config = Pr_policy.Config
+module Gen = Pr_policy.Gen
+module Validate = Pr_policy.Validate
+module Transit_policy = Pr_policy.Transit_policy
+module Policy_term = Pr_policy.Policy_term
+module Forwarding = Pr_proto.Forwarding
+module Runner = Pr_proto.Runner
+module Idrp = Pr_idrp.Idrp
+module R = Runner.Make (Idrp.Standard)
+module Rps = Runner.Make (Idrp.Per_source)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let converge_on config g =
+  let r = R.setup g config in
+  let c = R.converge ~max_events:5_000_000 r in
+  check_bool "converged" true c.Runner.converged;
+  r
+
+let idrp_delivers_open_config () =
+  let g = Figure1.graph () in
+  let r = converge_on (Config.defaults g) g in
+  let missing = ref 0 in
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          if src <> dst then
+            if not (Forwarding.delivered (R.send_flow r (Flow.make ~src ~dst ()))) then
+              incr missing)
+        (Graph.host_ids g))
+    (Graph.host_ids g);
+  check_int "all host pairs delivered" 0 !missing
+
+let idrp_selected_routes_loop_free () =
+  let g = Figure1.graph () in
+  let r = converge_on (Config.defaults g) g in
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          if src <> dst then begin
+            let flow = Flow.make ~src ~dst () in
+            match Idrp.Standard.selected_route (R.protocol r) ~at:src ~dst ~flow with
+            | None -> ()
+            | Some route ->
+              check_bool "AD path loop free" true (Path.is_loop_free route.Idrp.path);
+              check_bool "path starts at holder" true (List.hd route.Idrp.path = src);
+              check_bool "path ends at dest" true (Path.destination route.Idrp.path = dst)
+          end)
+        (Graph.host_ids g))
+    (Graph.host_ids g)
+
+let idrp_no_transit_violations =
+  QCheck.Test.make ~name:"idrp never delivers transit-illegal paths" ~count:15
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let g = Figure1.graph () in
+      let config = Gen.generate rng g { Gen.default with restrictiveness = 0.5 } in
+      let r = R.setup g config in
+      ignore (R.converge ~max_events:5_000_000 r);
+      let ok = ref true in
+      List.iter
+        (fun src ->
+          List.iter
+            (fun dst ->
+              if src <> dst then begin
+                let flow = Flow.make ~src ~dst () in
+                match R.send_flow r flow with
+                | Forwarding.Delivered { path; _ } ->
+                  if not (Validate.transit_legal g config flow path) then ok := false
+                | _ -> ()
+              end)
+            (Graph.host_ids g))
+        (Graph.host_ids g);
+      !ok)
+
+let refusing_config g ~refuser ~refused_source =
+  let transit =
+    Array.map
+      (fun (a : Ad.t) ->
+        if a.Ad.id = refuser then
+          Transit_policy.make refuser
+            [ Policy_term.make ~owner:refuser ~sources:(Policy_term.Except [ refused_source ]) () ]
+        else if Ad.is_transit_capable a then Transit_policy.open_transit a.Ad.id
+        else Transit_policy.no_transit a.Ad.id)
+      (Graph.ads g)
+  in
+  Config.make ~transit ()
+
+let idrp_enforces_source_exclusion () =
+  (* BB1 refuses source 7. IDRP's allowed-sources attribute must keep
+     7's packets off BB1: either rerouted or dropped, never through 0. *)
+  let g = Figure1.graph () in
+  let config = refusing_config g ~refuser:0 ~refused_source:7 in
+  let r = converge_on config g in
+  (match R.send_flow r (Flow.make ~src:7 ~dst:8 ()) with
+  | Forwarding.Delivered { path; _ } ->
+    check_bool "path avoids the refusing AD" true (not (List.mem 0 (Path.transit_ads path)))
+  | Forwarding.Dropped _ -> ()
+  | o -> Alcotest.failf "unexpected outcome %a" Forwarding.pp_outcome o);
+  (* An unaffected source still crosses BB1 freely. *)
+  check_bool "other sources unaffected" true
+    (Forwarding.delivered (R.send_flow r (Flow.make ~src:9 ~dst:7 ())))
+
+let idrp_availability_loss_with_coarse_classes () =
+  (* 7 -> 8: the only route crosses BB1(0), which refuses source 7 but
+     admits everyone else. The (QOS, UCI) class route is shared by all
+     sources, so either the route excludes 7 (7 loses) — the paper's
+     single-route-per-class weakness. Per-source classes recover it
+     when a legal route exists for the class. *)
+  let g = Figure1.graph () in
+  let config = refusing_config g ~refuser:0 ~refused_source:7 in
+  let flow = Flow.make ~src:7 ~dst:8 () in
+  (* Oracle: no legal route for 7 (every 7->8 route crosses 0). *)
+  check_bool "oracle: nothing legal for 7" false
+    (Validate.route_exists g config flow ~max_hops:10);
+  let r = converge_on config g in
+  check_bool "standard drops it" false (Forwarding.delivered (R.send_flow r flow))
+
+let idrp_per_source_recovers_availability () =
+  (* R2(3) refuses source 7 — but 7 -> 10 also has a route via BB2 and
+     R3 that avoids R2... both variants should deliver; the point is
+     the per-source variant does so with per-source state. *)
+  let g = Figure1.graph () in
+  let config = refusing_config g ~refuser:3 ~refused_source:7 in
+  let flow = Flow.make ~src:7 ~dst:10 () in
+  check_bool "oracle: legal route exists" true (Validate.route_exists g config flow ~max_hops:10);
+  let rps = Rps.setup g config in
+  ignore (Rps.converge ~max_events:10_000_000 rps);
+  check_bool "per-source delivers" true (Forwarding.delivered (Rps.send_flow rps flow))
+
+let idrp_per_source_state_blowup () =
+  let g = Figure1.graph () in
+  let config = Config.defaults g in
+  let r = converge_on config g in
+  let rps = Rps.setup g config in
+  ignore (Rps.converge ~max_events:10_000_000 rps);
+  let std = R.table_entries r and ps = Rps.table_entries rps in
+  check_bool (Printf.sprintf "per-source tables much larger (%d vs %d)" ps std) true
+    (ps > 5 * std)
+
+let idrp_withdrawal_reroutes () =
+  let g = Figure1.graph () in
+  let r = converge_on (Config.defaults g) g in
+  let lid = Option.get (Graph.find_link g 0 1) in
+  R.fail_link r lid;
+  let c = R.converge ~max_events:5_000_000 r in
+  check_bool "reconverged" true c.Runner.converged;
+  check_bool "delivers around the failure" true
+    (Forwarding.delivered (R.send_flow r (Flow.make ~src:7 ~dst:12 ())))
+
+module Rsc = Runner.Make (Idrp.Scoped)
+
+let idrp_scoped_hides_information () =
+  (* BB1 refuses source 7: under distribution scoping, stub 7 never
+     even learns routes that cross BB1, while other stubs do. *)
+  let g = Figure1.graph () in
+  let config = refusing_config g ~refuser:0 ~refused_source:7 in
+  let rsc = Rsc.setup g config in
+  ignore (Rsc.converge ~max_events:5_000_000 rsc);
+  let flow = Flow.make ~src:7 ~dst:8 () in
+  (* 7 holds no route toward 8 at all (information hiding)... *)
+  check_bool "route withheld from 7" true
+    (Idrp.Scoped.selected_route (Rsc.protocol rsc) ~at:7 ~dst:8 ~flow = None);
+  (* ...whereas under the standard variant 7 holds a route it may not
+     use. *)
+  let r = converge_on config g in
+  check_bool "standard variant still distributes" true
+    (Idrp.Standard.selected_route (R.protocol r) ~at:7 ~dst:8 ~flow <> None);
+  (* Enforcement outcome is identical: the flow does not cross BB1. *)
+  (match Rsc.send_flow rsc flow with
+  | Forwarding.Delivered { path; _ } ->
+    check_bool "avoids refuser" true (not (List.mem 0 (Path.transit_ads path)))
+  | Forwarding.Dropped _ | Forwarding.Prep_failed _ -> ()
+  | o -> Alcotest.failf "unexpected %a" Forwarding.pp_outcome o);
+  (* An admitted stub keeps its routes and delivery. *)
+  check_bool "admitted stub unaffected" true
+    (Forwarding.delivered (Rsc.send_flow rsc (Flow.make ~src:9 ~dst:8 ())))
+
+let idrp_scoped_smaller_stub_tables () =
+  let g = Figure1.graph () in
+  let rng = Rng.create 21 in
+  let config = Gen.generate rng g { Gen.default with restrictiveness = 0.8 } in
+  let r = converge_on config g in
+  let rsc = Rsc.setup g config in
+  ignore (Rsc.converge ~max_events:5_000_000 rsc);
+  let stub_tables (type a m)
+      (module P : Pr_proto.Protocol_intf.PROTOCOL with type t = a and type message = m)
+      proto =
+    List.fold_left (fun acc ad -> acc + P.table_entries proto ad) 0 (Graph.stub_ids g)
+  in
+  let std = stub_tables (module Idrp.Standard) (R.protocol r) in
+  let scoped = stub_tables (module Idrp.Scoped) (Rsc.protocol rsc) in
+  check_bool
+    (Printf.sprintf "scoped stubs hold fewer routes (%d <= %d)" scoped std)
+    true (scoped <= std)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "pr_idrp"
+    [
+      ( "idrp",
+        [
+          Alcotest.test_case "delivers open config" `Quick idrp_delivers_open_config;
+          Alcotest.test_case "loop-free selected routes" `Quick idrp_selected_routes_loop_free;
+          Alcotest.test_case "enforces source exclusion" `Quick idrp_enforces_source_exclusion;
+          Alcotest.test_case "availability loss (no legal route)" `Quick
+            idrp_availability_loss_with_coarse_classes;
+          Alcotest.test_case "per-source recovers availability" `Quick
+            idrp_per_source_recovers_availability;
+          Alcotest.test_case "per-source state blow-up" `Quick idrp_per_source_state_blowup;
+          Alcotest.test_case "withdrawal reroutes" `Quick idrp_withdrawal_reroutes;
+          Alcotest.test_case "distribution scope hides information" `Quick
+            idrp_scoped_hides_information;
+          Alcotest.test_case "distribution scope shrinks stub tables" `Quick
+            idrp_scoped_smaller_stub_tables;
+        ]
+        @ qsuite [ idrp_no_transit_violations ] );
+    ]

@@ -1,0 +1,123 @@
+(* Tests for the classic link-state baseline. *)
+
+module Rng = Pr_util.Rng
+module Graph = Pr_topology.Graph
+module Generator = Pr_topology.Generator
+module Figure1 = Pr_topology.Figure1
+module Path = Pr_topology.Path
+module Flow = Pr_policy.Flow
+module Config = Pr_policy.Config
+module Forwarding = Pr_proto.Forwarding
+module Runner = Pr_proto.Runner
+module Ls = Pr_ls.Ls
+module R = Runner.Make (Ls)
+
+let _check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let setup g =
+  let r = R.setup g (Config.defaults g) in
+  let c = R.converge r in
+  check_bool "converged" true c.Runner.converged;
+  r
+
+let ls_optimal_paths () =
+  let g = Figure1.graph () in
+  let r = setup g in
+  let all_ok = ref true in
+  for src = 0 to Graph.n g - 1 do
+    for dst = 0 to Graph.n g - 1 do
+      if src <> dst then begin
+        let flow = Flow.make ~src ~dst () in
+        match R.send_flow r flow with
+        | Forwarding.Delivered { path; _ } ->
+          let best =
+            Path.enumerate_simple g ~src ~dst ~max_hops:13 ()
+            |> List.filter_map (fun p -> Path.cost g p)
+            |> List.fold_left Stdlib.min max_int
+          in
+          if Path.cost g path <> Some best then all_ok := false
+        | _ -> all_ok := false
+      end
+    done
+  done;
+  check_bool "every delivered path is cost-optimal" true !all_ok
+
+let ls_reconvergence () =
+  let g = Figure1.graph () in
+  let r = setup g in
+  let lid = Option.get (Graph.find_link g 0 1) in
+  R.fail_link r lid;
+  let c = R.converge r in
+  check_bool "reconverged" true c.Runner.converged;
+  let flow = Flow.make ~src:7 ~dst:12 () in
+  (match R.send_flow r flow with
+  | Forwarding.Delivered { path; _ } ->
+    check_bool "avoids failed link" true
+      (not
+         (List.exists2
+            (fun a b -> (a = 0 && b = 1) || (a = 1 && b = 0))
+            (List.filteri (fun i _ -> i < List.length path - 1) path)
+            (List.tl path)))
+  | o -> Alcotest.failf "expected delivery, got %a" Forwarding.pp_outcome o);
+  check_bool "spf ran" true (Ls.spf_runs (R.protocol r) > 0)
+
+let ls_partition () =
+  let g = Generator.line ~n:4 in
+  let r = setup g in
+  let lid = Option.get (Graph.find_link g 1 2) in
+  R.fail_link r lid;
+  ignore (R.converge r);
+  Alcotest.(check (option int)) "no next hop across partition" None
+    (Ls.next_hop_of (R.protocol r) ~at:0 ~dst:3);
+  Alcotest.(check (option int)) "next hop within partition" (Some 1)
+    (Ls.next_hop_of (R.protocol r) ~at:0 ~dst:1)
+
+let ls_cheaper_convergence_messages_than_dv () =
+  (* Link state floods O(links) LSAs; DV exchanges full vectors —
+     on meshy graphs LS converges with fewer messages. *)
+  let g = Generator.random_mesh (Rng.create 4) ~n:30 ~extra_links:25 in
+  let module Rdv = Runner.Make (Pr_dv.Dv.Plain) in
+  let rls = R.setup g (Config.defaults g) in
+  let cls = R.converge rls in
+  let rdv = Rdv.setup g (Config.defaults g) in
+  let cdv = Rdv.converge rdv in
+  check_bool
+    (Printf.sprintf "LS fewer messages (%d < %d)" cls.Runner.messages cdv.Runner.messages)
+    true
+    (cls.Runner.messages < cdv.Runner.messages)
+
+let ls_next_hop_is_neighbor =
+  QCheck.Test.make ~name:"next hops are actual neighbors" ~count:10 QCheck.small_int
+    (fun seed ->
+      let g = Generator.generate (Rng.create seed) Generator.default in
+      let r = R.setup g (Config.defaults g) in
+      ignore (R.converge r);
+      let ok = ref true in
+      let n = Graph.n g in
+      for at = 0 to n - 1 do
+        for dst = 0 to n - 1 do
+          if at <> dst then
+            match Ls.next_hop_of (R.protocol r) ~at ~dst with
+            | None -> ok := false
+            | Some nh -> if not (List.mem nh (Graph.neighbor_ids g at)) then ok := false
+        done
+      done;
+      !ok)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "pr_ls"
+    [
+      ( "ls",
+        [
+          Alcotest.test_case "optimal paths" `Quick ls_optimal_paths;
+          Alcotest.test_case "reconvergence" `Quick ls_reconvergence;
+          Alcotest.test_case "partition" `Quick ls_partition;
+          Alcotest.test_case "fewer messages than DV" `Quick
+            ls_cheaper_convergence_messages_than_dv;
+        ]
+        @ qsuite [ ls_next_hop_is_neighbor ] );
+    ]

@@ -1,0 +1,165 @@
+(* Tests for the LS hop-by-hop + Policy Terms design point: full
+   expressiveness, replicated computation, dependence on consistency. *)
+
+module Rng = Pr_util.Rng
+module Graph = Pr_topology.Graph
+module Ad = Pr_topology.Ad
+module Path = Pr_topology.Path
+module Figure1 = Pr_topology.Figure1
+module Generator = Pr_topology.Generator
+module Flow = Pr_policy.Flow
+module Config = Pr_policy.Config
+module Gen = Pr_policy.Gen
+module Validate = Pr_policy.Validate
+module Metrics = Pr_sim.Metrics
+module Forwarding = Pr_proto.Forwarding
+module Runner = Pr_proto.Runner
+module Lshbh = Pr_lshbh.Lshbh
+module R = Runner.Make (Lshbh)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let converge_on config g =
+  let r = R.setup g config in
+  let c = R.converge r in
+  check_bool "converged" true c.Runner.converged;
+  r
+
+let lshbh_delivers_and_legal =
+  QCheck.Test.make ~name:"delivers only transit-legal paths; no loss vs oracle" ~count:15
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let g = Figure1.graph () in
+      let config = Gen.generate rng g { Gen.default with restrictiveness = 0.5 } in
+      let r = R.setup g config in
+      ignore (R.converge r);
+      let ok = ref true in
+      List.iter
+        (fun src ->
+          List.iter
+            (fun dst ->
+              if src <> dst then begin
+                let flow = Flow.make ~src ~dst () in
+                match R.send_flow r flow with
+                | Forwarding.Delivered { path; _ } ->
+                  if not (Validate.transit_legal g config flow path) then ok := false
+                | _ ->
+                  (* LS-HBH finds any existing legal route (converged
+                     state): undelivered means the oracle agrees none
+                     exists. *)
+                  if Validate.route_exists g config flow ~max_hops:12 then ok := false
+              end)
+            (Graph.host_ids g))
+        (Graph.host_ids g);
+      !ok)
+
+let lshbh_uniform_computation_ignores_source_policy () =
+  (* Source policies are not advertised: the computation is uniform and
+     may violate the source's avoid list. *)
+  let g = Figure1.graph () in
+  let transit =
+    Array.map
+      (fun (a : Ad.t) ->
+        if Ad.is_transit_capable a then Pr_policy.Transit_policy.open_transit a.Ad.id
+        else Pr_policy.Transit_policy.no_transit a.Ad.id)
+      (Graph.ads g)
+  in
+  let source = Array.make 14 None in
+  (* 7 wants to avoid BB1 — but every 7->8 route crosses it. *)
+  source.(7) <- Some (Pr_policy.Source_policy.make ~owner:7 ~avoid:[ 0 ] ());
+  let config = Config.make ~transit ~source () in
+  let r = converge_on config g in
+  match R.send_flow r (Flow.make ~src:7 ~dst:8 ()) with
+  | Forwarding.Delivered { path; _ } ->
+    check_bool "delivered in spite of the source policy" true (List.mem 0 path)
+  | o -> Alcotest.failf "expected delivery, got %a" Forwarding.pp_outcome o
+
+let lshbh_transit_burden_exceeds_orwg () =
+  (* The §5.3 complaint: every AD on the path repeats the computation,
+     so transit ADs do route synthesis work ORWG spares them. *)
+  let g = Figure1.graph () in
+  let config = Config.defaults g in
+  let flows =
+    List.concat_map
+      (fun src ->
+        List.filter_map
+          (fun dst -> if src = dst then None else Some (Flow.make ~src ~dst ()))
+          (Graph.host_ids g))
+      (Graph.host_ids g)
+  in
+  let transit_work metrics =
+    List.fold_left (fun acc ad -> acc + Metrics.computations_of metrics ad) 0
+      (Graph.transit_ids g)
+  in
+  let r = converge_on config g in
+  List.iter (fun f -> ignore (R.send_flow r f)) flows;
+  let lshbh_work = transit_work (R.metrics r) in
+  let module Ro = Runner.Make (Pr_orwg.Orwg.Orwg) in
+  let ro = Ro.setup g config in
+  ignore (Ro.converge ro);
+  List.iter (fun f -> ignore (Ro.send_flow ro f)) flows;
+  let orwg_work = transit_work (Ro.metrics ro) in
+  check_bool
+    (Printf.sprintf "transit computation %d (ls-hbh) vs %d (orwg)" lshbh_work orwg_work)
+    true
+    (lshbh_work > 2 * orwg_work)
+
+let lshbh_caches_per_source_routes () =
+  let g = Figure1.graph () in
+  let r = converge_on (Config.defaults g) g in
+  ignore (R.send_flow r (Flow.make ~src:7 ~dst:8 ()));
+  ignore (R.send_flow r (Flow.make ~src:8 ~dst:7 ()));
+  (* BB1 sits on both routes and must hold one cached route per
+     (source, dest, class). *)
+  check_bool "transit caches per-source state" true
+    (Lshbh.cache_entries (R.protocol r) 0 >= 2);
+  (* Repeating a flow must not add cache entries. *)
+  let before = Lshbh.cache_entries (R.protocol r) 0 in
+  ignore (R.send_flow r (Flow.make ~src:7 ~dst:8 ()));
+  check_int "cache stable on repeat" before (Lshbh.cache_entries (R.protocol r) 0)
+
+let lshbh_computed_route_exposed () =
+  let g = Figure1.graph () in
+  let r = converge_on (Config.defaults g) g in
+  let flow = Flow.make ~src:7 ~dst:8 () in
+  match Lshbh.computed_route (R.protocol r) ~at:7 flow with
+  | None -> Alcotest.fail "expected a computed route"
+  | Some path ->
+    check_int "starts at source" 7 (Path.source path);
+    check_int "ends at dest" 8 (Path.destination path)
+
+let lshbh_reroutes_after_failure () =
+  let g = Figure1.graph () in
+  let r = converge_on (Config.defaults g) g in
+  ignore (R.send_flow r (Flow.make ~src:7 ~dst:12 ()));
+  let lid = Option.get (Graph.find_link g 0 1) in
+  R.fail_link r lid;
+  let c = R.converge r in
+  check_bool "reconverged" true c.Runner.converged;
+  match R.send_flow r (Flow.make ~src:7 ~dst:12 ()) with
+  | Forwarding.Delivered { path; _ } ->
+    let rec uses_link = function
+      | a :: b :: rest -> ((a = 0 && b = 1) || (a = 1 && b = 0)) || uses_link (b :: rest)
+      | _ -> false
+    in
+    check_bool "avoids the failed link" false (uses_link path)
+  | o -> Alcotest.failf "expected delivery, got %a" Forwarding.pp_outcome o
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "pr_lshbh"
+    [
+      ( "ls-hbh",
+        [
+          Alcotest.test_case "uniform computation vs source policy" `Quick
+            lshbh_uniform_computation_ignores_source_policy;
+          Alcotest.test_case "transit burden vs orwg" `Quick lshbh_transit_burden_exceeds_orwg;
+          Alcotest.test_case "per-source caches" `Quick lshbh_caches_per_source_routes;
+          Alcotest.test_case "computed route exposed" `Quick lshbh_computed_route_exposed;
+          Alcotest.test_case "reroutes after failure" `Quick lshbh_reroutes_after_failure;
+        ]
+        @ qsuite [ lshbh_delivers_and_legal ] );
+    ]

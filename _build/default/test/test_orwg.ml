@@ -1,0 +1,403 @@
+(* Tests for the ORWG design point: setup/handle mechanics, source
+   control, policy-gateway validation, cache behaviour. *)
+
+module Rng = Pr_util.Rng
+module Graph = Pr_topology.Graph
+module Ad = Pr_topology.Ad
+module Path = Pr_topology.Path
+module Figure1 = Pr_topology.Figure1
+module Flow = Pr_policy.Flow
+module Config = Pr_policy.Config
+module Gen = Pr_policy.Gen
+module Validate = Pr_policy.Validate
+module Source_policy = Pr_policy.Source_policy
+module Transit_policy = Pr_policy.Transit_policy
+module Policy_term = Pr_policy.Policy_term
+module Cost_model = Pr_proto.Cost_model
+module Packet = Pr_proto.Packet
+module Forwarding = Pr_proto.Forwarding
+module Runner = Pr_proto.Runner
+module Orwg = Pr_orwg.Orwg
+module R = Runner.Make (Orwg.Orwg)
+module Rnh = Runner.Make (Orwg.No_handles)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let converge_on config g =
+  let r = R.setup g config in
+  let c = R.converge r in
+  check_bool "converged" true c.Runner.converged;
+  r
+
+let orwg_setup_then_handles () =
+  let g = Figure1.graph () in
+  let r = converge_on (Config.defaults g) g in
+  let flow = Flow.make ~src:7 ~dst:8 () in
+  (* First packet: fresh setup. *)
+  (match R.send_flow r flow with
+  | Forwarding.Delivered { prep; header_bytes; path } ->
+    check_bool "setup walked the route" true (prep.Packet.setup_hops > 0);
+    check_bool "setup carried bytes" true (prep.Packet.setup_bytes > 0);
+    check_bool "no cache hit on first use" false prep.Packet.cache_hit;
+    check_int "data header = base + handle"
+      (Cost_model.base_header_bytes + Cost_model.handle_bytes)
+      header_bytes;
+    check_int "delivered to dest" 8 (Path.destination path)
+  | o -> Alcotest.failf "expected delivery, got %a" Forwarding.pp_outcome o);
+  (* Second packet: cached policy route, zero setup. *)
+  match R.send_flow r flow with
+  | Forwarding.Delivered { prep; _ } ->
+    check_bool "cache hit" true prep.Packet.cache_hit;
+    check_int "no setup hops" 0 prep.Packet.setup_hops
+  | o -> Alcotest.failf "expected delivery, got %a" Forwarding.pp_outcome o
+
+let orwg_policy_route_shared_across_hosts () =
+  (* "a single policy route can support multiple pairs of hosts": same
+     (dst, class) reuses the handle even for another flow instance. *)
+  let g = Figure1.graph () in
+  let r = converge_on (Config.defaults g) g in
+  ignore (R.send_flow r (Flow.make ~src:7 ~dst:8 ()));
+  let entries_before = Orwg.Orwg.pg_entries (R.protocol r) 2 in
+  (match R.send_flow r (Flow.make ~src:7 ~dst:8 ~hour:3 ()) with
+  | Forwarding.Delivered { prep; _ } -> check_bool "hit across hours" true prep.Packet.cache_hit
+  | o -> Alcotest.failf "expected delivery, got %a" Forwarding.pp_outcome o);
+  check_int "no extra gateway state" entries_before (Orwg.Orwg.pg_entries (R.protocol r) 2)
+
+let orwg_no_handles_header_overhead () =
+  let g = Figure1.graph () in
+  let config = Config.defaults g in
+  let rnh = Rnh.setup g config in
+  ignore (Rnh.converge rnh);
+  let flow = Flow.make ~src:7 ~dst:12 () in
+  ignore (Rnh.send_flow rnh flow);
+  match Rnh.send_flow rnh flow with
+  | Forwarding.Delivered { header_bytes; path; _ } ->
+    check_int "header carries the full source route"
+      (Cost_model.base_header_bytes + Cost_model.source_route_bytes (List.length path))
+      header_bytes;
+    check_bool "strictly more than the handle header" true
+      (header_bytes > Cost_model.base_header_bytes + Cost_model.handle_bytes)
+  | o -> Alcotest.failf "expected delivery, got %a" Forwarding.pp_outcome o
+
+let orwg_source_policy_honored () =
+  let g = Figure1.graph () in
+  let transit =
+    Array.map
+      (fun (a : Ad.t) ->
+        if Ad.is_transit_capable a then Transit_policy.open_transit a.Ad.id
+        else Transit_policy.no_transit a.Ad.id)
+      (Graph.ads g)
+  in
+  let source = Array.make 14 None in
+  (* 8 avoids BB1; 8 -> 10 has the lateral R2-R3 alternative. *)
+  source.(8) <- Some (Source_policy.make ~owner:8 ~avoid:[ 0 ] ());
+  let config = Config.make ~transit ~source () in
+  let r = converge_on config g in
+  (match R.send_flow r (Flow.make ~src:8 ~dst:10 ()) with
+  | Forwarding.Delivered { path; _ } ->
+    check_bool "avoids BB1" true (not (List.mem 0 (Path.transit_ads path)))
+  | o -> Alcotest.failf "expected delivery, got %a" Forwarding.pp_outcome o);
+  (* 7 avoids BB1 but has no alternative to reach 8: the source
+     refuses rather than violates. *)
+  let source2 = Array.make 14 None in
+  source2.(7) <- Some (Source_policy.make ~owner:7 ~avoid:[ 0 ] ());
+  let config2 = Config.make ~transit ~source:source2 () in
+  let r2 = converge_on config2 g in
+  match R.send_flow r2 (Flow.make ~src:7 ~dst:8 ()) with
+  | Forwarding.Prep_failed _ -> ()
+  | o -> Alcotest.failf "expected setup failure, got %a" Forwarding.pp_outcome o
+
+let orwg_gateway_validates_setup () =
+  (* A transit AD whose local policy refuses the flow rejects the
+     setup packet even though the (stale or hostile) route server
+     proposed the route. *)
+  let g = Figure1.graph () in
+  let transit =
+    Array.map
+      (fun (a : Ad.t) ->
+        if a.Ad.id = 0 then
+          Transit_policy.make 0
+            [ Policy_term.make ~owner:0 ~sources:(Policy_term.Except [ 7 ]) () ]
+        else if Ad.is_transit_capable a then Transit_policy.open_transit a.Ad.id
+        else Transit_policy.no_transit a.Ad.id)
+      (Graph.ads g)
+  in
+  let config = Config.make ~transit () in
+  let r = converge_on config g in
+  (* 7 -> 8 has no route avoiding BB1, and BB1's gateway refuses 7. *)
+  match R.send_flow r (Flow.make ~src:7 ~dst:8 ()) with
+  | Forwarding.Prep_failed _ | Forwarding.Dropped _ -> ()
+  | o -> Alcotest.failf "expected refusal, got %a" Forwarding.pp_outcome o
+
+let orwg_no_transit_violations =
+  QCheck.Test.make ~name:"orwg never delivers transit- or source-illegal paths" ~count:15
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let g = Figure1.graph () in
+      let config = Gen.generate rng g { Gen.default with restrictiveness = 0.5 } in
+      let r = R.setup g config in
+      ignore (R.converge r);
+      let ok = ref true in
+      List.iter
+        (fun src ->
+          List.iter
+            (fun dst ->
+              if src <> dst then begin
+                let flow = Flow.make ~src ~dst () in
+                match R.send_flow r flow with
+                | Forwarding.Delivered { path; _ } ->
+                  if not (Validate.transit_legal g config flow path) then ok := false;
+                  if not (Source_policy.permits (Config.source config src) path) then
+                    ok := false
+                | _ -> ()
+              end)
+            (Graph.host_ids g))
+        (Graph.host_ids g);
+      !ok)
+
+let orwg_precompute_prevents_setup_latency () =
+  let g = Figure1.graph () in
+  let r = converge_on (Config.defaults g) g in
+  let flows = [ Flow.make ~src:7 ~dst:12 (); Flow.make ~src:9 ~dst:11 () ] in
+  let installed = Orwg.Orwg.precompute_flows (R.protocol r) flows in
+  check_int "both precomputed" 2 installed;
+  List.iter
+    (fun flow ->
+      match R.send_flow r flow with
+      | Forwarding.Delivered { prep; _ } ->
+        check_bool "cache hit after precompute" true prep.Packet.cache_hit
+      | o -> Alcotest.failf "expected delivery, got %a" Forwarding.pp_outcome o)
+    flows;
+  (* Idempotent. *)
+  check_int "re-precompute is a no-op" 0 (Orwg.Orwg.precompute_flows (R.protocol r) flows)
+
+let orwg_stale_route_invalidated_by_flooding () =
+  let g = Figure1.graph () in
+  let r = converge_on (Config.defaults g) g in
+  let flow = Flow.make ~src:7 ~dst:12 () in
+  ignore (R.send_flow r flow);
+  check_bool "route cached" true
+    (Orwg.Orwg.cached_route (R.protocol r) ~src:7 ~dst:12 flow <> None);
+  (* Fail a link on the cached route (backbone-backbone). *)
+  let lid = Option.get (Graph.find_link g 0 1) in
+  R.fail_link r lid;
+  ignore (R.converge r);
+  (* The route server revalidated against the new database. *)
+  (match Orwg.Orwg.cached_route (R.protocol r) ~src:7 ~dst:12 flow with
+  | None -> ()
+  | Some path ->
+    (* Cached route may survive if it did not use the failed link. *)
+    let rec uses = function
+      | a :: b :: rest -> ((a = 0 && b = 1) || (a = 1 && b = 0)) || uses (b :: rest)
+      | _ -> false
+    in
+    check_bool "surviving cache entry avoids the dead link" false (uses path));
+  (* And traffic still flows, over a fresh setup. *)
+  check_bool "re-setup succeeds" true (Forwarding.delivered (R.send_flow r flow))
+
+let orwg_pg_validation_counts () =
+  let g = Figure1.graph () in
+  let r = converge_on (Config.defaults g) g in
+  let flow = Flow.make ~src:7 ~dst:8 () in
+  ignore (R.send_flow r flow);
+  let v0 = Orwg.Orwg.validations (R.protocol r) 0 in
+  ignore (R.send_flow r flow);
+  check_bool "per-packet validation at the gateway" true
+    (Orwg.Orwg.validations (R.protocol r) 0 > v0)
+
+module Bounded2 = Orwg.Bounded_pg (struct
+  let capacity = 2
+end)
+
+let orwg_bounded_pg_eviction () =
+  let g = Figure1.graph () in
+  let module Rb = Runner.Make (Bounded2) in
+  let r = Rb.setup g (Config.defaults g) in
+  ignore (Rb.converge r);
+  (* Three flows through R1(2): its 2-entry gateway must evict. *)
+  let f1 = Flow.make ~src:7 ~dst:8 () in
+  let f2 = Flow.make ~src:7 ~dst:9 () in
+  let f3 = Flow.make ~src:7 ~dst:12 () in
+  check_bool "f1 delivered" true (Forwarding.delivered (Rb.send_flow r f1));
+  check_bool "f2 delivered" true (Forwarding.delivered (Rb.send_flow r f2));
+  check_bool "f3 delivered" true (Forwarding.delivered (Rb.send_flow r f3));
+  check_bool "gateway at capacity" true (Bounded2.pg_entries (Rb.protocol r) 2 <= 2);
+  check_bool "evictions happened" true (Bounded2.evictions (Rb.protocol r) 2 > 0);
+  (* f1's handle was least recently used: its next packet drops at the
+     gateway, the source is notified, and the packet after that re-sets
+     up and delivers. *)
+  (match Rb.send_flow r f1 with
+  | Forwarding.Dropped { reason; _ } ->
+    check_bool "dropped on evicted handle" true
+      (String.length reason > 0 && String.sub reason 0 2 = "no")
+  | Forwarding.Delivered { prep; _ } ->
+    (* Acceptable alternative: the cache entry was already invalidated
+       and this send re-set-up directly. *)
+    check_bool "re-setup" false prep.Packet.cache_hit
+  | o -> Alcotest.failf "unexpected %a" Forwarding.pp_outcome o);
+  (match Rb.send_flow r f1 with
+  | Forwarding.Delivered { prep; _ } ->
+    check_bool "recovered via fresh setup" false prep.Packet.cache_hit
+  | o -> Alcotest.failf "expected recovery, got %a" Forwarding.pp_outcome o)
+
+let orwg_unbounded_never_evicts () =
+  let g = Figure1.graph () in
+  let r = converge_on (Config.defaults g) g in
+  List.iter
+    (fun dst ->
+      if dst <> 7 then ignore (R.send_flow r (Flow.make ~src:7 ~dst ())))
+    (Graph.host_ids g);
+  List.iter
+    (fun ad -> check_int "no evictions" 0 (Orwg.Orwg.evictions (R.protocol r) ad))
+    (List.init 14 (fun i -> i))
+
+let orwg_policy_change_stale_retry () =
+  let g = Figure1.graph () in
+  let r = converge_on (Config.defaults g) g in
+  (* BB2 (1) newly refuses source 7. Gateways enforce immediately; the
+     rest of the internet is stale until the LSA flood completes. *)
+  Orwg.Orwg.set_policy (R.protocol r)
+    (Transit_policy.make 1
+       [ Policy_term.make ~owner:1 ~sources:(Policy_term.Except [ 7 ]) () ]);
+  (* Do NOT converge: 7's route server still believes BB2 is open. Its
+     preferred route for 7->10 crosses BB2; the setup is refused and the
+     retry synthesizes around it via the R2-R3 lateral. *)
+  (match R.send_flow r (Flow.make ~src:7 ~dst:10 ()) with
+  | Forwarding.Delivered { path; _ } ->
+    check_bool "avoids the refusing AD" true
+      (not (List.mem 1 (Pr_topology.Path.transit_ads path)))
+  | o -> Alcotest.failf "expected retried delivery, got %a" Forwarding.pp_outcome o);
+  (* After the flood, synthesis avoids BB2 directly. *)
+  ignore (R.converge r);
+  match R.send_flow r (Flow.make ~src:7 ~dst:11 ()) with
+  | Forwarding.Delivered { path; _ } ->
+    check_bool "fresh synthesis avoids BB2" true
+      (not (List.mem 1 (Pr_topology.Path.transit_ads path)))
+  | o -> Alcotest.failf "expected delivery, got %a" Forwarding.pp_outcome o
+
+let orwg_policy_change_visible () =
+  let g = Figure1.graph () in
+  let r = converge_on (Config.defaults g) g in
+  let p = Transit_policy.make 0 [ Policy_term.make ~owner:0 ~qos:[ Pr_policy.Qos.Low_delay ] () ] in
+  Orwg.Orwg.set_policy (R.protocol r) p;
+  check_int "override visible" 1
+    (Transit_policy.term_count (Orwg.Orwg.current_policy (R.protocol r) 0))
+
+module Delegated = Orwg.Delegated
+
+let orwg_delegation_equivalent_delivery () =
+  let g = Figure1.graph () in
+  let config = Config.defaults g in
+  let module Rd = Runner.Make (Delegated) in
+  let r = converge_on config g in
+  let rd = Rd.setup g config in
+  let cd = Rd.converge rd in
+  check_bool "delegated converges" true cd.Runner.converged;
+  (* Same delivery outcome for every host pair. *)
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          if src <> dst then begin
+            let flow = Flow.make ~src ~dst () in
+            check_bool
+              (Printf.sprintf "same delivery for %d->%d" src dst)
+              (Forwarding.delivered (R.send_flow r flow))
+              (Forwarding.delivered (Rd.send_flow rd flow))
+          end)
+        (Graph.host_ids g))
+    (Graph.host_ids g)
+
+let orwg_delegation_saves_flooding () =
+  let g = Figure1.graph () in
+  let config = Config.defaults g in
+  let module Rd = Runner.Make (Delegated) in
+  let r = R.setup g config in
+  let c_full = R.converge r in
+  let rd = Rd.setup g config in
+  let c_del = Rd.converge rd in
+  check_bool
+    (Printf.sprintf "fewer flood messages (%d < %d)" c_del.Runner.messages
+       c_full.Runner.messages)
+    true
+    (c_del.Runner.messages < c_full.Runner.messages);
+  (* Stub databases are (nearly) empty; its own LSA may be stored. *)
+  List.iter
+    (fun ad ->
+      check_bool "stub db nearly empty" true (Delegated.db_entries (Rd.protocol rd) ad <= 1))
+    (Graph.stub_ids g);
+  (* Transit databases are complete. *)
+  List.iter
+    (fun ad ->
+      check_int "transit db complete" (Graph.n g) (Delegated.db_entries (Rd.protocol rd) ad))
+    (Graph.transit_ids g)
+
+let orwg_delegation_route_server_mapping () =
+  let g = Figure1.graph () in
+  let module Rd = Runner.Make (Delegated) in
+  let rd = Rd.setup g (Config.defaults g) in
+  ignore (Rd.converge rd);
+  (* Stub 7 delegates to its provider R1 (2); transit ADs serve
+     themselves. *)
+  check_int "stub delegates to provider" 2 (Delegated.route_server_of (Rd.protocol rd) 7);
+  check_int "transit self-serves" 0 (Delegated.route_server_of (Rd.protocol rd) 0);
+  (* Non-delegating variant: everyone self-serves. *)
+  let r = converge_on (Config.defaults g) g in
+  check_int "full-flooding self-serves" 7 (Orwg.Orwg.route_server_of (R.protocol r) 7)
+
+let orwg_delegation_adapts_to_failure () =
+  let g = Figure1.graph () in
+  let module Rd = Runner.Make (Delegated) in
+  let rd = Rd.setup g (Config.defaults g) in
+  ignore (Rd.converge rd);
+  let flow = Flow.make ~src:7 ~dst:12 () in
+  check_bool "delivered before" true (Forwarding.delivered (Rd.send_flow rd flow));
+  let lid = Option.get (Graph.find_link g 0 1) in
+  Rd.fail_link rd lid;
+  ignore (Rd.converge rd);
+  (* The stale cached route is detected against the provider's database
+     and re-synthesized. *)
+  match Rd.send_flow rd flow with
+  | Forwarding.Delivered { path; _ } ->
+    let rec uses = function
+      | a :: b :: rest -> ((a = 0 && b = 1) || (a = 1 && b = 0)) || uses (b :: rest)
+      | _ -> false
+    in
+    check_bool "rerouted around the failure" false (uses path)
+  | o -> Alcotest.failf "expected delivery, got %a" Forwarding.pp_outcome o
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "pr_orwg"
+    [
+      ( "orwg",
+        [
+          Alcotest.test_case "setup then handles" `Quick orwg_setup_then_handles;
+          Alcotest.test_case "route shared across flows" `Quick
+            orwg_policy_route_shared_across_hosts;
+          Alcotest.test_case "no-handles header overhead" `Quick orwg_no_handles_header_overhead;
+          Alcotest.test_case "source policy honored" `Quick orwg_source_policy_honored;
+          Alcotest.test_case "gateway validates setup" `Quick orwg_gateway_validates_setup;
+          Alcotest.test_case "precompute" `Quick orwg_precompute_prevents_setup_latency;
+          Alcotest.test_case "stale route invalidated" `Quick
+            orwg_stale_route_invalidated_by_flooding;
+          Alcotest.test_case "per-packet PG validation" `Quick orwg_pg_validation_counts;
+          Alcotest.test_case "bounded PG cache eviction" `Quick orwg_bounded_pg_eviction;
+          Alcotest.test_case "unbounded never evicts" `Quick orwg_unbounded_never_evicts;
+          Alcotest.test_case "policy change: stale setup retried" `Quick
+            orwg_policy_change_stale_retry;
+          Alcotest.test_case "policy change visible" `Quick orwg_policy_change_visible;
+          Alcotest.test_case "delegation: same delivery" `Quick
+            orwg_delegation_equivalent_delivery;
+          Alcotest.test_case "delegation: flooding savings" `Quick
+            orwg_delegation_saves_flooding;
+          Alcotest.test_case "delegation: route server mapping" `Quick
+            orwg_delegation_route_server_mapping;
+          Alcotest.test_case "delegation: adapts to failure" `Quick
+            orwg_delegation_adapts_to_failure;
+        ]
+        @ qsuite [ orwg_no_transit_violations ] );
+    ]

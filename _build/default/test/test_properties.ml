@@ -1,0 +1,45 @@
+(* Conformance sweep: every protocol in the registry must satisfy the
+   behavioural properties of Pr_core.Properties on every scenario
+   shape we throw at it. *)
+
+module Registry = Pr_core.Registry
+module Scenario = Pr_core.Scenario
+module Properties = Pr_core.Properties
+
+let scenarios packed =
+  (* The per-source IDRP variant holds quadratic state: exercise it on
+     the small internet only. *)
+  let small = [ ("figure1", Scenario.figure1 ~seed:5 ()) ] in
+  let larger =
+    [
+      ( "hierarchical-open",
+        Scenario.open_policies (Scenario.hierarchical ~seed:11 ()) );
+      ( "hierarchical-restricted",
+        Scenario.hierarchical
+          ~policy:{ Pr_policy.Gen.default with restrictiveness = 0.5 }
+          ~seed:13 () );
+    ]
+  in
+  if Registry.name packed = "idrp-per-source" then small else small @ larger
+
+let case packed (prop_name, check) (scenario_name, scenario) =
+  let name =
+    Printf.sprintf "%s: %s on %s" (Registry.name packed) prop_name scenario_name
+  in
+  Alcotest.test_case name `Slow (fun () ->
+      match check packed scenario with
+      | Ok () -> ()
+      | Error reason -> Alcotest.failf "%s: %s" name reason)
+
+let suite_for packed =
+  let props =
+    (* EGP's silent stable loops after churn are documented behaviour:
+       the fail/restore property does not apply to it. *)
+    List.filter
+      (fun (name, _) -> not (Registry.name packed = "egp" && name = "survives fail/restore"))
+      Properties.all
+  in
+  ( Registry.name packed,
+    List.concat_map (fun prop -> List.map (case packed prop) (scenarios packed)) props )
+
+let () = Alcotest.run "conformance" (List.map suite_for Registry.all)

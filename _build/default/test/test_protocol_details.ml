@@ -1,0 +1,295 @@
+(* Fine-grained unit tests of protocol mechanics that the scenario-level
+   suites only exercise indirectly: message-handling edge cases,
+   advertisement gating, bit progression on packets, loop rejection. *)
+
+module Rng = Pr_util.Rng
+module Ad = Pr_topology.Ad
+module Link = Pr_topology.Link
+module Graph = Pr_topology.Graph
+module Figure1 = Pr_topology.Figure1
+module Generator = Pr_topology.Generator
+module Flow = Pr_policy.Flow
+module Qos = Pr_policy.Qos
+module Config = Pr_policy.Config
+module Policy_term = Pr_policy.Policy_term
+module Transit_policy = Pr_policy.Transit_policy
+module Engine = Pr_sim.Engine
+module Metrics = Pr_sim.Metrics
+module Network = Pr_sim.Network
+module Packet = Pr_proto.Packet
+module Forwarding = Pr_proto.Forwarding
+module Runner = Pr_proto.Runner
+module Lsdb = Pr_proto.Lsdb
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+(* --- DV internals ----------------------------------------------------- *)
+
+module Rdv = Runner.Make (Pr_dv.Dv.Plain)
+
+let dv_vector_from_non_neighbor_ignored () =
+  let g = Figure1.graph () in
+  let r = Rdv.setup g (Config.defaults g) in
+  ignore (Rdv.converge r);
+  (* Inject a bogus vector "from" AD 12, which is not a neighbor of 7:
+     link_cost lookup fails and the message must be ignored. *)
+  Pr_dv.Dv.Plain.handle_message (Rdv.protocol r) ~at:7 ~from:12 [ (0, 1) ];
+  (match Pr_dv.Dv.route_of (Rdv.protocol r) ~at:7 ~dst:0 with
+  | Some (metric, nh) ->
+    check_int "metric unchanged" 2 metric;
+    check_int "next hop unchanged" 2 nh
+  | None -> Alcotest.fail "route to BB1 must exist");
+  ignore (Rdv.converge r)
+
+let dv_metric_clamped_at_infinity () =
+  let g = Generator.line ~n:2 in
+  let r = Rdv.setup g (Config.defaults g) in
+  ignore (Rdv.converge r);
+  (* A neighbor advertising an absurd metric for itself must be clamped
+     to the infinity sentinel, never overflow: distributed Bellman-Ford
+     believes the claim and withdraws the route, cleanly. *)
+  Pr_dv.Dv.Plain.handle_message (Rdv.protocol r) ~at:0 ~from:1 [ (1, max_int / 2) ];
+  ignore (Rdv.converge r);
+  (match Pr_dv.Dv.route_of (Rdv.protocol r) ~at:0 ~dst:1 with
+  | None -> () (* clamped to infinity and withdrawn: correct *)
+  | Some (metric, _) ->
+    check_bool "no overflow" true (metric >= 0 && metric < Pr_dv.Dv.infinity_metric));
+  (* A fresh honest vector restores the route. *)
+  Pr_dv.Dv.Plain.handle_message (Rdv.protocol r) ~at:0 ~from:1 [ (1, 0) ];
+  ignore (Rdv.converge r);
+  match Pr_dv.Dv.route_of (Rdv.protocol r) ~at:0 ~dst:1 with
+  | Some (1, 1) -> ()
+  | Some (m, nh) -> Alcotest.failf "unexpected route (%d, %d)" m nh
+  | None -> Alcotest.fail "route not restored"
+
+let dv_self_route_is_zero () =
+  let g = Figure1.graph () in
+  let r = Rdv.setup g (Config.defaults g) in
+  ignore (Rdv.converge r);
+  match Pr_dv.Dv.route_of (Rdv.protocol r) ~at:5 ~dst:5 with
+  | Some (0, 5) -> ()
+  | Some (m, nh) -> Alcotest.failf "self route is (%d, %d)" m nh
+  | None -> Alcotest.fail "self route missing"
+
+(* --- ECMA internals --------------------------------------------------- *)
+
+module Recma = Runner.Make (Pr_ecma.Ecma)
+
+let ecma_packet_gone_down_progression () =
+  let g = Figure1.graph () in
+  let r = Recma.setup g (Config.defaults g) in
+  ignore (Recma.converge r);
+  (* Walk 7 -> 12 manually, tracking the gone_down bit: it must be
+     false while climbing (7->2->0), then set once descending. *)
+  let proto = Recma.protocol r in
+  let packet = Packet.create (Flow.make ~src:7 ~dst:12 ()) in
+  let rec walk at from acc =
+    match Pr_ecma.Ecma.forward proto ~at ~from packet with
+    | Packet.Deliver -> List.rev ((at, packet.Packet.gone_down) :: acc)
+    | Packet.Forward next -> walk next (Some at) ((at, packet.Packet.gone_down) :: acc)
+    | Packet.Drop reason -> Alcotest.failf "unexpected drop: %s" reason
+  in
+  let trace = walk 7 None [] in
+  (* The bit is monotone: once true, never false again. *)
+  let rec monotone seen = function
+    | [] -> true
+    | (_, bit) :: rest -> if seen && not bit then false else monotone (seen || bit) rest
+  in
+  check_bool "gone_down monotone" true (monotone false (List.map (fun x -> x) trace));
+  check_bool "packet ended gone down" true packet.Packet.gone_down
+
+let ecma_destination_filter_gates_advertisement () =
+  (* A transit AD whose PTs only admit destination 8 must not offer
+     routes toward 12 — but always advertises itself. *)
+  let g = Figure1.graph () in
+  let transit =
+    Array.map
+      (fun (a : Ad.t) ->
+        if a.Ad.id = 0 then
+          Transit_policy.make 0
+            [ Policy_term.make ~owner:0 ~destinations:(Policy_term.Only [ 8 ]) () ]
+        else if Ad.is_transit_capable a then Transit_policy.open_transit a.Ad.id
+        else Transit_policy.no_transit a.Ad.id)
+      (Graph.ads g)
+  in
+  let config = Config.make ~transit () in
+  let r = Recma.setup g config in
+  ignore (Recma.converge r);
+  (* 7 -> 8 crosses BB1 and is admitted; 7 -> 12 would need BB1 but the
+     destination filter withholds those routes. *)
+  check_bool "admitted destination flows" true
+    (Forwarding.delivered (Recma.send_flow r (Flow.make ~src:7 ~dst:8 ())));
+  check_bool "filtered destination blocked" false
+    (Forwarding.delivered (Recma.send_flow r (Flow.make ~src:7 ~dst:12 ())));
+  (* BB1 itself stays reachable (self-advertisement is never gated). *)
+  check_bool "the AD itself reachable" true
+    (Forwarding.delivered (Recma.send_flow r (Flow.make ~src:7 ~dst:0 ())))
+
+(* --- IDRP internals --------------------------------------------------- *)
+
+module Ridrp = Runner.Make (Pr_idrp.Idrp.Standard)
+
+let idrp_rejects_own_path () =
+  let g = Figure1.graph () in
+  let r = Ridrp.setup g (Config.defaults g) in
+  ignore (Ridrp.converge r);
+  let proto = Ridrp.protocol r in
+  let flow = Flow.make ~src:2 ~dst:13 () in
+  let before = Pr_idrp.Idrp.Standard.selected_route proto ~at:2 ~dst:13 ~flow in
+  (* Craft an update whose AD path already contains the receiver (2):
+     a better metric must NOT be adopted. *)
+  let full = Pr_util.Bitset.create 14 in
+  for i = 0 to 13 do
+    Pr_util.Bitset.add full i
+  done;
+  let poisoned =
+    {
+      Pr_idrp.Idrp.route =
+        { dest = 13; class_idx = Flow.class_key flow; path = [ 0; 2; 13 ]; allowed = full };
+      withdraw = false;
+    }
+  in
+  ignore before;
+  Pr_idrp.Idrp.Standard.handle_message proto ~at:2 ~from:0 [ poisoned ];
+  ignore (Ridrp.converge r);
+  (* The loop-containing route is never adopted (it also implicitly
+     withdraws the sender's previous offer, like a real path vector):
+     whatever is selected now, it is loop-free and not the poison. *)
+  (match Pr_idrp.Idrp.Standard.selected_route proto ~at:2 ~dst:13 ~flow with
+  | None -> ()
+  | Some a ->
+    check_bool "selected route is loop-free" true
+      (Pr_topology.Path.is_loop_free a.Pr_idrp.Idrp.path);
+    check_bool "poison not adopted" true (a.Pr_idrp.Idrp.path <> 2 :: [ 0; 2; 13 ]));
+  (* The forged update also displaced neighbor 0's genuine offer (an
+     update replaces the sender's previous route, as in any path
+     vector). A session bounce makes 0 re-advertise, and delivery
+     recovers. *)
+  let lid = Option.get (Graph.find_link g 0 2) in
+  Ridrp.fail_link r lid;
+  ignore (Ridrp.converge r);
+  Ridrp.restore_link r lid;
+  ignore (Ridrp.converge r);
+  check_bool "recovers after session bounce" true
+    (Forwarding.delivered (Ridrp.send_flow r flow))
+
+let idrp_withdraw_removes_route () =
+  let g = Generator.line ~n:3 in
+  let r = Ridrp.setup g (Config.defaults g) in
+  ignore (Ridrp.converge r);
+  let proto = Ridrp.protocol r in
+  let flow = Flow.make ~src:0 ~dst:2 () in
+  check_bool "route present" true
+    (Pr_idrp.Idrp.Standard.selected_route proto ~at:0 ~dst:2 ~flow <> None);
+  (* Neighbor 1 withdraws its route to 2. *)
+  let withdraw =
+    {
+      Pr_idrp.Idrp.route =
+        {
+          dest = 2;
+          class_idx = Flow.class_key flow;
+          path = [];
+          allowed = Pr_util.Bitset.create 3;
+        };
+      withdraw = true;
+    }
+  in
+  Pr_idrp.Idrp.Standard.handle_message proto ~at:0 ~from:1 [ withdraw ];
+  check_bool "route gone after withdraw" true
+    (Pr_idrp.Idrp.Standard.selected_route proto ~at:0 ~dst:2 ~flow = None)
+
+(* --- LSDB / flooding internals ----------------------------------------- *)
+
+let lsdb_stale_does_not_regress () =
+  let db = Lsdb.create ~n:3 in
+  let adj nbr cost = { Lsdb.nbr; cost; delay = 1.0 } in
+  ignore (Lsdb.insert db { Lsdb.origin = 1; seq = 5; adjacencies = [ adj 2 1 ]; terms = [] });
+  check_bool "stale rejected" false
+    (Lsdb.insert db { Lsdb.origin = 1; seq = 4; adjacencies = [ adj 0 9 ]; terms = [] });
+  Alcotest.(check (option int)) "new adjacency not installed" None
+    (Lsdb.adjacency_cost db 1 0);
+  Alcotest.(check (option int)) "old adjacency kept" (Some 1) (Lsdb.adjacency_cost db 1 2)
+
+let flooding_is_quadratic_not_infinite () =
+  (* On a cycle, each LSA must traverse each link at most a bounded
+     number of times (no flooding storm): total messages for one full
+     start is O(links * ADs). *)
+  let g = Generator.ring ~n:8 in
+  let module R = Runner.Make (Pr_ls.Ls) in
+  let r = R.setup g (Config.defaults g) in
+  let c = R.converge r in
+  check_bool "converged" true c.Runner.converged;
+  (* 8 LSAs over 8 links, duplicates suppressed at first sight: the
+     count stays well under links * ADs * 2. *)
+  check_bool
+    (Printf.sprintf "bounded flooding (%d msgs)" c.Runner.messages)
+    true
+    (c.Runner.messages <= 2 * 8 * 8)
+
+(* --- ORWG internals ---------------------------------------------------- *)
+
+module Rorwg = Runner.Make (Pr_orwg.Orwg.Orwg)
+
+let orwg_handles_are_unique_per_setup () =
+  let g = Figure1.graph () in
+  let r = Rorwg.setup g (Config.defaults g) in
+  ignore (Rorwg.converge r);
+  let capture flow =
+    ignore (Rorwg.send_flow r flow);
+    let packet = Packet.create flow in
+    Pr_orwg.Orwg.Orwg.originate (Rorwg.protocol r) packet;
+    Option.get packet.Packet.handle
+  in
+  let h1 = capture (Flow.make ~src:7 ~dst:8 ()) in
+  let h2 = capture (Flow.make ~src:7 ~dst:9 ()) in
+  let h3 = capture (Flow.make ~src:9 ~dst:7 ()) in
+  check_bool "distinct handles" true (h1 <> h2 && h2 <> h3 && h1 <> h3)
+
+let orwg_originate_requires_prepared_route () =
+  let g = Figure1.graph () in
+  let r = Rorwg.setup g (Config.defaults g) in
+  ignore (Rorwg.converge r);
+  (* Originating without a prepared route leaves the base header: the
+     forwarding engine then drops at the source, never loops. *)
+  let packet = Packet.create (Flow.make ~src:7 ~dst:8 ()) in
+  Pr_orwg.Orwg.Orwg.originate (Rorwg.protocol r) packet;
+  check_bool "no handle without setup" true (packet.Packet.handle = None);
+  match Pr_orwg.Orwg.Orwg.forward (Rorwg.protocol r) ~at:7 ~from:None packet with
+  | Packet.Drop _ -> ()
+  | d -> Alcotest.failf "expected drop, got %a" Packet.pp_decision d
+
+let () =
+  Alcotest.run "protocol-details"
+    [
+      ( "dv",
+        [
+          Alcotest.test_case "non-neighbor vector ignored" `Quick
+            dv_vector_from_non_neighbor_ignored;
+          Alcotest.test_case "metric clamped" `Quick dv_metric_clamped_at_infinity;
+          Alcotest.test_case "self route zero" `Quick dv_self_route_is_zero;
+        ] );
+      ( "ecma",
+        [
+          Alcotest.test_case "gone_down progression" `Quick ecma_packet_gone_down_progression;
+          Alcotest.test_case "destination filter gating" `Quick
+            ecma_destination_filter_gates_advertisement;
+        ] );
+      ( "idrp",
+        [
+          Alcotest.test_case "rejects own path" `Quick idrp_rejects_own_path;
+          Alcotest.test_case "withdraw removes" `Quick idrp_withdraw_removes_route;
+        ] );
+      ( "lsdb",
+        [
+          Alcotest.test_case "stale does not regress" `Quick lsdb_stale_does_not_regress;
+          Alcotest.test_case "bounded flooding" `Quick flooding_is_quadratic_not_infinite;
+        ] );
+      ( "orwg",
+        [
+          Alcotest.test_case "unique handles" `Quick orwg_handles_are_unique_per_setup;
+          Alcotest.test_case "originate needs setup" `Quick
+            orwg_originate_requires_prepared_route;
+        ] );
+    ]

@@ -1,0 +1,337 @@
+(* Unit tests for the pr_sim discrete-event substrate. *)
+
+module Rng = Pr_util.Rng
+module Graph = Pr_topology.Graph
+module Link = Pr_topology.Link
+module Figure1 = Pr_topology.Figure1
+module Generator = Pr_topology.Generator
+module Engine = Pr_sim.Engine
+module Metrics = Pr_sim.Metrics
+module Network = Pr_sim.Network
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Engine -------------------------------------------------------- *)
+
+let engine_time_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:3.0 (fun () -> log := "c" :: !log);
+  Engine.schedule e ~delay:1.0 (fun () -> log := "a" :: !log);
+  Engine.schedule e ~delay:2.0 (fun () -> log := "b" :: !log);
+  check_int "pending" 3 (Engine.pending e);
+  Alcotest.(check bool) "drained" true (Engine.run e = Engine.Drained);
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  check_float "clock at last event" 3.0 (Engine.now e)
+
+let engine_fifo_ties () =
+  let e = Engine.create () in
+  let log = ref [] in
+  List.iter
+    (fun name -> Engine.schedule e ~delay:1.0 (fun () -> log := name :: !log))
+    [ "x"; "y"; "z" ];
+  ignore (Engine.run e);
+  Alcotest.(check (list string)) "insertion order at equal time" [ "x"; "y"; "z" ]
+    (List.rev !log)
+
+let engine_nested_scheduling () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule e ~delay:1.0 (fun () ->
+      incr fired;
+      Engine.schedule e ~delay:1.0 (fun () -> incr fired));
+  ignore (Engine.run e);
+  check_int "nested event fired" 2 !fired;
+  check_float "time accumulated" 2.0 (Engine.now e)
+
+let engine_event_budget () =
+  let e = Engine.create () in
+  (* A self-perpetuating event chain must hit the budget, not hang. *)
+  let rec renew () = Engine.schedule e ~delay:1.0 renew in
+  renew ();
+  Alcotest.(check bool) "budget stops runaway" true
+    (Engine.run ~max_events:100 e = Engine.Reached_limit);
+  check_int "executed counted" 100 (Engine.events_executed e)
+
+let engine_bad_schedule () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative delay" (Invalid_argument "Engine.schedule: negative delay")
+    (fun () -> Engine.schedule e ~delay:(-1.0) (fun () -> ()))
+
+(* --- Metrics ------------------------------------------------------- *)
+
+let metrics_counters () =
+  let m = Metrics.create ~n:3 in
+  Metrics.record_send m 0 ~bytes:100;
+  Metrics.record_send m 0 ~bytes:50;
+  Metrics.record_send m 2 ~bytes:10;
+  Metrics.record_computation m 1 ~work:5 ();
+  Metrics.set_table_entries m 2 7;
+  check_int "messages" 3 (Metrics.messages m);
+  check_int "bytes" 160 (Metrics.bytes m);
+  check_int "computations" 5 (Metrics.computations m);
+  check_int "per-node messages" 2 (Metrics.messages_of m 0);
+  check_int "per-node bytes" 10 (Metrics.bytes_of m 2);
+  check_int "tables" 7 (Metrics.table_entries m);
+  check_int "max table" 7 (Metrics.max_table_entries m);
+  Metrics.add_table_entries m 2 3;
+  check_int "add gauge" 10 (Metrics.table_entries_of m 2)
+
+let metrics_diff () =
+  let m = Metrics.create ~n:2 in
+  Metrics.record_send m 0 ~bytes:10;
+  let before = Metrics.snapshot m in
+  Metrics.record_send m 0 ~bytes:10;
+  Metrics.record_send m 1 ~bytes:5;
+  let d = Metrics.diff ~after:m ~before in
+  check_int "delta messages" 2 (Metrics.messages d);
+  check_int "delta bytes" 15 (Metrics.bytes d)
+
+let metrics_reset () =
+  let m = Metrics.create ~n:2 in
+  Metrics.record_send m 0 ~bytes:10;
+  Metrics.reset m;
+  check_int "reset" 0 (Metrics.messages m)
+
+(* --- Network ------------------------------------------------------- *)
+
+let make_net () =
+  let g = Figure1.graph () in
+  let e = Engine.create () in
+  let m = Metrics.create ~n:(Graph.n g) in
+  (Network.create e g m, e, m, g)
+
+let network_delivery () =
+  let net, e, m, _ = make_net () in
+  let received = ref [] in
+  Network.set_message_handler net (fun ~at ~from msg -> received := (at, from, msg) :: !received);
+  Network.send net ~src:0 ~dst:1 ~bytes:42 "hello";
+  check_int "charged on send" 1 (Metrics.messages m);
+  check_int "nothing delivered yet" 0 (List.length !received);
+  ignore (Engine.run e);
+  Alcotest.(check (list (triple int int string))) "delivered" [ (1, 0, "hello") ] !received
+
+let network_no_link_drop () =
+  let net, e, m, _ = make_net () in
+  let received = ref 0 in
+  Network.set_message_handler net (fun ~at:_ ~from:_ _ -> incr received);
+  (* 7 and 8 are not adjacent. *)
+  Network.send net ~src:7 ~dst:8 ~bytes:10 "x";
+  ignore (Engine.run e);
+  check_int "not delivered" 0 !received;
+  check_int "not charged either" 0 (Metrics.messages m)
+
+let network_down_link () =
+  let net, e, m, g = make_net () in
+  let received = ref 0 in
+  let link_events = ref [] in
+  Network.set_message_handler net (fun ~at:_ ~from:_ _ -> incr received);
+  Network.set_link_handler net (fun ~at ~link ~up -> link_events := (at, link, up) :: !link_events);
+  let lid = Option.get (Graph.find_link g 0 1) in
+  Network.set_link_state net lid ~up:false;
+  check_int "both endpoints notified" 2 (List.length !link_events);
+  check_bool "reported down" true (List.for_all (fun (_, _, up) -> not up) !link_events);
+  check_bool "link reported down" false (Network.link_is_up net lid);
+  check_bool "not adjacent anymore" false (Network.adjacent_and_up net 0 1);
+  Network.send net ~src:0 ~dst:1 ~bytes:10 "x";
+  ignore (Engine.run e);
+  check_int "dropped" 0 !received;
+  check_int "no send charged" 0 (Metrics.messages m);
+  (* Restore and retry. *)
+  Network.set_link_state net lid ~up:true;
+  Network.send net ~src:0 ~dst:1 ~bytes:10 "x";
+  ignore (Engine.run e);
+  check_int "delivered after restore" 1 !received
+
+let network_in_flight_loss () =
+  let net, e, _, g = make_net () in
+  let received = ref 0 in
+  Network.set_message_handler net (fun ~at:_ ~from:_ _ -> incr received);
+  let lid = Option.get (Graph.find_link g 0 1) in
+  Network.send net ~src:0 ~dst:1 ~bytes:10 "x";
+  (* The message is in flight; the link fails before delivery. *)
+  Network.set_link_state net lid ~up:false;
+  ignore (Engine.run e);
+  check_int "in-flight message lost" 0 !received
+
+let network_broadcast () =
+  let net, e, _, g = make_net () in
+  let received = ref [] in
+  Network.set_message_handler net (fun ~at ~from:_ _ -> received := at :: !received);
+  let sent = Network.broadcast net ~src:0 ~bytes:10 "x" in
+  check_int "sent to degree-many" (Graph.degree g 0) sent;
+  ignore (Engine.run e);
+  check_int "all delivered" sent (List.length !received)
+
+let network_up_neighbors () =
+  let net, _, _, g = make_net () in
+  Alcotest.(check (list int)) "all up initially" (Graph.neighbor_ids g 0)
+    (Network.up_neighbors net 0);
+  let lid = Option.get (Graph.find_link g 0 1) in
+  Network.set_link_state net lid ~up:false;
+  check_bool "1 no longer a neighbor" true (not (List.mem 1 (Network.up_neighbors net 0)))
+
+let network_fail_random () =
+  let net, _, _, g = make_net () in
+  let rng = Rng.create 3 in
+  match Network.fail_random_link net rng () with
+  | None -> Alcotest.fail "expected a link to fail"
+  | Some lid ->
+    check_bool "failed" false (Network.link_is_up net lid);
+    let count = ref 0 in
+    Graph.fold_links g ~init:() ~f:(fun () l ->
+        if not (Network.link_is_up net l.Link.id) then incr count);
+    check_int "exactly one failed" 1 !count
+
+let network_fail_random_kind () =
+  let net, _, _, g = make_net () in
+  let rng = Rng.create 3 in
+  match Network.fail_random_link net rng ~kind:Link.Bypass () with
+  | None -> Alcotest.fail "expected the bypass link"
+  | Some lid ->
+    check_bool "bypass kind" true ((Graph.link g lid).Link.kind = Link.Bypass)
+
+(* --- Virtual gateways (paper footnote 8) ----------------------------- *)
+
+(* "A virtual gateway may be comprised of multiple PGs in the interest
+   of reliability and performance": modelled as parallel links between
+   one AD pair. The network rides over individual PG failures without
+   the connection disappearing. *)
+let parallel_graph () =
+  let module Ad = Pr_topology.Ad in
+  let ads =
+    Array.init 2 (fun id ->
+        Ad.make ~id ~name:(Printf.sprintf "N%d" id) ~klass:Ad.Hybrid ~level:Ad.Metro)
+  in
+  let links =
+    [|
+      Link.make ~id:0 ~a:0 ~b:1 ~cost:1 Link.Lateral;
+      Link.make ~id:1 ~a:0 ~b:1 ~cost:2 Link.Lateral;
+    |]
+  in
+  Graph.create ads links
+
+let virtual_gateway_failover () =
+  let g = parallel_graph () in
+  let e = Engine.create () in
+  let m = Metrics.create ~n:2 in
+  let net = Network.create e g m in
+  let received = ref 0 in
+  Network.set_message_handler net (fun ~at:_ ~from:_ _ -> incr received);
+  (* Both PGs up: traffic rides the cheap one. *)
+  Network.send net ~src:0 ~dst:1 ~bytes:10 "x";
+  ignore (Engine.run e);
+  check_int "delivered over cheap PG" 1 !received;
+  (* The cheap PG fails: the connection survives over the other. *)
+  Network.set_link_state net 0 ~up:false;
+  check_bool "still adjacent" true (Network.adjacent_and_up net 0 1);
+  Network.send net ~src:0 ~dst:1 ~bytes:10 "x";
+  ignore (Engine.run e);
+  check_int "failover delivery" 2 !received;
+  (* Both down: the virtual gateway is gone. *)
+  Network.set_link_state net 1 ~up:false;
+  check_bool "gone when all PGs fail" false (Network.adjacent_and_up net 0 1)
+
+let virtual_gateway_protocol_transparent () =
+  (* A routing protocol keeps its adjacency (and routes) across the
+     failure of one of two parallel PGs. *)
+  let g = parallel_graph () in
+  let module R = Pr_proto.Runner.Make (Pr_ls.Ls) in
+  let r = R.setup g (Pr_policy.Config.defaults g) in
+  ignore (R.converge r);
+  R.fail_link r 0;
+  let c = R.converge r in
+  check_bool "reconverged" true c.Pr_proto.Runner.converged;
+  check_bool "adjacency survives one PG failure" true
+    (Pr_proto.Forwarding.delivered
+       (R.send_flow r (Pr_policy.Flow.make ~src:0 ~dst:1 ())))
+
+(* --- Churn ---------------------------------------------------------- *)
+
+let churn_restores_links () =
+  let net, e, _, g = make_net () in
+  let rng = Rng.create 5 in
+  Pr_sim.Churn.schedule net rng ~events:6 ~spacing:2.0 ();
+  check_int "events queued" 6 (Engine.pending e);
+  ignore (Engine.run e);
+  (* Even number of events: every churn-failed link was restored. *)
+  let down = ref 0 in
+  Graph.fold_links g ~init:() ~f:(fun () l ->
+      if not (Network.link_is_up net l.Link.id) then incr down);
+  check_int "all links restored" 0 !down
+
+let churn_leaves_last_failure () =
+  let net, e, _, g = make_net () in
+  let rng = Rng.create 5 in
+  Pr_sim.Churn.schedule net rng ~events:5 ~spacing:1.0 ();
+  ignore (Engine.run e);
+  let down = ref 0 in
+  Graph.fold_links g ~init:() ~f:(fun () l ->
+      if not (Network.link_is_up net l.Link.id) then incr down);
+  check_int "odd event count leaves one link down" 1 !down
+
+let churn_interleaves_with_protocol () =
+  (* Schedule churn before converging a real protocol: the reactions
+     interleave with the flips and the system still quiesces. *)
+  let g = Pr_topology.Figure1.graph () in
+  let module R = Pr_proto.Runner.Make (Pr_ls.Ls) in
+  let r = R.setup g (Pr_policy.Config.defaults g) in
+  let rng = Rng.create 11 in
+  Pr_sim.Churn.schedule (R.network r) rng ~events:8 ~spacing:3.0 ();
+  let c = R.converge ~max_events:5_000_000 r in
+  check_bool "converged through churn" true c.Pr_proto.Runner.converged;
+  (* All links are back; routing must be fully functional. *)
+  let flow = Pr_policy.Flow.make ~src:7 ~dst:12 () in
+  check_bool "delivers after churn" true
+    (Pr_proto.Forwarding.delivered (R.send_flow r flow))
+
+let churn_bad_spacing () =
+  let net, _, _, _ = make_net () in
+  Alcotest.check_raises "spacing" (Invalid_argument "Churn.schedule: spacing <= 0")
+    (fun () -> Pr_sim.Churn.schedule net (Rng.create 1) ~events:2 ~spacing:0.0 ())
+
+let () =
+  Alcotest.run "pr_sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "time order" `Quick engine_time_order;
+          Alcotest.test_case "FIFO ties" `Quick engine_fifo_ties;
+          Alcotest.test_case "nested scheduling" `Quick engine_nested_scheduling;
+          Alcotest.test_case "event budget" `Quick engine_event_budget;
+          Alcotest.test_case "bad schedule" `Quick engine_bad_schedule;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick metrics_counters;
+          Alcotest.test_case "diff" `Quick metrics_diff;
+          Alcotest.test_case "reset" `Quick metrics_reset;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "delivery" `Quick network_delivery;
+          Alcotest.test_case "no link drop" `Quick network_no_link_drop;
+          Alcotest.test_case "down link" `Quick network_down_link;
+          Alcotest.test_case "in-flight loss" `Quick network_in_flight_loss;
+          Alcotest.test_case "broadcast" `Quick network_broadcast;
+          Alcotest.test_case "up neighbors" `Quick network_up_neighbors;
+          Alcotest.test_case "fail random link" `Quick network_fail_random;
+          Alcotest.test_case "fail random by kind" `Quick network_fail_random_kind;
+        ] );
+      ( "virtual-gateway",
+        [
+          Alcotest.test_case "failover" `Quick virtual_gateway_failover;
+          Alcotest.test_case "protocol transparent" `Quick virtual_gateway_protocol_transparent;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "restores links" `Quick churn_restores_links;
+          Alcotest.test_case "odd count leaves one down" `Quick churn_leaves_last_failure;
+          Alcotest.test_case "interleaves with protocol" `Quick churn_interleaves_with_protocol;
+          Alcotest.test_case "bad spacing" `Quick churn_bad_spacing;
+        ] );
+    ]

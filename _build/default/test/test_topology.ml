@@ -1,0 +1,378 @@
+(* Unit and property tests for pr_topology. *)
+
+module Rng = Pr_util.Rng
+module Ad = Pr_topology.Ad
+module Link = Pr_topology.Link
+module Graph = Pr_topology.Graph
+module Path = Pr_topology.Path
+module Generator = Pr_topology.Generator
+module Figure1 = Pr_topology.Figure1
+module Partial_order = Pr_topology.Partial_order
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+(* --- Ad / Link ----------------------------------------------------- *)
+
+let ad_basics () =
+  let a = Ad.make ~id:3 ~name:"R1" ~klass:Ad.Transit ~level:Ad.Regional in
+  check_bool "transit capable" true (Ad.is_transit_capable a);
+  let s = Ad.make ~id:4 ~name:"C1" ~klass:Ad.Stub ~level:Ad.Campus in
+  check_bool "stub not transit" false (Ad.is_transit_capable s);
+  let m = Ad.make ~id:5 ~name:"C2" ~klass:Ad.Multihomed ~level:Ad.Campus in
+  check_bool "multihomed not transit" false (Ad.is_transit_capable m);
+  let h = Ad.make ~id:6 ~name:"M1" ~klass:Ad.Hybrid ~level:Ad.Metro in
+  check_bool "hybrid transit capable" true (Ad.is_transit_capable h);
+  check_int "backbone rank" 0 (Ad.level_rank Ad.Backbone);
+  check_int "campus rank" 3 (Ad.level_rank Ad.Campus)
+
+let link_basics () =
+  let l = Link.make ~id:0 ~a:1 ~b:2 Link.Lateral in
+  check_int "other end of 1" 2 (Link.other_end l 1);
+  check_int "other end of 2" 1 (Link.other_end l 2);
+  check_bool "connects" true (Link.connects l 2 1);
+  check_bool "does not connect" false (Link.connects l 1 3);
+  Alcotest.check_raises "not an endpoint" (Invalid_argument "Link.other_end: not an endpoint")
+    (fun () -> ignore (Link.other_end l 7));
+  Alcotest.check_raises "self loop" (Invalid_argument "Link.make: self loop") (fun () ->
+      ignore (Link.make ~id:0 ~a:1 ~b:1 Link.Lateral));
+  Alcotest.check_raises "bad cost" (Invalid_argument "Link.make: cost < 1") (fun () ->
+      ignore (Link.make ~id:0 ~a:1 ~b:2 ~cost:0 Link.Lateral))
+
+(* --- Graph --------------------------------------------------------- *)
+
+let triangle () =
+  let ads =
+    Array.init 3 (fun id ->
+        Ad.make ~id ~name:(Printf.sprintf "N%d" id) ~klass:Ad.Hybrid ~level:Ad.Metro)
+  in
+  let links =
+    [|
+      Link.make ~id:0 ~a:0 ~b:1 Link.Lateral;
+      Link.make ~id:1 ~a:1 ~b:2 ~cost:2 Link.Lateral;
+      Link.make ~id:2 ~a:0 ~b:2 ~cost:5 Link.Lateral;
+    |]
+  in
+  Graph.create ads links
+
+let graph_basics () =
+  let g = triangle () in
+  check_int "n" 3 (Graph.n g);
+  check_int "links" 3 (Graph.num_links g);
+  check_int "degree" 2 (Graph.degree g 0);
+  Alcotest.(check (list int)) "neighbors" [ 1; 2 ] (Graph.neighbor_ids g 0);
+  Alcotest.(check (option int)) "find link" (Some 1) (Graph.find_link g 1 2);
+  Alcotest.(check (option int)) "no link to self" None (Graph.find_link g 1 1);
+  check_bool "connected" true (Graph.is_connected g);
+  check_bool "cyclic" true (Graph.has_cycle g)
+
+let graph_validation () =
+  let ads = [| Ad.make ~id:1 ~name:"X" ~klass:Ad.Stub ~level:Ad.Campus |] in
+  Alcotest.check_raises "id mismatch"
+    (Invalid_argument "Graph.create: AD id must equal its index") (fun () ->
+      ignore (Graph.create ads [||]))
+
+let graph_bfs () =
+  let g = Generator.line ~n:5 in
+  let dist = Graph.bfs_hops g 0 in
+  Alcotest.(check (array int)) "line distances" [| 0; 1; 2; 3; 4 |] dist;
+  Alcotest.(check (option (list int)))
+    "shortest path"
+    (Some [ 0; 1; 2; 3; 4 ])
+    (Graph.shortest_path_hops g 0 4)
+
+let graph_acyclic_line () =
+  let g = Generator.line ~n:4 in
+  check_bool "line has no cycle" false (Graph.has_cycle g);
+  check_bool "connected" true (Graph.is_connected g)
+
+let graph_counts () =
+  let g = Figure1.graph () in
+  let klass_count k = List.assoc k (Graph.count_by_klass g) in
+  check_int "stubs" 6 (klass_count Ad.Stub);
+  check_int "multihomed" 2 (klass_count Ad.Multihomed);
+  check_int "transit" 6 (klass_count Ad.Transit);
+  let kind_count k = List.assoc k (Graph.count_links_by_kind g) in
+  check_int "hierarchical" 13 (kind_count Link.Hierarchical);
+  check_int "lateral" 3 (kind_count Link.Lateral);
+  check_int "bypass" 1 (kind_count Link.Bypass);
+  check_int "hosts = stubs + multihomed" 8 (List.length (Graph.host_ids g));
+  check_int "transit ids" 6 (List.length (Graph.transit_ids g))
+
+(* --- Path ---------------------------------------------------------- *)
+
+let path_basics () =
+  let p = [ 0; 1; 2 ] in
+  check_int "source" 0 (Path.source p);
+  check_int "destination" 2 (Path.destination p);
+  check_int "hops" 2 (Path.hops p);
+  check_bool "loop free" true (Path.is_loop_free p);
+  check_bool "loop detected" false (Path.is_loop_free [ 0; 1; 0 ]);
+  Alcotest.(check (list int)) "transit" [ 1 ] (Path.transit_ads p);
+  Alcotest.(check (list int)) "no transit on 2-path" [] (Path.transit_ads [ 0; 1 ]);
+  Alcotest.(check string) "to_string" "0->1->2" (Path.to_string p)
+
+let path_cost () =
+  let g = triangle () in
+  Alcotest.(check (option int)) "cost 0-1-2" (Some 3) (Path.cost g [ 0; 1; 2 ]);
+  Alcotest.(check (option int)) "cost direct" (Some 5) (Path.cost g [ 0; 2 ]);
+  check_bool "valid" true (Path.is_valid g [ 0; 1; 2 ]);
+  check_bool "invalid loop" false (Path.is_valid g [ 0; 1; 0 ]);
+  check_bool "invalid empty" false (Path.is_valid g [])
+
+let path_enumerate () =
+  let g = triangle () in
+  let paths = Path.enumerate_simple g ~src:0 ~dst:2 ~max_hops:3 () in
+  Alcotest.(check int) "two simple paths" 2 (List.length paths);
+  check_bool "all valid" true (List.for_all (Path.is_valid g) paths);
+  let bounded = Path.enumerate_simple g ~src:0 ~dst:2 ~max_hops:1 () in
+  Alcotest.(check (list (list int))) "hop bound" [ [ 0; 2 ] ] bounded;
+  let pruned =
+    Path.enumerate_simple g ~src:0 ~dst:2 ~max_hops:3 ~node_ok:(fun v -> v <> 1) ()
+  in
+  Alcotest.(check (list (list int))) "interior filter" [ [ 0; 2 ] ] pruned;
+  let edge_pruned =
+    Path.enumerate_simple g ~src:0 ~dst:2 ~max_hops:3
+      ~edge_ok:(fun u v -> not (u = 0 && v = 2))
+      ()
+  in
+  Alcotest.(check (list (list int))) "edge filter" [ [ 0; 1; 2 ] ] edge_pruned
+
+let path_enumerate_limit () =
+  let g = Generator.random_mesh (Rng.create 3) ~n:10 ~extra_links:10 in
+  let paths = Path.enumerate_simple g ~src:0 ~dst:9 ~max_hops:9 ~limit:5 () in
+  check_bool "limit respected" true (List.length paths <= 5)
+
+(* --- Generator ----------------------------------------------------- *)
+
+let generator_structure =
+  QCheck.Test.make ~name:"generated internets are connected and well-classed" ~count:30
+    QCheck.small_int (fun seed ->
+      let g = Generator.generate (Rng.create seed) Generator.default in
+      Graph.is_connected g
+      && Array.for_all
+           (fun (a : Ad.t) ->
+             match (a.Ad.level, a.Ad.klass) with
+             | Ad.Backbone, Ad.Transit | Ad.Regional, Ad.Transit -> true
+             | Ad.Metro, (Ad.Transit | Ad.Hybrid) -> true
+             | Ad.Campus, (Ad.Stub | Ad.Multihomed) -> true
+             | _ -> false)
+           (Graph.ads g)
+      && Graph.fold_links g ~init:true ~f:(fun acc l -> acc && l.Link.a <> l.Link.b))
+
+let generator_multihomed_consistent =
+  QCheck.Test.make ~name:"campus with >1 link is multihomed, with 1 is stub" ~count:30
+    QCheck.small_int (fun seed ->
+      let g = Generator.generate (Rng.create seed) Generator.default in
+      Array.for_all
+        (fun (a : Ad.t) ->
+          match a.Ad.level with
+          | Ad.Campus ->
+            let d = Graph.degree g a.Ad.id in
+            if d > 1 then a.Ad.klass = Ad.Multihomed else a.Ad.klass = Ad.Stub
+          | _ -> true)
+        (Graph.ads g))
+
+let generator_no_duplicate_links =
+  QCheck.Test.make ~name:"no duplicate links between an AD pair" ~count:30 QCheck.small_int
+    (fun seed ->
+      let g = Generator.generate (Rng.create seed) Generator.default in
+      let pairs =
+        Graph.fold_links g ~init:[] ~f:(fun acc l ->
+            (Stdlib.min l.Link.a l.Link.b, Stdlib.max l.Link.a l.Link.b) :: acc)
+      in
+      List.length pairs = List.length (List.sort_uniq compare pairs))
+
+let generator_deterministic () =
+  let g1 = Generator.generate (Rng.create 99) Generator.default in
+  let g2 = Generator.generate (Rng.create 99) Generator.default in
+  check_int "same n" (Graph.n g1) (Graph.n g2);
+  check_int "same links" (Graph.num_links g1) (Graph.num_links g2);
+  Graph.fold_links g1 ~init:() ~f:(fun () l ->
+      let l2 = Graph.link g2 l.Link.id in
+      check_bool "same link endpoints" true (l.Link.a = l2.Link.a && l.Link.b = l2.Link.b))
+
+let generator_scaled () =
+  List.iter
+    (fun target ->
+      let p = Generator.scaled ~target_ads:target in
+      let g = Generator.generate (Rng.create 7) p in
+      let n = Graph.n g in
+      check_bool
+        (Printf.sprintf "size %d within 2x of target %d" n target)
+        true
+        (n >= target / 2 && n <= target * 2))
+    [ 25; 50; 100; 200 ]
+
+let generator_mesh () =
+  let g = Generator.random_mesh (Rng.create 5) ~n:20 ~extra_links:10 in
+  check_int "n" 20 (Graph.n g);
+  check_bool "connected" true (Graph.is_connected g);
+  check_bool "has cycles" true (Graph.has_cycle g);
+  check_int "links" 29 (Graph.num_links g);
+  let tree = Generator.random_mesh (Rng.create 5) ~n:20 ~extra_links:0 in
+  check_bool "tree acyclic" false (Graph.has_cycle tree);
+  check_int "tree links" 19 (Graph.num_links tree)
+
+let generator_ring () =
+  let g = Generator.ring ~n:6 in
+  check_int "links" 6 (Graph.num_links g);
+  check_bool "cycle" true (Graph.has_cycle g);
+  check_bool "all degree 2" true
+    (List.for_all (fun i -> Graph.degree g i = 2) (List.init 6 (fun i -> i)))
+
+(* --- Figure 1 ------------------------------------------------------ *)
+
+let figure1_shape () =
+  let g = Figure1.graph () in
+  check_int "14 ADs" 14 (Graph.n g);
+  check_int "17 links" 17 (Graph.num_links g);
+  check_bool "connected" true (Graph.is_connected g);
+  check_bool "cyclic (lateral+bypass)" true (Graph.has_cycle g);
+  check_int "multihomed degree" 2 (Graph.degree g Figure1.multihomed_campus);
+  check_int "bypass campus degree" 2 (Graph.degree g Figure1.bypass_campus);
+  check_bool "backbones adjacent" true
+    (Graph.find_link g Figure1.backbone_1 Figure1.backbone_2 <> None);
+  check_int "four regionals" 4 (List.length Figure1.regionals);
+  check_int "eight campuses" 8 (List.length Figure1.campuses)
+
+(* --- Partial order ------------------------------------------------- *)
+
+let po_of_levels () =
+  let g = Figure1.graph () in
+  let po = Partial_order.of_levels g in
+  check_int "backbone rank" 0 (Partial_order.rank po Figure1.backbone_1);
+  check_bool "campus below backbone" true
+    (Partial_order.rank po Figure1.bypass_campus > Partial_order.rank po Figure1.backbone_1);
+  check_bool "direction up" true
+    (Partial_order.direction po ~from_ad:Figure1.bypass_campus ~to_ad:Figure1.backbone_1
+    = Partial_order.Up);
+  check_bool "direction level" true
+    (Partial_order.direction po ~from_ad:Figure1.backbone_1 ~to_ad:Figure1.backbone_2
+    = Partial_order.Level)
+
+let po_valley_free () =
+  let g = Figure1.graph () in
+  let po = Partial_order.of_levels g in
+  check_bool "up then down ok" true (Partial_order.is_valley_free po [ 7; 2; 0; 1; 4; 10 ]);
+  check_bool "valley rejected" false (Partial_order.is_valley_free po [ 2; 7; 2 ]);
+  check_bool "violation reported" true
+    (Partial_order.valley_free_violation po [ 2; 7; 2 ] <> None);
+  check_bool "single node fine" true (Partial_order.is_valley_free po [ 3 ])
+
+let po_embeddable () =
+  let cs = [ { Partial_order.above = 0; below = 1 }; { above = 1; below = 2 } ] in
+  (match Partial_order.embeddable ~n:3 cs with
+  | None -> Alcotest.fail "chain should embed"
+  | Some ranks ->
+    check_bool "order respected" true (ranks.(0) < ranks.(1) && ranks.(1) < ranks.(2)));
+  let cyclic =
+    [
+      { Partial_order.above = 0; below = 1 };
+      { above = 1; below = 2 };
+      { above = 2; below = 0 };
+    ]
+  in
+  check_bool "cycle rejected" true (Partial_order.embeddable ~n:3 cyclic = None)
+
+let po_embeddable_prop =
+  QCheck.Test.make ~name:"embeddable witness satisfies all constraints" ~count:200
+    QCheck.(list (pair (int_range 0 9) (int_range 0 9)))
+    (fun pairs ->
+      let cs =
+        List.filter_map
+          (fun (a, b) -> if a = b then None else Some { Partial_order.above = a; below = b })
+          pairs
+      in
+      match Partial_order.embeddable ~n:10 cs with
+      | None -> true
+      | Some ranks ->
+        List.for_all
+          (fun { Partial_order.above; below } -> ranks.(above) < ranks.(below))
+          cs)
+
+(* --- Dot ------------------------------------------------------------ *)
+
+let contains_substring haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let dot_well_formed () =
+  let g = Figure1.graph () in
+  let dot = Pr_topology.Dot.to_dot g in
+  check_bool "opens graph" true (contains_substring dot "graph internet {");
+  check_bool "closes graph" true (dot.[String.length dot - 2] = '}');
+  (* One node statement per AD, one edge per link. *)
+  for i = 0 to Graph.n g - 1 do
+    check_bool
+      (Printf.sprintf "node %d present" i)
+      true
+      (contains_substring dot (Printf.sprintf "n%d [" i))
+  done;
+  Graph.fold_links g ~init:() ~f:(fun () l ->
+      check_bool "edge present" true
+        (contains_substring dot (Printf.sprintf "n%d -- n%d" l.Link.a l.Link.b)));
+  check_bool "lateral dashed" true (contains_substring dot "style=dashed");
+  check_bool "bypass bold" true (contains_substring dot "style=bold")
+
+let dot_highlight () =
+  let g = Figure1.graph () in
+  let dot = Pr_topology.Dot.to_dot ~highlight:[ 7; 2; 0 ] g in
+  check_bool "highlighted edge" true (contains_substring dot "color=red");
+  let plain = Pr_topology.Dot.to_dot g in
+  check_bool "no highlight by default" false (contains_substring plain "color=red")
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "pr_topology"
+    [
+      ( "ad-link",
+        [
+          Alcotest.test_case "ad basics" `Quick ad_basics;
+          Alcotest.test_case "link basics" `Quick link_basics;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "basics" `Quick graph_basics;
+          Alcotest.test_case "validation" `Quick graph_validation;
+          Alcotest.test_case "bfs" `Quick graph_bfs;
+          Alcotest.test_case "acyclic line" `Quick graph_acyclic_line;
+          Alcotest.test_case "figure1 counts" `Quick graph_counts;
+        ] );
+      ( "path",
+        [
+          Alcotest.test_case "basics" `Quick path_basics;
+          Alcotest.test_case "cost" `Quick path_cost;
+          Alcotest.test_case "enumerate" `Quick path_enumerate;
+          Alcotest.test_case "enumerate limit" `Quick path_enumerate_limit;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic" `Quick generator_deterministic;
+          Alcotest.test_case "scaled sizes" `Quick generator_scaled;
+          Alcotest.test_case "mesh and tree" `Quick generator_mesh;
+          Alcotest.test_case "ring" `Quick generator_ring;
+        ]
+        @ qsuite
+            [
+              generator_structure;
+              generator_multihomed_consistent;
+              generator_no_duplicate_links;
+            ] );
+      ("figure1", [ Alcotest.test_case "shape" `Quick figure1_shape ]);
+      ( "dot",
+        [
+          Alcotest.test_case "well formed" `Quick dot_well_formed;
+          Alcotest.test_case "highlight" `Quick dot_highlight;
+        ] );
+      ( "partial-order",
+        [
+          Alcotest.test_case "of levels" `Quick po_of_levels;
+          Alcotest.test_case "valley free" `Quick po_valley_free;
+          Alcotest.test_case "embeddable" `Quick po_embeddable;
+        ]
+        @ qsuite [ po_embeddable_prop ] );
+    ]

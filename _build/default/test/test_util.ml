@@ -1,0 +1,419 @@
+(* Unit and property tests for the pr_util substrate. *)
+
+module Rng = Pr_util.Rng
+module Pqueue = Pr_util.Pqueue
+module Bitset = Pr_util.Bitset
+module Stats = Pr_util.Stats
+module Texttable = Pr_util.Texttable
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Rng ----------------------------------------------------------- *)
+
+let rng_deterministic () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same sequence" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  check_bool "different seeds differ" false (Rng.bits64 a = Rng.bits64 b)
+
+let rng_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  let first_b = Rng.bits64 b in
+  (* Drawing more from [a] must not change what [b] produces next. *)
+  let a' = Rng.create 5 in
+  let b' = Rng.split a' in
+  ignore (Rng.bits64 a');
+  ignore (Rng.bits64 a');
+  Alcotest.(check int64) "split stream isolated" first_b (Rng.bits64 b')
+
+let rng_copy () =
+  let a = Rng.create 9 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b)
+
+let rng_int_bounds =
+  QCheck.Test.make ~name:"Rng.int stays within bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let x = Rng.int rng bound in
+      x >= 0 && x < bound)
+
+let rng_int_in_range_bounds =
+  QCheck.Test.make ~name:"Rng.int_in_range inclusive bounds" ~count:500
+    QCheck.(triple small_int (int_range (-50) 50) (int_range 0 100))
+    (fun (seed, lo, width) ->
+      let rng = Rng.create seed in
+      let x = Rng.int_in_range rng ~min:lo ~max:(lo + width) in
+      x >= lo && x <= lo + width)
+
+let rng_float_bounds =
+  QCheck.Test.make ~name:"Rng.float in [0, bound)" ~count:500 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let x = Rng.float rng 10.0 in
+      x >= 0.0 && x < 10.0)
+
+let rng_invalid () =
+  let rng = Rng.create 0 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0));
+  Alcotest.check_raises "choose []" (Invalid_argument "Rng.choose: empty list") (fun () ->
+      ignore (Rng.choose rng []))
+
+let rng_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, xs) ->
+      let rng = Rng.create seed in
+      let shuffled = Rng.shuffle_list rng xs in
+      List.sort compare shuffled = List.sort compare xs)
+
+let rng_sample_distinct =
+  QCheck.Test.make ~name:"sample draws distinct positions" ~count:200
+    QCheck.(pair small_int (int_range 0 30))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let xs = List.init n (fun i -> i) in
+      let k = n / 2 in
+      let s = Rng.sample rng k xs in
+      List.length s = min k n && List.sort_uniq compare s = List.sort compare s)
+
+let rng_chance_extremes () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 50 do
+    check_bool "p=0 never" false (Rng.chance rng 0.0);
+    check_bool "p=1 always" true (Rng.chance rng 1.0)
+  done
+
+(* --- Pqueue -------------------------------------------------------- *)
+
+let pqueue_basic () =
+  let q = Pqueue.create () in
+  check_bool "empty" true (Pqueue.is_empty q);
+  Pqueue.add q ~priority:2.0 "b";
+  Pqueue.add q ~priority:1.0 "a";
+  Pqueue.add q ~priority:3.0 "c";
+  check_int "length" 3 (Pqueue.length q);
+  Alcotest.(check (option (float 0.0))) "min" (Some 1.0) (Pqueue.min_priority q);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop a" (Some (1.0, "a")) (Pqueue.pop q);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop b" (Some (2.0, "b")) (Pqueue.pop q);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop c" (Some (3.0, "c")) (Pqueue.pop q);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop none" None (Pqueue.pop q)
+
+let pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  List.iteri (fun i name -> Pqueue.add q ~priority:(float_of_int (i mod 2)) name)
+    [ "a0"; "b1"; "c0"; "d1"; "e0" ];
+  let popped = ref [] in
+  let rec drain () =
+    match Pqueue.pop q with
+    | None -> ()
+    | Some (_, v) ->
+      popped := v :: !popped;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "FIFO among equal priorities"
+    [ "a0"; "c0"; "e0"; "b1"; "d1" ] (List.rev !popped)
+
+let pqueue_sorted_output =
+  QCheck.Test.make ~name:"pqueue pops in nondecreasing priority" ~count:200
+    QCheck.(list (float_bound_inclusive 100.0))
+    (fun priorities ->
+      let q = Pqueue.create () in
+      List.iter (fun p -> Pqueue.add q ~priority:p ()) priorities;
+      let rec drain acc =
+        match Pqueue.pop q with
+        | None -> List.rev acc
+        | Some (p, ()) -> drain (p :: acc)
+      in
+      let out = drain [] in
+      out = List.sort compare priorities)
+
+let pqueue_clear () =
+  let q = Pqueue.create () in
+  Pqueue.add q ~priority:1.0 1;
+  Pqueue.clear q;
+  check_bool "cleared" true (Pqueue.is_empty q);
+  Pqueue.add q ~priority:5.0 2;
+  Alcotest.(check (option (pair (float 0.0) int))) "usable after clear" (Some (5.0, 2))
+    (Pqueue.pop q)
+
+let pqueue_fold () =
+  let q = Pqueue.create () in
+  List.iter (fun i -> Pqueue.add q ~priority:(float_of_int i) i) [ 3; 1; 2 ];
+  let total = Pqueue.fold q ~init:0 ~f:(fun acc _ v -> acc + v) in
+  check_int "fold sums all" 6 total
+
+(* --- Bitset -------------------------------------------------------- *)
+
+let bitset_basic () =
+  let b = Bitset.create 100 in
+  check_bool "empty" true (Bitset.is_empty b);
+  Bitset.add b 0;
+  Bitset.add b 63;
+  Bitset.add b 99;
+  check_bool "mem 0" true (Bitset.mem b 0);
+  check_bool "mem 63" true (Bitset.mem b 63);
+  check_bool "mem 99" true (Bitset.mem b 99);
+  check_bool "not mem 50" false (Bitset.mem b 50);
+  check_int "cardinal" 3 (Bitset.cardinal b);
+  Bitset.remove b 63;
+  check_bool "removed" false (Bitset.mem b 63);
+  check_int "cardinal after remove" 2 (Bitset.cardinal b);
+  Alcotest.(check (list int)) "elements" [ 0; 99 ] (Bitset.elements b)
+
+let bitset_bounds () =
+  let b = Bitset.create 8 in
+  Alcotest.check_raises "out of range" (Invalid_argument "Bitset: index out of range")
+    (fun () -> Bitset.add b 8)
+
+let bitset_vs_reference =
+  let open QCheck in
+  Test.make ~name:"bitset agrees with list-set reference" ~count:300
+    (pair (list (int_range 0 63)) (list (int_range 0 63)))
+    (fun (xs, ys) ->
+      let a = Bitset.of_list 64 xs and b = Bitset.of_list 64 ys in
+      let sa = List.sort_uniq compare xs and sb = List.sort_uniq compare ys in
+      let u = Bitset.copy a in
+      Bitset.union_into u b;
+      let i = Bitset.copy a in
+      Bitset.inter_into i b;
+      Bitset.elements u = List.sort_uniq compare (sa @ sb)
+      && Bitset.elements i = List.filter (fun x -> List.mem x sb) sa
+      && Bitset.disjoint a b = (Bitset.elements i = [])
+      && Bitset.subset i a)
+
+let bitset_equal_copy =
+  QCheck.Test.make ~name:"copy is equal; mutation breaks equality" ~count:200
+    QCheck.(list (int_range 0 31))
+    (fun xs ->
+      let a = Bitset.of_list 32 xs in
+      let b = Bitset.copy a in
+      let eq_before = Bitset.equal a b in
+      Bitset.add b 0;
+      Bitset.remove b 0;
+      let eq_mid = Bitset.equal a b || List.mem 0 xs in
+      eq_before && eq_mid)
+
+let bitset_clear () =
+  let b = Bitset.of_list 16 [ 1; 2; 3 ] in
+  Bitset.clear b;
+  check_bool "cleared" true (Bitset.is_empty b)
+
+(* --- Stats --------------------------------------------------------- *)
+
+let stats_mean () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "mean empty" 0.0 (Stats.mean [])
+
+let stats_stddev () =
+  check_float "stddev of constant" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  check_float "sample stddev" 1.0 (Stats.stddev [ 1.0; 2.0; 3.0 ])
+
+let stats_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  check_float "p0" 1.0 (Stats.percentile xs 0.0);
+  check_float "p50" 3.0 (Stats.percentile xs 50.0);
+  check_float "p100" 5.0 (Stats.percentile xs 100.0);
+  check_float "p25 interpolates" 2.0 (Stats.percentile xs 25.0)
+
+let stats_summary () =
+  let s = Stats.summary [ 4.0; 1.0; 3.0; 2.0 ] in
+  check_int "count" 4 s.Stats.count;
+  check_float "min" 1.0 s.Stats.min;
+  check_float "max" 4.0 s.Stats.max;
+  check_float "median" 2.5 s.Stats.median
+
+let stats_summary_empty () =
+  let s = Stats.summary [] in
+  check_int "count" 0 s.Stats.count;
+  check_float "mean" 0.0 s.Stats.mean
+
+let stats_percentile_sorted =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_inclusive 100.0))
+    (fun xs ->
+      let p q = Stats.percentile xs q in
+      p 10.0 <= p 50.0 && p 50.0 <= p 90.0)
+
+let stats_histogram () =
+  let h = Stats.histogram ~bucket_width:1.0 [ 0.5; 1.5; 1.7; 3.2 ] in
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "buckets" [ (0.0, 1); (1.0, 2); (2.0, 0); (3.0, 1) ] h.Stats.buckets
+
+let stats_ratio () =
+  check_float "ratio" 2.0 (Stats.ratio 4.0 2.0);
+  check_float "ratio by zero" 0.0 (Stats.ratio 4.0 0.0)
+
+(* --- Texttable ----------------------------------------------------- *)
+
+let texttable_render () =
+  let t = Texttable.create ~columns:[ ("name", Texttable.Left); ("n", Texttable.Right) ] in
+  Texttable.add_row t [ "alpha"; "1" ];
+  Texttable.add_row t [ "b"; "22" ];
+  let out = Texttable.render t in
+  check_bool "contains header" true (String.length out > 0);
+  let lines = String.split_on_char '\n' out in
+  (match lines with
+  | header :: rule :: _ ->
+    check_int "rule same width" (String.length header) (String.length rule)
+  | _ -> Alcotest.fail "expected at least two lines");
+  check_bool "right aligned digits line up" true
+    (List.exists (fun l -> String.length l > 0 && l.[String.length l - 1] = '1') lines)
+
+let texttable_bad_row () =
+  let t = Texttable.create ~columns:[ ("a", Texttable.Left) ] in
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Texttable.add_row: wrong number of cells") (fun () ->
+      Texttable.add_row t [ "x"; "y" ])
+
+let texttable_cells () =
+  Alcotest.(check string) "int" "42" (Texttable.cell_int 42);
+  Alcotest.(check string) "float" "3.14" (Texttable.cell_float 3.1415);
+  Alcotest.(check string) "pct" "50.0%" (Texttable.cell_pct 0.5)
+
+(* --- Sexp ----------------------------------------------------------- *)
+
+module Sexp = Pr_util.Sexp
+
+let sexp_print_parse () =
+  let cases =
+    [
+      Sexp.Atom "hello";
+      Sexp.List [];
+      Sexp.List [ Sexp.Atom "a"; Sexp.Atom "b c"; Sexp.List [ Sexp.int 42 ] ];
+      Sexp.Atom "with \"quotes\" and \\slashes";
+      Sexp.Atom "";
+    ]
+  in
+  List.iter
+    (fun case ->
+      match Sexp.of_string (Sexp.to_string case) with
+      | Ok parsed -> check_bool "roundtrip" true (parsed = case)
+      | Error e -> Alcotest.failf "parse error on %s: %s" (Sexp.to_string case) e)
+    cases
+
+let sexp_parse_errors () =
+  List.iter
+    (fun bad ->
+      match Sexp.of_string bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "should not parse: %s" bad)
+    [ "("; "(a))"; "\"unterminated"; ""; "a b" ]
+
+let sexp_helpers () =
+  let s = Sexp.List [ Sexp.field "x" [ Sexp.int 3 ]; Sexp.field "y" [] ] in
+  (match Sexp.assoc "x" s with
+  | Ok [ v ] -> Alcotest.(check (result int string)) "to_int" (Ok 3) (Sexp.to_int v)
+  | _ -> Alcotest.fail "assoc x");
+  check_bool "assoc_opt present" true (Sexp.assoc_opt "y" s = Some []);
+  check_bool "assoc_opt absent" true (Sexp.assoc_opt "z" s = None);
+  check_bool "assoc absent errors" true (Result.is_error (Sexp.assoc "z" s));
+  check_bool "to_int of list errors" true (Result.is_error (Sexp.to_int s))
+
+let sexp_roundtrip_prop =
+  let rec gen_sexp depth =
+    let open QCheck.Gen in
+    if depth = 0 then map (fun s -> Sexp.Atom s) (string_size (int_range 0 8))
+    else
+      frequency
+        [
+          (2, map (fun s -> Sexp.Atom s) (string_size (int_range 0 8)));
+          ( 1,
+            map (fun l -> Sexp.List l) (list_size (int_range 0 4) (gen_sexp (depth - 1)))
+          );
+        ]
+  in
+  QCheck.Test.make ~name:"sexp print/parse roundtrip" ~count:300
+    (QCheck.make (gen_sexp 3))
+    (fun s ->
+      match Sexp.of_string (Sexp.to_string s) with
+      | Ok parsed -> parsed = s
+      | Error _ -> false)
+
+let sexp_pretty_parses =
+  QCheck.Test.make ~name:"pretty output parses to the same value" ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 20) (pair small_string small_int))
+    (fun pairs ->
+      let s =
+        Sexp.List
+          (List.map (fun (k, v) -> Sexp.List [ Sexp.Atom k; Sexp.int v ]) pairs)
+      in
+      match Sexp.of_string (Sexp.to_string_pretty s) with
+      | Ok parsed -> parsed = s
+      | Error _ -> false)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "pr_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick rng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick rng_split_independent;
+          Alcotest.test_case "copy" `Quick rng_copy;
+          Alcotest.test_case "invalid args" `Quick rng_invalid;
+          Alcotest.test_case "chance extremes" `Quick rng_chance_extremes;
+        ]
+        @ qsuite
+            [
+              rng_int_bounds;
+              rng_int_in_range_bounds;
+              rng_float_bounds;
+              rng_shuffle_permutation;
+              rng_sample_distinct;
+            ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "basic order" `Quick pqueue_basic;
+          Alcotest.test_case "FIFO ties" `Quick pqueue_fifo_ties;
+          Alcotest.test_case "clear" `Quick pqueue_clear;
+          Alcotest.test_case "fold" `Quick pqueue_fold;
+        ]
+        @ qsuite [ pqueue_sorted_output ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "basic" `Quick bitset_basic;
+          Alcotest.test_case "bounds" `Quick bitset_bounds;
+          Alcotest.test_case "clear" `Quick bitset_clear;
+        ]
+        @ qsuite [ bitset_vs_reference; bitset_equal_copy ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick stats_mean;
+          Alcotest.test_case "stddev" `Quick stats_stddev;
+          Alcotest.test_case "percentile" `Quick stats_percentile;
+          Alcotest.test_case "summary" `Quick stats_summary;
+          Alcotest.test_case "summary empty" `Quick stats_summary_empty;
+          Alcotest.test_case "histogram" `Quick stats_histogram;
+          Alcotest.test_case "ratio" `Quick stats_ratio;
+        ]
+        @ qsuite [ stats_percentile_sorted ] );
+      ( "sexp",
+        [
+          Alcotest.test_case "print/parse" `Quick sexp_print_parse;
+          Alcotest.test_case "parse errors" `Quick sexp_parse_errors;
+          Alcotest.test_case "helpers" `Quick sexp_helpers;
+        ]
+        @ qsuite [ sexp_roundtrip_prop; sexp_pretty_parses ] );
+      ( "texttable",
+        [
+          Alcotest.test_case "render" `Quick texttable_render;
+          Alcotest.test_case "bad row" `Quick texttable_bad_row;
+          Alcotest.test_case "cell formatting" `Quick texttable_cells;
+        ] );
+    ]
