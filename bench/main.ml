@@ -1355,6 +1355,123 @@ let e16_topology_effects () =
      time.\n"
 
 (* ------------------------------------------------------------------ *)
+(* SYNTH: route-synthesis scaling on the CSR core                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Machine-readable scaling benchmark: per-source shortest-path trees
+   (Spf.tree, the synthesis kernel every link-state design repeats) on
+   generated internets of 10^2..10^4 ADs. Reports ns per tree, words
+   allocated per tree, and the live heap after synthesis; with [--json]
+   the same numbers land in a JSON file for tracking across commits.
+
+   Options (single-token, so the driver can tell them from experiment
+   names): [--json], [--sizes=100,1000,10000], [--out=FILE]. *)
+
+let synth_arg prefix =
+  Array.to_list Sys.argv
+  |> List.find_map (fun a ->
+         if String.starts_with ~prefix a && String.length a > String.length prefix then
+           Some (String.sub a (String.length prefix) (String.length a - String.length prefix))
+         else None)
+
+let synth_measure g =
+  let n = Graph.n g in
+  let k = Stdlib.min 10 n in
+  let sources = List.init k (fun i -> i * n / k) in
+  let run_once () = List.iter (fun src -> ignore (Pr_topology.Spf.tree g ~src)) sources in
+  run_once () (* warm-up: page in the graph, size the heap *);
+  Gc.full_major ();
+  let reps = ref 0 in
+  let elapsed = ref 0.0 in
+  let s0 = Gc.quick_stat () in
+  let t0 = Sys.time () in
+  while !reps < 3 || (!elapsed < 0.2 && !reps < 200) do
+    run_once ();
+    incr reps;
+    elapsed := Sys.time () -. t0
+  done;
+  let s1 = Gc.quick_stat () in
+  let live = (Gc.stat ()).Gc.live_words in
+  let ops = float_of_int (!reps * k) in
+  let allocated w0 w1 =
+    w1.Gc.minor_words +. w1.Gc.major_words -. w1.Gc.promoted_words
+    -. (w0.Gc.minor_words +. w0.Gc.major_words -. w0.Gc.promoted_words)
+  in
+  ( k,
+    !reps,
+    !elapsed *. 1e9 /. ops (* ns per tree *),
+    allocated s0 s1 /. ops (* words allocated per tree *),
+    live )
+
+let synth () =
+  let sizes =
+    match synth_arg "--sizes=" with
+    | None -> [ 100; 1_000; 10_000 ]
+    | Some s -> List.filter_map int_of_string_opt (String.split_on_char ',' s)
+  in
+  let out = Option.value (synth_arg "--out=") ~default:"BENCH_synthesis.json" in
+  let json = Array.exists (( = ) "--json") Sys.argv in
+  section "SYNTH. Route-synthesis scaling on the CSR graph core (section 6)";
+  note
+    "Per-source shortest-path trees (the synthesis every link-state design\n\
+     repeats) over generated internets; 10 sources per size, repeated until\n\
+     the clock settles. ns/op is one full tree.\n";
+  let t =
+    Texttable.create
+      ~columns:
+        [
+          ("ADs", Texttable.Right);
+          ("links", Texttable.Right);
+          ("srcs", Texttable.Right);
+          ("reps", Texttable.Right);
+          ("ns/op", Texttable.Right);
+          ("alloc words/op", Texttable.Right);
+          ("live words", Texttable.Right);
+        ]
+  in
+  let results =
+    List.map
+      (fun target ->
+        let g = Generator.generate (Rng.create 211) (Generator.scaled ~target_ads:target) in
+        let sources, reps, ns, words, live = synth_measure g in
+        Texttable.add_row t
+          [
+            Texttable.cell_int (Graph.n g);
+            Texttable.cell_int (Graph.num_links g);
+            Texttable.cell_int sources;
+            Texttable.cell_int reps;
+            Texttable.cell_float ~decimals:0 ns;
+            Texttable.cell_float ~decimals:0 words;
+            Texttable.cell_int live;
+          ];
+        (target, Graph.n g, Graph.num_links g, sources, reps, ns, words, live))
+      sizes
+  in
+  Texttable.print t;
+  if json then begin
+    let oc = open_out out in
+    Printf.fprintf oc "{\n";
+    Printf.fprintf oc "  \"benchmark\": \"route_synthesis_scaling\",\n";
+    Printf.fprintf oc "  \"kernel\": \"Spf.tree (Dijkstra over CSR adjacency)\",\n";
+    Printf.fprintf oc
+      "  \"units\": { \"time\": \"ns_per_op\", \"alloc\": \"words_per_op\", \"live\": \
+       \"words\" },\n";
+    Printf.fprintf oc "  \"results\": [\n";
+    List.iteri
+      (fun i (target, ads, links, sources, reps, ns, words, live) ->
+        Printf.fprintf oc
+          "    { \"target_ads\": %d, \"ads\": %d, \"links\": %d, \"sources\": %d, \
+           \"reps\": %d, \"ns_per_op\": %.0f, \"alloc_words_per_op\": %.0f, \
+           \"live_words\": %d }%s\n"
+          target ads links sources reps ns words live
+          (if i = List.length results - 1 then "" else ","))
+      results;
+    Printf.fprintf oc "  ]\n}\n";
+    close_out oc;
+    note "\nWrote %s\n" out
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one kernel per exhibit                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1472,12 +1589,13 @@ let experiments =
     ("e14", e14_replication);
     ("e15", e15_qos_routing);
     ("e16", e16_topology_effects);
+    ("synth", synth);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let want_bechamel = List.mem "--bechamel" args in
-  let selected = List.filter (fun a -> a <> "--bechamel") args in
+  let selected = List.filter (fun a -> not (String.starts_with ~prefix:"--" a)) args in
   let to_run =
     match selected with
     | [] -> experiments

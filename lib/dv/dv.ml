@@ -56,33 +56,30 @@ module Make (V : VARIANT) = struct
   let vector_bytes entries =
     Cost_model.update_fixed_bytes + (Cost_model.dv_entry_bytes * List.length entries)
 
-  let link_cost t x y =
-    match Graph.find_link t.graph x y with
-    | None -> None
-    | Some lid -> Some (Graph.link t.graph lid).Link.cost
-
-  (* Recompute this node's entry for [dst]; true when it changed. *)
+  (* Recompute this node's entry for [dst]; true when it changed. The
+     inner loop is allocation-free: up neighbors stream from the CSR
+     rows and the (static cheapest) link cost is an array read. *)
   let recompute t ad dst =
     if dst = ad then false
     else begin
       let node = t.nodes.(ad) in
       let best = ref infinity_metric and via = ref (-1) in
-      List.iter
-        (fun nbr ->
-          match (Hashtbl.find_opt node.heard nbr, link_cost t ad nbr) with
-          | Some table, Some cost ->
-            let candidate = Stdlib.min (table.(dst) + cost) infinity_metric in
-            if candidate < !best then begin
-              best := candidate;
-              via := nbr
-            end
-          | _ -> ())
-        (Network.up_neighbors t.net ad);
+      Network.iter_up_neighbors t.net ad ~f:(fun nbr ->
+          match Hashtbl.find_opt node.heard nbr with
+          | None -> ()
+          | Some table ->
+            let cost = Graph.link_cost t.graph ad nbr in
+            if cost >= 0 then begin
+              let candidate = Stdlib.min (table.(dst) + cost) infinity_metric in
+              if candidate < !best then begin
+                best := candidate;
+                via := nbr
+              end
+            end);
       let changed = node.metric.(dst) <> !best || node.next_hop.(dst) <> !via in
       node.metric.(dst) <- !best;
       node.next_hop.(dst) <- (if !best >= infinity_metric then -1 else !via);
       changed
-
     end
 
   (* Advertise the given destinations to every up neighbor, applying
@@ -90,8 +87,7 @@ module Make (V : VARIANT) = struct
   let advertise t ad dests =
     if dests <> [] then begin
       let node = t.nodes.(ad) in
-      List.iter
-        (fun nbr ->
+      Network.iter_up_neighbors t.net ad ~f:(fun nbr ->
           let entries =
             List.map
               (fun dst ->
@@ -101,7 +97,6 @@ module Make (V : VARIANT) = struct
               dests
           in
           Network.send t.net ~src:ad ~dst:nbr ~bytes:(vector_bytes entries) entries)
-        (Network.up_neighbors t.net ad)
     end
 
   let all_dests t = List.init (Graph.n t.graph) (fun i -> i)

@@ -126,8 +126,7 @@ let recompute t ad ~lower qi dest =
     let n = Graph.n t.graph in
     let node = t.nodes.(ad) in
     let best = ref infinity_metric and via = ref (-1) in
-    List.iter
-      (fun nbr ->
+    Network.iter_up_neighbors t.net ad ~f:(fun nbr ->
         if is_down_step t ~from_ad:ad ~to_ad:nbr = lower then
           match
             (Hashtbl.find_opt node.heard nbr, link_metric t (Qos.of_index qi) ad nbr)
@@ -138,8 +137,7 @@ let recompute t ad ~lower qi dest =
               best := candidate;
               via := nbr
             end
-          | _ -> ())
-      (Network.up_neighbors t.net ad);
+          | _ -> ());
     let table, hops = if lower then (node.down_only, node.down_hop) else (node.mixed, node.mixed_hop) in
     let changed = table.(qi).(dest) <> !best in
     table.(qi).(dest) <- !best;
@@ -168,14 +166,12 @@ let advertised_entry t ad nbr q dest =
 
 let advertise t ad pairs =
   if pairs <> [] then
-    List.iter
-      (fun nbr ->
+    Network.iter_up_neighbors t.net ad ~f:(fun nbr ->
         let entries =
           List.filter_map (fun (q, dest) -> advertised_entry t ad nbr q dest) pairs
         in
         if entries <> [] then
           Network.send t.net ~src:ad ~dst:nbr ~bytes:(message_bytes entries) entries)
-      (Network.up_neighbors t.net ad)
 
 let all_pairs t =
   List.concat_map (fun q -> List.init (Graph.n t.graph) (fun dest -> (q, dest))) Qos.all

@@ -12,7 +12,9 @@ type message = Lsdb.lsa
 
 type node = {
   mutable next_hops : Pr_topology.Ad.id array;  (* -1 = unreachable *)
-  mutable dirty : bool;
+  (* Database version the tree was computed at; -1 = never. The tree is
+     a per-source SPF cache: fresh while the version still matches. *)
+  mutable computed_version : int;
 }
 
 type t = {
@@ -32,17 +34,13 @@ let design_point =
 let create graph _config net =
   let n = Graph.n graph in
   let flood = Ls_flood.create net ~terms_for:(fun _ -> []) () in
-  let t =
-    {
-      graph;
-      net;
-      flood;
-      nodes = Array.init n (fun _ -> { next_hops = Array.make n (-1); dirty = true });
-      spf_count = 0;
-    }
-  in
-  Ls_flood.set_on_change flood (fun ad -> t.nodes.(ad).dirty <- true);
-  t
+  {
+    graph;
+    net;
+    flood;
+    nodes = Array.init n (fun _ -> { next_hops = Array.make n (-1); computed_version = -1 });
+    spf_count = 0;
+  }
 
 let start t = Ls_flood.start t.flood
 
@@ -52,7 +50,7 @@ let handle_link t ~at ~link:_ ~up = Ls_flood.handle_link t.flood ~at ~up
 
 (* Plain Dijkstra over the AD's database, recording the first hop of
    each shortest path. *)
-let run_spf t ad =
+let run_spf t ad ~version =
   let n = Graph.n t.graph in
   let db = Ls_flood.db t.flood ad in
   let dist = Array.make n infinity in
@@ -92,9 +90,11 @@ let run_spf t ad =
   t.spf_count <- t.spf_count + 1;
   Metrics.record_computation (Network.metrics t.net) ad ~work:!work ();
   t.nodes.(ad).next_hops <- first_hop;
-  t.nodes.(ad).dirty <- false
+  t.nodes.(ad).computed_version <- version
 
-let ensure_fresh t ad = if t.nodes.(ad).dirty then run_spf t ad
+let ensure_fresh t ad =
+  let version = Ls_flood.db_version t.flood ad in
+  if t.nodes.(ad).computed_version <> version then run_spf t ad ~version
 
 let prepare_flow _t _flow = Packet.no_prep
 

@@ -13,8 +13,11 @@ module Design_point = Pr_proto.Design_point
 type message = Lsdb.lsa
 
 type node = {
-  (* (src, dst, class) -> computed policy route (None = uncomputable) *)
-  route_cache : (int * int * int, Pr_topology.Path.t option) Hashtbl.t;
+  (* (src, dst, class) -> (db version, computed policy route). Entries
+     are tagged with the database version they were computed at and
+     discarded lazily on lookup — a database change makes every tagged
+     entry stale at once without an eager cache flush. *)
+  route_cache : (int * int * int, int * Pr_topology.Path.t option) Hashtbl.t;
 }
 
 type t = {
@@ -34,13 +37,7 @@ let create graph config net =
   let n = Graph.n graph in
   let terms_for ad = (Config.transit config ad).Transit_policy.terms in
   let flood = Ls_flood.create net ~terms_for () in
-  let t =
-    { graph; net; flood; nodes = Array.init n (fun _ -> { route_cache = Hashtbl.create 32 }) }
-  in
-  (* A database change invalidates every cached route at that AD: the
-     uniform computation must be repeated on fresh data. *)
-  Ls_flood.set_on_change flood (fun ad -> Hashtbl.reset t.nodes.(ad).route_cache);
-  t
+  { graph; net; flood; nodes = Array.init n (fun _ -> { route_cache = Hashtbl.create 32 }) }
 
 let start t = Ls_flood.start t.flood
 
@@ -57,13 +54,14 @@ let compute_route t at (flow : Flow.t) =
   let n = Graph.n t.graph in
   let key = (flow.Flow.src, flow.Flow.dst, Flow.class_key flow) in
   let node = t.nodes.(at) in
+  let version = Ls_flood.db_version t.flood at in
   match Hashtbl.find_opt node.route_cache key with
-  | Some cached -> cached
-  | None ->
+  | Some (v, cached) when v = version -> cached
+  | _ ->
     let db = Ls_flood.db t.flood at in
     let path, work = Policy_route.shortest db ~n flow () in
     Metrics.record_computation (Network.metrics t.net) at ~work ();
-    Hashtbl.replace node.route_cache key path;
+    Hashtbl.replace node.route_cache key (version, path);
     path
 
 let prepare_flow _t _flow = Packet.no_prep
@@ -86,9 +84,15 @@ let forward t ~at ~from:_ packet =
       | Some next -> Packet.Forward next
       | None -> Packet.Drop "not on my computed route (inconsistent databases)")
 
-let table_entries t ad =
-  Ls_flood.db_entries t.flood ad + Hashtbl.length t.nodes.(ad).route_cache
+(* Only entries computed at the current database version count as
+   routing state — stale tagged entries are garbage awaiting reuse of
+   their key, exactly as the eager-flush scheme would have dropped. *)
+let cache_entries t ad =
+  let version = Ls_flood.db_version t.flood ad in
+  Hashtbl.fold
+    (fun _ (v, _) acc -> if v = version then acc + 1 else acc)
+    t.nodes.(ad).route_cache 0
+
+let table_entries t ad = Ls_flood.db_entries t.flood ad + cache_entries t ad
 
 let computed_route t ~at flow = compute_route t at flow
-
-let cache_entries t ad = Hashtbl.length t.nodes.(ad).route_cache

@@ -56,8 +56,7 @@ let legal_paths g config flow ~max_hops ?(limit = 10_000) () =
         results := List.rev (dst :: prefix_rev) :: !results
       end
       else if depth < max_hops then
-        List.iter
-          (fun v ->
+        Graph.iter_neighbor_ids g u ~f:(fun v ->
             if not on_path.(v) then begin
               let u_ok =
                 u = src
@@ -70,7 +69,6 @@ let legal_paths g config flow ~max_hops ?(limit = 10_000) () =
                 on_path.(v) <- false
               end
             end)
-          (Graph.neighbor_ids g u)
   in
   if src = dst then [ [ src ] ]
   else begin
@@ -115,8 +113,7 @@ let shortest_legal_dijkstra g config flow ~avoid =
           end
           else begin
             let prev = if v = src then None else Some p in
-            List.iter
-              (fun (w, lid) ->
+            Graph.iter_neighbors g v ~f:(fun w lid ->
                 if w <> src then begin
                   let interior_ok =
                     v = src
@@ -135,7 +132,6 @@ let shortest_legal_dijkstra g config flow ~avoid =
                     end
                   end
                 end)
-              (Graph.neighbors g v)
           end
         end
     done;

@@ -5,6 +5,11 @@ type t = {
   net : Lsdb.lsa Network.t;
   dbs : Lsdb.t array;
   seqs : int array;
+  (* Per-AD database version: bumped on every accepted LSA. Protocols
+     key their synthesis caches on this — an unchanged version means
+     the AD's view of the topology is unchanged, so cached SPF trees
+     and policy routes are still valid. *)
+  versions : int array;
   terms_for : Pr_topology.Ad.id -> Pr_policy.Policy_term.t list;
   flood_to : Pr_topology.Ad.id -> bool;
   mutable on_change : Pr_topology.Ad.id -> unit;
@@ -16,6 +21,7 @@ let create net ~terms_for ?(flood_to = fun _ -> true) () =
     net;
     dbs = Array.init n (fun _ -> Lsdb.create ~n);
     seqs = Array.make n 0;
+    versions = Array.make n 0;
     terms_for;
     flood_to;
     on_change = (fun _ -> ());
@@ -25,43 +31,34 @@ let set_on_change t f = t.on_change <- f
 
 let db t ad = t.dbs.(ad)
 
+let db_version t ad = t.versions.(ad)
+
 let db_entries t ad = Lsdb.entry_count t.dbs.(ad)
 
 (* Current up adjacencies of [ad]: the cheapest up link per neighbor,
    with its cost and delay. *)
 let current_adjacencies t ad =
   let g = Network.graph t.net in
-  List.filter_map
-    (fun nbr ->
-      let cheapest =
-        List.fold_left
-          (fun best (v, lid) ->
-            if v = nbr && Network.link_is_up t.net lid then
-              let l = Graph.link g lid in
-              match best with
-              | None -> Some l
-              | Some (b : Pr_topology.Link.t) ->
-                if l.Pr_topology.Link.cost < b.Pr_topology.Link.cost then Some l else best
-            else best)
-          None (Graph.neighbors g ad)
-      in
-      Option.map
-        (fun (l : Pr_topology.Link.t) ->
-          {
-            Lsdb.nbr;
-            cost = l.Pr_topology.Link.cost;
-            delay = l.Pr_topology.Link.delay;
-          })
-        cheapest)
-    (Network.up_neighbors t.net ad)
+  let acc = ref [] in
+  Graph.iter_neighbor_ids g ad ~f:(fun nbr ->
+      match Network.up_link_between t.net ad nbr with
+      | None -> ()
+      | Some lid ->
+        let l = Graph.link g lid in
+        acc :=
+          { Lsdb.nbr; cost = l.Pr_topology.Link.cost; delay = l.Pr_topology.Link.delay }
+          :: !acc);
+  List.rev !acc
 
 let flood_from t ad ?except lsa =
   let bytes = Lsdb.lsa_bytes lsa in
-  List.iter
-    (fun nbr ->
-      if Some nbr <> except && t.flood_to nbr then
-        Network.send t.net ~src:ad ~dst:nbr ~bytes lsa)
-    (Network.up_neighbors t.net ad)
+  let except = match except with None -> -1 | Some e -> e in
+  Network.iter_up_neighbors t.net ad ~f:(fun nbr ->
+      if nbr <> except && t.flood_to nbr then Network.send t.net ~src:ad ~dst:nbr ~bytes lsa)
+
+let changed t ad =
+  t.versions.(ad) <- t.versions.(ad) + 1;
+  t.on_change ad
 
 let originate t ad =
   t.seqs.(ad) <- t.seqs.(ad) + 1;
@@ -73,7 +70,7 @@ let originate t ad =
       terms = t.terms_for ad;
     }
   in
-  if Lsdb.insert t.dbs.(ad) lsa then t.on_change ad;
+  if Lsdb.insert t.dbs.(ad) lsa then changed t ad;
   flood_from t ad lsa
 
 let start t =
@@ -84,7 +81,7 @@ let start t =
 
 let handle_message t ~at ~from lsa =
   if Lsdb.insert t.dbs.(at) lsa then begin
-    t.on_change at;
+    changed t at;
     flood_from t at ~except:from lsa
   end
 

@@ -39,8 +39,15 @@ val handle_link : t -> at:Pr_topology.Ad.id -> up:bool -> unit
 val db : t -> Pr_topology.Ad.id -> Lsdb.t
 (** The AD's current link-state database. *)
 
+val db_version : t -> Pr_topology.Ad.id -> int
+(** Monotonic per-AD database version, bumped on every accepted LSA.
+    Synthesis results computed at version [v] remain valid exactly
+    while [db_version] still returns [v] — protocols key their SPF and
+    policy-route caches on it instead of eagerly flushing on change. *)
+
 val set_on_change : t -> (Pr_topology.Ad.id -> unit) -> unit
 (** Callback invoked at an AD whenever its database changes — used by
-    protocols to invalidate computed routes. *)
+    protocols that must eagerly revalidate state ({!db_version} covers
+    the common lazy-invalidation case). *)
 
 val db_entries : t -> Pr_topology.Ad.id -> int

@@ -41,25 +41,33 @@ let set_link_handler t f = t.on_link <- f
 let link_is_up t lid = t.link_up.(lid)
 
 let up_link_between t x y =
-  List.fold_left
-    (fun best (nbr, lid) ->
-      if nbr = y && t.link_up.(lid) then
-        match best with
-        | None -> Some lid
-        | Some b ->
-          if (Graph.link t.graph lid).Link.cost < (Graph.link t.graph b).Link.cost then
-            Some lid
-          else best
-      else best)
-    None
-    (Graph.neighbors t.graph x)
+  let best = ref (-1) and best_cost = ref max_int in
+  Graph.iter_links_between t.graph x y ~f:(fun lid ->
+      if t.link_up.(lid) then begin
+        let c = (Graph.link t.graph lid).Link.cost in
+        if c < !best_cost then begin
+          best := lid;
+          best_cost := c
+        end
+      end);
+  if !best < 0 then None else Some !best
 
 let adjacent_and_up t x y = up_link_between t x y <> None
 
+let iter_up_neighbors t x ~f =
+  (* The CSR row is sorted by neighbor, so parallel links are adjacent:
+     emit each neighbor once, on its first up link. *)
+  let last = ref (-1) in
+  Graph.iter_neighbors t.graph x ~f:(fun v lid ->
+      if v <> !last && t.link_up.(lid) then begin
+        last := v;
+        f v
+      end)
+
 let up_neighbors t x =
-  Graph.neighbors t.graph x
-  |> List.filter_map (fun (nbr, lid) -> if t.link_up.(lid) then Some nbr else None)
-  |> List.sort_uniq compare
+  let acc = ref [] in
+  iter_up_neighbors t x ~f:(fun v -> acc := v :: !acc);
+  List.rev !acc
 
 let send t ~src ~dst ~bytes msg =
   match up_link_between t src dst with

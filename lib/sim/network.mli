@@ -53,6 +53,14 @@ val adjacent_and_up : 'msg t -> Pr_topology.Ad.id -> Pr_topology.Ad.id -> bool
 val up_neighbors : 'msg t -> Pr_topology.Ad.id -> Pr_topology.Ad.id list
 (** Deduplicated neighbors reachable over at least one up link. *)
 
+val iter_up_neighbors : 'msg t -> Pr_topology.Ad.id -> f:(Pr_topology.Ad.id -> unit) -> unit
+(** Allocation-free {!up_neighbors}: each reachable neighbor once, in
+    increasing id order. The form protocol inner loops should use. *)
+
+val up_link_between :
+  'msg t -> Pr_topology.Ad.id -> Pr_topology.Ad.id -> Pr_topology.Link.id option
+(** The cheapest up link joining the two ADs, if any. *)
+
 val set_link_state : 'msg t -> Pr_topology.Link.id -> up:bool -> unit
 (** Change a link's state immediately and notify both endpoints
     through the link handler. No-op when the state is unchanged. *)

@@ -1,7 +1,31 @@
+(* The hot-path representation is CSR (compressed sparse row): the
+   adjacency of every AD is a contiguous slice of two flat int arrays,
+   sorted by (neighbor, link id). A second, parallel CSR over *unique*
+   neighbors carries, per (AD, neighbor) pair, the slice of parallel
+   links joining them and the precomputed cheapest one, so that
+   [find_link]/[link_cost] are a binary search plus an array read and
+   neighbor iteration never allocates. Built once in [create]; the
+   graph is immutable afterwards (dynamic link status lives in
+   [Pr_sim.Network]). *)
+
 type t = {
   ads : Ad.t array;
   links : Link.t array;
-  adj : (Ad.id * Link.id) list array;
+  (* Full adjacency: row [i] spans slots [off.(i) .. off.(i+1) - 1] of
+     [adj_nbr]/[adj_link], one slot per incident link (parallel links
+     appear once each), sorted by (neighbor, link id). *)
+  off : int array;
+  adj_nbr : int array;
+  adj_link : int array;
+  (* Unique-neighbor index: row [i] spans [uoff.(i) .. uoff.(i+1) - 1]
+     of [uniq_nbr], sorted. Slot [k]'s parallel-link group spans
+     [uniq_first.(k) .. uniq_first.(k + 1) - 1] of the full adjacency
+     ([uniq_first] has one trailing sentinel), and [uniq_best.(k)] is
+     the cheapest link of the group (lowest id among ties). *)
+  uoff : int array;
+  uniq_nbr : int array;
+  uniq_first : int array;
+  uniq_best : int array;
 }
 
 let create ads links =
@@ -16,14 +40,78 @@ let create ads links =
       if l.Link.a < 0 || l.Link.a >= n || l.Link.b < 0 || l.Link.b >= n then
         invalid_arg "Graph.create: link endpoint out of range")
     links;
-  let adj = Array.make n [] in
+  let num_links = Array.length links in
+  let slots = 2 * num_links in
+  let off = Array.make (n + 1) 0 in
   Array.iter
     (fun (l : Link.t) ->
-      adj.(l.Link.a) <- (l.Link.b, l.Link.id) :: adj.(l.Link.a);
-      adj.(l.Link.b) <- (l.Link.a, l.Link.id) :: adj.(l.Link.b))
+      off.(l.Link.a) <- off.(l.Link.a) + 1;
+      off.(l.Link.b) <- off.(l.Link.b) + 1)
     links;
-  Array.iteri (fun i entries -> adj.(i) <- List.sort compare entries) adj;
-  { ads; links; adj }
+  let total = ref 0 in
+  for i = 0 to n do
+    let d = off.(i) in
+    off.(i) <- !total;
+    if i < n then total := !total + d
+  done;
+  let adj_nbr = Array.make slots 0 in
+  let adj_link = Array.make slots 0 in
+  (* Place each endpoint, encoding (neighbor, link) as one int so the
+     per-row sort is a monomorphic int sort. Link ids stay below
+     [num_links], so the encoding never collides. *)
+  let enc = Array.make slots 0 in
+  let cursor = Array.copy off in
+  let place x nbr lid =
+    enc.(cursor.(x)) <- (nbr * (num_links + 1)) + lid;
+    cursor.(x) <- cursor.(x) + 1
+  in
+  Array.iter
+    (fun (l : Link.t) ->
+      place l.Link.a l.Link.b l.Link.id;
+      place l.Link.b l.Link.a l.Link.id)
+    links;
+  let uniq_count = ref 0 in
+  for i = 0 to n - 1 do
+    let s = off.(i) and e = off.(i + 1) in
+    if e - s > 1 then begin
+      let row = Array.sub enc s (e - s) in
+      Array.sort Int.compare row;
+      Array.blit row 0 enc s (e - s)
+    end;
+    let prev = ref (-1) in
+    for k = s to e - 1 do
+      let nbr = enc.(k) / (num_links + 1) in
+      adj_nbr.(k) <- nbr;
+      adj_link.(k) <- enc.(k) mod (num_links + 1);
+      if nbr <> !prev then begin
+        incr uniq_count;
+        prev := nbr
+      end
+    done
+  done;
+  let uoff = Array.make (n + 1) 0 in
+  let uniq_nbr = Array.make !uniq_count 0 in
+  let uniq_first = Array.make (!uniq_count + 1) slots in
+  let uniq_best = Array.make !uniq_count 0 in
+  let u = ref 0 in
+  for i = 0 to n - 1 do
+    uoff.(i) <- !u;
+    let prev = ref (-1) in
+    for k = off.(i) to off.(i + 1) - 1 do
+      let nbr = adj_nbr.(k) and lid = adj_link.(k) in
+      if nbr <> !prev then begin
+        uniq_nbr.(!u) <- nbr;
+        uniq_first.(!u) <- k;
+        uniq_best.(!u) <- lid;
+        incr u;
+        prev := nbr
+      end
+      else if links.(lid).Link.cost < links.(uniq_best.(!u - 1)).Link.cost then
+        uniq_best.(!u - 1) <- lid
+    done
+  done;
+  uoff.(n) <- !u;
+  { ads; links; off; adj_nbr; adj_link; uoff; uniq_nbr; uniq_first; uniq_best }
 
 let n t = Array.length t.ads
 
@@ -37,41 +125,84 @@ let link t i = t.links.(i)
 
 let links t = t.links
 
-let neighbors t i = t.adj.(i)
+let iter_neighbors t i ~f =
+  for k = t.off.(i) to t.off.(i + 1) - 1 do
+    f t.adj_nbr.(k) t.adj_link.(k)
+  done
 
-let neighbor_ids t i = List.sort_uniq compare (List.map fst t.adj.(i))
+let iter_neighbor_ids t i ~f =
+  for k = t.uoff.(i) to t.uoff.(i + 1) - 1 do
+    f t.uniq_nbr.(k)
+  done
 
-let degree t i = List.length t.adj.(i)
+let fold_neighbors t i ~init ~f =
+  let acc = ref init in
+  for k = t.off.(i) to t.off.(i + 1) - 1 do
+    acc := f !acc t.adj_nbr.(k) t.adj_link.(k)
+  done;
+  !acc
+
+let neighbors t i =
+  let acc = ref [] in
+  for k = t.off.(i + 1) - 1 downto t.off.(i) do
+    acc := (t.adj_nbr.(k), t.adj_link.(k)) :: !acc
+  done;
+  !acc
+
+let neighbor_ids t i =
+  let acc = ref [] in
+  for k = t.uoff.(i + 1) - 1 downto t.uoff.(i) do
+    acc := t.uniq_nbr.(k) :: !acc
+  done;
+  !acc
+
+let degree t i = t.off.(i + 1) - t.off.(i)
+
+(* Index into the unique-neighbor row of [x] holding [y], or -1. *)
+let uniq_slot t x y =
+  let lo = ref t.uoff.(x) and hi = ref (t.uoff.(x + 1) - 1) in
+  let found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = t.uniq_nbr.(mid) in
+    if v = y then found := mid else if v < y then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
 
 let find_link t x y =
-  let candidates = List.filter (fun (nbr, _) -> nbr = y) t.adj.(x) in
-  match candidates with
-  | [] -> None
-  | _ :: _ ->
-    let cheapest =
-      List.fold_left
-        (fun best (_, lid) ->
-          match best with
-          | None -> Some lid
-          | Some b -> if t.links.(lid).Link.cost < t.links.(b).Link.cost then Some lid else best)
-        None candidates
-    in
-    cheapest
+  let k = uniq_slot t x y in
+  if k < 0 then None else Some t.uniq_best.(k)
+
+let link_cost t x y =
+  let k = uniq_slot t x y in
+  if k < 0 then -1 else t.links.(t.uniq_best.(k)).Link.cost
+
+let iter_links_between t x y ~f =
+  let k = uniq_slot t x y in
+  if k >= 0 then
+    for s = t.uniq_first.(k) to t.uniq_first.(k + 1) - 1 do
+      f t.adj_link.(s)
+    done
 
 let bfs_hops t src =
-  let dist = Array.make (n t) (-1) in
-  let q = Queue.create () in
+  let n = n t in
+  let dist = Array.make n (-1) in
+  let queue = Array.make (Stdlib.max n 1) 0 in
+  let head = ref 0 and tail = ref 0 in
   dist.(src) <- 0;
-  Queue.add src q;
-  while not (Queue.is_empty q) do
-    let u = Queue.pop q in
-    List.iter
-      (fun (v, _) ->
-        if dist.(v) < 0 then begin
-          dist.(v) <- dist.(u) + 1;
-          Queue.add v q
-        end)
-      t.adj.(u)
+  queue.(!tail) <- src;
+  incr tail;
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    for k = t.off.(u) to t.off.(u + 1) - 1 do
+      let v = t.adj_nbr.(k) in
+      if dist.(v) < 0 then begin
+        dist.(v) <- dist.(u) + 1;
+        queue.(!tail) <- v;
+        incr tail
+      end
+    done
   done;
   dist
 
@@ -90,33 +221,36 @@ let has_cycle t =
   let found = ref false in
   let rec dfs u via_link =
     visited.(u) <- true;
-    List.iter
-      (fun (v, lid) ->
-        if Some lid <> via_link then
-          if visited.(v) then found := true else dfs v (Some lid))
-      t.adj.(u)
+    iter_neighbors t u ~f:(fun v lid ->
+        if lid <> via_link then
+          if visited.(v) then found := true else dfs v lid)
   in
   for i = 0 to n t - 1 do
-    if not visited.(i) then dfs i None
+    if not visited.(i) then dfs i (-1)
   done;
   !found
 
 let shortest_path_hops t src dst =
-  let dist = Array.make (n t) (-1) in
-  let parent = Array.make (n t) (-1) in
-  let q = Queue.create () in
+  let n = n t in
+  let dist = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  let queue = Array.make (Stdlib.max n 1) 0 in
+  let head = ref 0 and tail = ref 0 in
   dist.(src) <- 0;
-  Queue.add src q;
-  while not (Queue.is_empty q) do
-    let u = Queue.pop q in
-    List.iter
-      (fun (v, _) ->
-        if dist.(v) < 0 then begin
-          dist.(v) <- dist.(u) + 1;
-          parent.(v) <- u;
-          Queue.add v q
-        end)
-      t.adj.(u)
+  queue.(!tail) <- src;
+  incr tail;
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    for k = t.off.(u) to t.off.(u + 1) - 1 do
+      let v = t.adj_nbr.(k) in
+      if dist.(v) < 0 then begin
+        dist.(v) <- dist.(u) + 1;
+        parent.(v) <- u;
+        queue.(!tail) <- v;
+        incr tail
+      end
+    done
   done;
   if dist.(dst) < 0 then None
   else begin
@@ -168,14 +302,12 @@ let hierarchy_descendants t root =
   let rec go u =
     if not seen.(u) then begin
       seen.(u) <- true;
-      List.iter
-        (fun (v, lid) ->
+      iter_neighbors t u ~f:(fun v lid ->
           let l = t.links.(lid) in
           if
             l.Link.kind = Link.Hierarchical
             && Ad.level_rank t.ads.(v).Ad.level > Ad.level_rank t.ads.(u).Ad.level
           then go v)
-        t.adj.(u)
     end
   in
   go root;

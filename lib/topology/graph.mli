@@ -2,7 +2,15 @@
     inter-AD links.
 
     Dynamic link status (up/down during a simulation) is the business of
-    {!Pr_sim}; this structure describes the configured topology. *)
+    {!Pr_sim}; this structure describes the configured topology.
+
+    Internally the adjacency is CSR (compressed sparse row): flat int
+    arrays built once in {!create}, giving O(1) degree, O(log degree)
+    {!find_link}/{!link_cost} with the cheapest parallel link
+    precomputed, and allocation-free neighbor iteration via
+    {!iter_neighbors}/{!iter_neighbor_ids}. The list-returning accessors
+    remain for convenience and tests; hot paths should use the
+    iterators. *)
 
 type t
 
@@ -32,10 +40,32 @@ val neighbors : t -> Ad.id -> (Ad.id * Link.id) list
 val neighbor_ids : t -> Ad.id -> Ad.id list
 (** Deduplicated neighbor list. *)
 
+val iter_neighbors : t -> Ad.id -> f:(Ad.id -> Link.id -> unit) -> unit
+(** Allocation-free iteration over the AD's (neighbor, link) pairs, in
+    increasing (neighbor, link) order — the same pairs {!neighbors}
+    returns. *)
+
+val iter_neighbor_ids : t -> Ad.id -> f:(Ad.id -> unit) -> unit
+(** Allocation-free iteration over the AD's unique neighbors, in
+    increasing order — the same ids {!neighbor_ids} returns. *)
+
+val fold_neighbors : t -> Ad.id -> init:'a -> f:('a -> Ad.id -> Link.id -> 'a) -> 'a
+(** Fold over the AD's (neighbor, link) pairs without building a list. *)
+
+val iter_links_between : t -> Ad.id -> Ad.id -> f:(Link.id -> unit) -> unit
+(** Iterate every parallel link joining the two ADs, in increasing link
+    id order; does nothing when they are not adjacent. *)
+
 val degree : t -> Ad.id -> int
 
 val find_link : t -> Ad.id -> Ad.id -> Link.id option
-(** Some link joining the two ADs (the cheapest if parallel), if any. *)
+(** Some link joining the two ADs (the cheapest if parallel), if any.
+    O(log degree): binary search plus a precomputed cheapest-link read. *)
+
+val link_cost : t -> Ad.id -> Ad.id -> int
+(** Cost of the cheapest link joining the two ADs, or [-1] when they are
+    not adjacent. The allocation-free form of {!find_link} for inner
+    loops. *)
 
 val is_connected : t -> bool
 

@@ -63,14 +63,12 @@ let enumerate_simple g ~src ~dst ~max_hops ?(edge_ok = fun _ _ -> true)
         results := List.rev (dst :: prefix_rev) :: !results
       end
       else if depth < max_hops then
-        List.iter
-          (fun v ->
+        Graph.iter_neighbor_ids g u ~f:(fun v ->
             if (not on_path.(v)) && edge_ok u v && (v = dst || node_ok v) then begin
               on_path.(v) <- true;
               go v (u :: prefix_rev) (depth + 1);
               on_path.(v) <- false
             end)
-          (Graph.neighbor_ids g u)
   in
   if src = dst then [ [ src ] ]
   else begin

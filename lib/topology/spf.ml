@@ -1,0 +1,57 @@
+(* Single-source shortest-path trees over the CSR adjacency: the core
+   route-synthesis kernel the scaling benchmark measures. Dijkstra with
+   the FIFO-tie-break heap; relaxation streams straight over the packed
+   adjacency rows, so the per-edge work is array reads plus at most one
+   heap insertion. *)
+
+module Pqueue = Pr_util.Pqueue
+
+type tree = {
+  src : Ad.id;
+  dist : int array;  (* cost of the shortest route; -1 = unreachable *)
+  parent : int array;  (* predecessor on the tree; -1 at the source *)
+  first_hop : int array;  (* first AD after the source; -1 at the source *)
+}
+
+let tree g ~src =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  let first_hop = Array.make n (-1) in
+  let settled = Array.make n false in
+  let best = Array.make n max_int in
+  let q = Pqueue.create () in
+  best.(src) <- 0;
+  Pqueue.add q ~priority:0.0 src;
+  let rec drain () =
+    match Pqueue.pop q with
+    | None -> ()
+    | Some (_, u) ->
+      if not settled.(u) then begin
+        settled.(u) <- true;
+        dist.(u) <- best.(u);
+        Graph.iter_neighbors g u ~f:(fun v lid ->
+            if not settled.(v) then begin
+              let d = best.(u) + (Graph.link g lid).Link.cost in
+              if d < best.(v) then begin
+                best.(v) <- d;
+                parent.(v) <- u;
+                first_hop.(v) <- (if u = src then v else first_hop.(u));
+                Pqueue.add q ~priority:(float_of_int d) v
+              end
+            end)
+      end;
+      drain ()
+  in
+  drain ();
+  { src; dist; parent; first_hop }
+
+let reachable t =
+  Array.fold_left (fun acc d -> if d >= 0 then acc + 1 else acc) (-1) t.dist
+
+let path t dst =
+  if t.dist.(dst) < 0 then None
+  else begin
+    let rec build acc v = if v = t.src then v :: acc else build (v :: acc) t.parent.(v) in
+    Some (build [] dst)
+  end

@@ -1,0 +1,23 @@
+(** Route synthesis kernel: single-source shortest-path trees computed
+    directly over the CSR adjacency.
+
+    This is the allocation-light Dijkstra the scaling benchmark drives
+    at 10^2..10^4 ADs; protocol modules keep their own SPFs (they run
+    over distributed databases, not the ground-truth graph). *)
+
+type tree = {
+  src : Ad.id;
+  dist : int array;  (** cost of the shortest route; -1 = unreachable *)
+  parent : int array;  (** predecessor on the tree; -1 at the source *)
+  first_hop : int array;  (** first AD after the source; -1 at the source *)
+}
+
+val tree : Graph.t -> src:Ad.id -> tree
+(** The shortest-path tree rooted at [src], over static link costs
+    (cheapest parallel link wins, as everywhere else). *)
+
+val reachable : tree -> int
+(** Destinations with a route, excluding the source itself. *)
+
+val path : tree -> Ad.id -> Path.t option
+(** The tree route from the source to [dst]. *)

@@ -9,12 +9,22 @@ type 'a t = {
   mutable next_seq : int;
 }
 
+(* Shared placeholder for vacant slots. Slots at index >= size must not
+   retain the last entry stored in them, or every popped value stays
+   reachable until the slot is overwritten — a space leak proportional
+   to the heap's high-water mark. [Obj.magic] is safe here: the dummy is
+   only ever written into vacant slots and never read as an ['a]. *)
+let dummy_entry : unit entry = { priority = nan; seq = -1; value = () }
+
+let dummy () : 'a entry = Obj.magic dummy_entry
+
 let create () = { data = [||]; size = 0; next_seq = 0 }
 
 let is_empty t = t.size = 0
 
 let length t = t.size
 
+(* Drops the backing array entirely, releasing everything it retained. *)
 let clear t =
   t.data <- [||];
   t.size <- 0
@@ -25,9 +35,8 @@ let less a b =
 let ensure_capacity t =
   let cap = Array.length t.data in
   if t.size >= cap then begin
-    let dummy = t.data.(0) in
     let new_cap = if cap = 0 then 16 else 2 * cap in
-    let data = Array.make new_cap dummy in
+    let data = Array.make new_cap (dummy ()) in
     Array.blit t.data 0 data 0 t.size;
     t.data <- data
   end
@@ -58,7 +67,6 @@ let rec sift_down t i =
 let add t ~priority value =
   let entry = { priority; seq = t.next_seq; value } in
   t.next_seq <- t.next_seq + 1;
-  if Array.length t.data = 0 then t.data <- Array.make 16 entry;
   ensure_capacity t;
   t.data.(t.size) <- entry;
   t.size <- t.size + 1;
@@ -75,6 +83,9 @@ let pop t =
       t.data.(0) <- t.data.(t.size);
       sift_down t 0
     end;
+    (* Clear the vacated slot so the popped entry (and, when the heap
+       drains, the moved root) is not retained past its lifetime. *)
+    t.data.(t.size) <- dummy ();
     Some (top.priority, top.value)
   end
 

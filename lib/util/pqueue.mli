@@ -24,6 +24,9 @@ val pop : 'a t -> (float * 'a) option
     equals). *)
 
 val clear : 'a t -> unit
+(** Empty the queue and drop the backing array, releasing every value it
+    retained. Popped entries are likewise cleared from their slots
+    eagerly, so neither operation leaves stale references behind. *)
 
 val fold : 'a t -> init:'b -> f:('b -> float -> 'a -> 'b) -> 'b
 (** Fold over the current contents in unspecified order. *)

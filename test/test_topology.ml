@@ -100,6 +100,170 @@ let graph_counts () =
   check_int "hosts = stubs + multihomed" 8 (List.length (Graph.host_ids g));
   check_int "transit ids" 6 (List.length (Graph.transit_ids g))
 
+(* --- CSR adjacency vs naive reference ------------------------------ *)
+
+(* Random connected multigraph: a spanning path for connectivity plus
+   random extra links, which freely duplicate AD pairs (parallel links
+   with distinct costs — exactly what the CSR unique-neighbor index has
+   to get right). *)
+let random_multigraph seed =
+  let rng = Rng.create seed in
+  let n = 2 + Rng.int rng 14 in
+  let ads =
+    Array.init n (fun id ->
+        Ad.make ~id ~name:(Printf.sprintf "N%d" id) ~klass:Ad.Hybrid ~level:Ad.Metro)
+  in
+  let extra = Rng.int rng (2 * n) in
+  let links =
+    Array.init (n - 1 + extra) (fun id ->
+        if id < n - 1 then Link.make ~id ~a:id ~b:(id + 1) ~cost:(1 + Rng.int rng 9) Link.Lateral
+        else begin
+          let a = Rng.int rng n in
+          let rec other () =
+            let b = Rng.int rng n in
+            if b = a then other () else b
+          in
+          Link.make ~id ~a ~b:(other ()) ~cost:(1 + Rng.int rng 9) Link.Lateral
+        end)
+  in
+  Graph.create ads links
+
+(* Reference adjacency straight off the link array: incident (nbr, lid)
+   slots of [u], sorted the way the CSR rows are. *)
+let ref_slots g u =
+  Graph.fold_links g ~init:[] ~f:(fun acc l ->
+      if l.Link.a = u then (l.Link.b, l.Link.id) :: acc
+      else if l.Link.b = u then (l.Link.a, l.Link.id) :: acc
+      else acc)
+  |> List.sort compare
+
+(* Cheapest link between the pair, lowest id among cost ties (links are
+   scanned in id order, so strict [<] keeps the first). *)
+let ref_find_link g x y =
+  Graph.fold_links g ~init:None ~f:(fun acc l ->
+      if Link.connects l x y then
+        match acc with
+        | Some (best : Link.t) when l.Link.cost >= best.Link.cost -> acc
+        | _ -> Some l
+      else acc)
+  |> fun o -> Option.map (fun (l : Link.t) -> l.Link.id) o
+
+let ref_bfs g src =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  dist.(src) <- 0;
+  let frontier = ref [ src ] in
+  while !frontier <> [] do
+    let next = ref [] in
+    List.iter
+      (fun u ->
+        List.iter
+          (fun (v, _) ->
+            if dist.(v) < 0 then begin
+              dist.(v) <- dist.(u) + 1;
+              next := v :: !next
+            end)
+          (ref_slots g u))
+      !frontier;
+    frontier := List.sort_uniq compare !next
+  done;
+  dist
+
+let all_ids g = List.init (Graph.n g) (fun i -> i)
+
+let csr_neighbors_prop =
+  QCheck.Test.make ~name:"CSR rows match the naive adjacency" ~count:100 QCheck.small_int
+    (fun seed ->
+      let g = random_multigraph seed in
+      List.for_all
+        (fun u ->
+          let slots = ref_slots g u in
+          Graph.neighbors g u = slots
+          && Graph.neighbor_ids g u = List.sort_uniq compare (List.map fst slots)
+          && Graph.degree g u = List.length slots
+          && Graph.fold_neighbors g u ~init:[] ~f:(fun acc v lid -> (v, lid) :: acc)
+             = List.rev slots)
+        (all_ids g))
+
+let csr_find_link_prop =
+  QCheck.Test.make ~name:"find_link returns the cheapest parallel link" ~count:100
+    QCheck.small_int (fun seed ->
+      let g = random_multigraph seed in
+      List.for_all
+        (fun x ->
+          List.for_all
+            (fun y ->
+              let expected = ref_find_link g x y in
+              Graph.find_link g x y = expected
+              && Graph.link_cost g x y
+                 = (match expected with
+                   | None -> -1
+                   | Some lid -> (Graph.link g lid).Link.cost))
+            (all_ids g))
+        (all_ids g))
+
+let csr_links_between_prop =
+  QCheck.Test.make ~name:"iter_links_between yields the pair's links in id order" ~count:100
+    QCheck.small_int (fun seed ->
+      let g = random_multigraph seed in
+      List.for_all
+        (fun x ->
+          List.for_all
+            (fun y ->
+              let got = ref [] in
+              Graph.iter_links_between g x y ~f:(fun lid -> got := lid :: !got);
+              let expected =
+                Graph.fold_links g ~init:[] ~f:(fun acc l ->
+                    if Link.connects l x y then l.Link.id :: acc else acc)
+                |> List.sort compare
+              in
+              List.rev !got = expected)
+            (all_ids g))
+        (all_ids g))
+
+let csr_bfs_prop =
+  QCheck.Test.make ~name:"bfs_hops and is_connected match the reference" ~count:100
+    QCheck.small_int (fun seed ->
+      let g = random_multigraph seed in
+      Graph.is_connected g
+      && List.for_all (fun src -> Graph.bfs_hops g src = ref_bfs g src) (all_ids g))
+
+(* Bellman-Ford over the raw link array as the oracle for the CSR
+   Dijkstra kernel. *)
+let spf_tree_prop =
+  QCheck.Test.make ~name:"Spf.tree distances match Bellman-Ford" ~count:100 QCheck.small_int
+    (fun seed ->
+      let g = random_multigraph seed in
+      let n = Graph.n g in
+      let bellman src =
+        let dist = Array.make n max_int in
+        dist.(src) <- 0;
+        for _ = 1 to n do
+          Graph.fold_links g ~init:() ~f:(fun () l ->
+              let relax a b =
+                if dist.(a) < max_int && dist.(a) + l.Link.cost < dist.(b) then
+                  dist.(b) <- dist.(a) + l.Link.cost
+              in
+              relax l.Link.a l.Link.b;
+              relax l.Link.b l.Link.a)
+        done;
+        Array.map (fun d -> if d = max_int then -1 else d) dist
+      in
+      List.for_all
+        (fun src ->
+          let t = Pr_topology.Spf.tree g ~src in
+          t.Pr_topology.Spf.dist = bellman src
+          && List.for_all
+               (fun dst ->
+                 match Pr_topology.Spf.path t dst with
+                 | None -> t.Pr_topology.Spf.dist.(dst) < 0
+                 | Some p ->
+                   Path.source p = src
+                   && Path.destination p = dst
+                   && Path.cost g p = Some t.Pr_topology.Spf.dist.(dst))
+               (all_ids g))
+        (all_ids g))
+
 (* --- Path ---------------------------------------------------------- *)
 
 let path_basics () =
@@ -341,7 +505,15 @@ let () =
           Alcotest.test_case "bfs" `Quick graph_bfs;
           Alcotest.test_case "acyclic line" `Quick graph_acyclic_line;
           Alcotest.test_case "figure1 counts" `Quick graph_counts;
-        ] );
+        ]
+        @ qsuite
+            [
+              csr_neighbors_prop;
+              csr_find_link_prop;
+              csr_links_between_prop;
+              csr_bfs_prop;
+              spf_tree_prop;
+            ] );
       ( "path",
         [
           Alcotest.test_case "basics" `Quick path_basics;
