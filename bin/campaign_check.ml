@@ -1,0 +1,123 @@
+(* Verifier for the campaign smoke test (see bin/dune).
+
+   Usage: campaign_check RESULTS.jsonl FRESH_SUMMARY.json BASELINE.json
+
+   The smoke runs a toy campaign twice — first with one injected
+   worker crash and one injected hang, then again to resume — so the
+   results file must show: every line well-formed; the crashed and
+   timed-out attempts on record; every run's *latest* attempt ok; and
+   exactly the completed runs skipped on resume (no id attempted more
+   than twice). The fresh summary's deterministic totals must match
+   the committed baseline (wall-clock fields are ignored). *)
+
+module J = Pr_util.Json
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("campaign_check: " ^ msg); exit 1) fmt
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let () =
+  let results, fresh, baseline =
+    match Sys.argv with
+    | [| _; r; f; b |] -> (r, f, b)
+    | _ -> fail "usage: campaign_check RESULTS.jsonl FRESH_SUMMARY.json BASELINE.json"
+  in
+  (* 1. Every line parses and carries id + status. *)
+  let lines =
+    read_file results |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  let attempts = Hashtbl.create 16 in
+  let statuses = ref [] in
+  List.iteri
+    (fun i line ->
+      match J.parse line with
+      | Error e -> fail "line %d of %s is not JSON: %s" (i + 1) results e
+      | Ok record ->
+        let id =
+          match J.string_member "id" record with
+          | Ok id -> id
+          | Error e -> fail "line %d of %s: %s" (i + 1) results e
+        in
+        let status =
+          match J.string_member "status" record with
+          | Ok s -> s
+          | Error e -> fail "line %d of %s: %s" (i + 1) results e
+        in
+        Hashtbl.replace attempts id (1 + Option.value (Hashtbl.find_opt attempts id) ~default:0);
+        statuses := status :: !statuses)
+    lines;
+  (* 2. Fault injection left its trace, and the pool survived it. *)
+  if not (List.mem "crashed" !statuses) then fail "no crashed attempt on record";
+  if not (List.mem "timed-out" !statuses) then fail "no timed-out attempt on record";
+  (* 3. Resume semantics: completed runs were attempted once, the two
+     faulted runs exactly twice, and every latest attempt is ok. *)
+  Hashtbl.iter
+    (fun id n -> if n > 2 then fail "run %s attempted %d times: resume did not skip" id n)
+    attempts;
+  let retried = Hashtbl.fold (fun _ n acc -> if n = 2 then acc + 1 else acc) attempts 0 in
+  if retried <> 2 then fail "%d runs were re-attempted, expected exactly the 2 faulted ones" retried;
+  let sink = Pr_campaign.Sink.read ~path:results in
+  if sink.Pr_campaign.Sink.malformed <> 0 then
+    fail "%d malformed lines in %s" sink.Pr_campaign.Sink.malformed results;
+  List.iter
+    (fun (id, record) ->
+      match J.string_member "status" record with
+      | Ok "ok" -> ()
+      | Ok s -> fail "latest attempt of %s is %S, not ok" id s
+      | Error e -> fail "latest attempt of %s: %s" id e)
+    sink.Pr_campaign.Sink.records;
+  (* 4. Deterministic totals match the committed baseline. *)
+  let parse_doc path =
+    match J.parse (read_file path) with
+    | Ok v -> v
+    | Error e -> fail "%s is not JSON: %s" path e
+  in
+  let fresh_doc = parse_doc fresh in
+  let baseline_doc = parse_doc baseline in
+  let rows doc =
+    match J.member "per_design_point" doc with
+    | Some (J.List rows) ->
+      List.map
+        (fun row ->
+          match J.string_member "protocol" row with
+          | Ok p -> (p, row)
+          | Error e -> fail "row without protocol: %s" e)
+        rows
+    | _ -> fail "missing per_design_point list"
+  in
+  let deterministic_fields =
+    [
+      "runs"; "ok"; "failed"; "crashed"; "timed_out"; "unconverged"; "messages"; "bytes";
+      "computations"; "transit_computations"; "table_total"; "table_max"; "delivered";
+      "flows";
+    ]
+  in
+  let fresh_rows = rows fresh_doc and baseline_rows = rows baseline_doc in
+  if List.length fresh_rows <> List.length baseline_rows then
+    fail "summary has %d design-point rows, baseline %d" (List.length fresh_rows)
+      (List.length baseline_rows);
+  List.iter
+    (fun (protocol, brow) ->
+      match List.assoc_opt protocol fresh_rows with
+      | None -> fail "baseline protocol %s missing from fresh summary" protocol
+      | Some frow ->
+        List.iter
+          (fun field ->
+            let get row =
+              match J.int_member field row with
+              | Ok v -> v
+              | Error e -> fail "%s row %s: %s" protocol field e
+            in
+            if get frow <> get brow then
+              fail "%s.%s drifted: fresh %d, baseline %d" protocol field (get frow)
+                (get brow))
+          deterministic_fields)
+    baseline_rows;
+  Printf.printf "campaign_check: %d lines, %d runs, totals match baseline\n"
+    (List.length lines) (Hashtbl.length attempts)

@@ -43,8 +43,7 @@ let scenario_of ~seed ~size ~restrictiveness ~granularity =
   let policy =
     { Pr_policy.Gen.default with restrictiveness; granularity }
   in
-  if size <= 14 then Pr_core.Scenario.figure1 ~policy ~seed ()
-  else Pr_core.Scenario.sized ~policy ~target_ads:size ~seed ()
+  Pr_core.Scenario.for_size ~policy ~target_ads:size ~seed ()
 
 (* --- design-space ------------------------------------------------- *)
 
@@ -221,10 +220,11 @@ let conformance_cmd =
     let protocols =
       match protocol with
       | Some name -> (
-        match Pr_core.Registry.find name with
-        | p -> [ p ]
-        | exception Not_found ->
-          Printf.eprintf "unknown protocol %s\n" name;
+        match Pr_core.Registry.find_opt name with
+        | Some p -> [ p ]
+        | None ->
+          Printf.eprintf "prx: unknown protocol %S (known: %s)\n" name
+            (String.concat ", " (Pr_core.Registry.names Pr_core.Registry.all));
           exit 1)
       | None ->
         List.filter
@@ -259,6 +259,161 @@ let conformance_cmd =
       const run $ seed_arg $ size_arg $ restrictiveness_arg $ granularity_arg
       $ protocol_arg)
 
+(* --- sweep ---------------------------------------------------------- *)
+
+(* The campaign front end: a declarative grid over (protocol × size ×
+   policy × churn × replicate), executed by the pr_campaign forked
+   worker pool with JSONL checkpoint/resume. *)
+
+let sweep_cmd =
+  let open Pr_campaign in
+  let known_protocols () = Pr_core.Registry.names Pr_core.Registry.all in
+  let protocols_conv =
+    let parse s =
+      match s with
+      | "designs" -> Ok (Pr_core.Registry.names Pr_core.Registry.policy_designs)
+      | "baselines" -> Ok (Pr_core.Registry.names Pr_core.Registry.baselines)
+      | "all" -> Ok (known_protocols ())
+      | s -> (
+        let names = String.split_on_char ',' s in
+        match
+          List.filter (fun n -> Option.is_none (Pr_core.Registry.find_opt n)) names
+        with
+        | [] -> Ok names
+        | unknown ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "unknown protocol (design point) %s; known protocols: %s; or one of \
+                   the groups: designs, baselines, all"
+                  (String.concat ", " (List.map (Printf.sprintf "%S") unknown))
+                  (String.concat ", " (known_protocols ())))))
+    in
+    Arg.conv ~docv:"PROTOCOLS"
+      (parse, fun ppf ps -> Format.pp_print_string ppf (String.concat "," ps))
+  in
+  let protocols_arg =
+    let doc =
+      "Comma-separated protocol (design point) names, or a group: designs (the four \
+       section-5 points), baselines, all."
+    in
+    Arg.(
+      value
+      & opt protocols_conv (Pr_core.Registry.names Pr_core.Registry.policy_designs)
+      & info [ "protocols" ] ~docv:"PROTOCOLS" ~doc)
+  in
+  let sizes_arg =
+    let doc = "Comma-separated internet sizes (AD counts); 14 and below is Figure 1." in
+    Arg.(value & opt (list int) [ 14; 56 ] & info [ "sizes" ] ~docv:"SIZES" ~doc)
+  in
+  let restrictiveness_list_arg =
+    let doc = "Comma-separated policy restrictiveness values in [0,1]." in
+    Arg.(
+      value & opt (list float) [ 0.0; 0.5 ] & info [ "restrictiveness" ] ~docv:"RS" ~doc)
+  in
+  let granularities_arg =
+    let doc = "Comma-separated policy granularities." in
+    let gran_conv =
+      Arg.enum
+        [
+          ("coarse", Pr_policy.Gen.Coarse);
+          ("destination", Pr_policy.Gen.Destination);
+          ("source-specific", Pr_policy.Gen.Source_specific);
+          ("fine", Pr_policy.Gen.Fine);
+        ]
+    in
+    Arg.(
+      value
+      & opt (list gran_conv) [ Pr_policy.Gen.Source_specific ]
+      & info [ "granularities" ] ~docv:"GS" ~doc)
+  in
+  let churn_arg =
+    let doc = "Churn dimension: both (default), on, or off." in
+    Arg.(
+      value
+      & opt (Arg.enum [ ("both", [ false; true ]); ("on", [ true ]); ("off", [ false ]) ])
+          [ false; true ]
+      & info [ "churn" ] ~docv:"CHURN" ~doc)
+  in
+  let replicates_arg =
+    let doc = "Seed replicates per grid point." in
+    Arg.(value & opt int 1 & info [ "replicates" ] ~docv:"N" ~doc)
+  in
+  let jobs_arg =
+    let doc = "Parallel worker processes." in
+    Arg.(value & opt int 4 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Per-run wall-clock timeout in seconds." in
+    Arg.(value & opt float 120.0 & info [ "timeout" ] ~docv:"SECS" ~doc)
+  in
+  let max_events_arg =
+    let doc = "Simulation event budget per converge call." in
+    Arg.(value & opt int 10_000_000 & info [ "max-events" ] ~docv:"N" ~doc)
+  in
+  let out_arg =
+    let doc =
+      "JSONL results file (appended, never truncated); re-invoking resumes from it, \
+       re-running only runs whose latest attempt did not complete."
+    in
+    Arg.(value & opt string "campaign.jsonl" & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let summary_arg =
+    let doc = "Write the machine-readable aggregate summary here (\"none\" disables)." in
+    Arg.(value & opt string "BENCH_campaign.json" & info [ "summary" ] ~docv:"FILE" ~doc)
+  in
+  let crash_run_arg =
+    let doc = "Testing: the worker for this run id crashes (exit 66)." in
+    Arg.(value & opt (some string) None & info [ "crash-run" ] ~docv:"ID" ~doc)
+  in
+  let hang_run_arg =
+    let doc = "Testing: the worker for this run id hangs until the timeout kills it." in
+    Arg.(value & opt (some string) None & info [ "hang-run" ] ~docv:"ID" ~doc)
+  in
+  let quiet_arg =
+    let doc = "Suppress per-run progress on stderr." in
+    Arg.(value & flag & info [ "quiet" ] ~doc)
+  in
+  let run protocols sizes restrictiveness granularities churn replicates seed flows
+      max_events jobs timeout out summary crash_id hang_id quiet =
+    let spec =
+      {
+        Grid.protocols;
+        sizes;
+        restrictiveness;
+        granularities;
+        churn;
+        replicates;
+        base_seed = seed;
+        flows;
+        max_events;
+      }
+    in
+    let summary_path = if summary = "none" then None else Some summary in
+    let report =
+      Driver.sweep ~jobs ~timeout_s:timeout ~quiet
+        ~chaos:{ Exec.crash_id; hang_id }
+        ?summary_path ~out spec
+    in
+    Pr_util.Texttable.print ~title:"campaign: per-design-point totals"
+      (Pr_campaign.Aggregate.table report.Driver.rows);
+    Printf.printf
+      "campaign: %d runs in grid, %d skipped (already complete), %d executed (%d ok, %d \
+       failed/crashed/timed-out)\nresults: %s%s\n"
+      report.Driver.total report.Driver.skipped report.Driver.executed report.Driver.ok
+      report.Driver.not_ok out
+      (match summary_path with Some p -> Printf.sprintf "; summary: %s" p | None -> "")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run a parallel experiment campaign over (design point x topology x policy x \
+          churn) with JSONL checkpoint/resume and per-design-point aggregation.")
+    Term.(
+      const run $ protocols_arg $ sizes_arg $ restrictiveness_list_arg $ granularities_arg
+      $ churn_arg $ replicates_arg $ seed_arg $ flows_arg $ max_events_arg $ jobs_arg
+      $ timeout_arg $ out_arg $ summary_arg $ crash_run_arg $ hang_run_arg $ quiet_arg)
+
 let () =
   let info = Cmd.info "prx" ~doc:"Inter-AD policy routing explorer (Breslau & Estrin, SIGCOMM 1990)." in
   exit
@@ -272,4 +427,5 @@ let () =
             oracle_cmd;
             impact_cmd;
             conformance_cmd;
+            sweep_cmd;
           ]))

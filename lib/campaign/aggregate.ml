@@ -1,0 +1,177 @@
+module J = Pr_util.Json
+module Texttable = Pr_util.Texttable
+
+type row = {
+  design_point : string;
+  protocol : string;
+  runs : int;
+  ok : int;
+  failed : int;
+  crashed : int;
+  timed_out : int;
+  unconverged : int;
+  messages : int;
+  bytes : int;
+  computations : int;
+  transit_computations : int;
+  table_total : int;
+  table_max : int;
+  delivered : int;
+  flows : int;
+  wall_s : float;
+}
+
+let design_point_of protocol =
+  match Pr_core.Registry.find_opt protocol with
+  | Some packed -> Pr_proto.Design_point.to_string (Pr_core.Registry.design_point packed)
+  | None -> "?"
+
+let empty_row protocol =
+  {
+    design_point = design_point_of protocol;
+    protocol;
+    runs = 0;
+    ok = 0;
+    failed = 0;
+    crashed = 0;
+    timed_out = 0;
+    unconverged = 0;
+    messages = 0;
+    bytes = 0;
+    computations = 0;
+    transit_computations = 0;
+    table_total = 0;
+    table_max = 0;
+    delivered = 0;
+    flows = 0;
+    wall_s = 0.0;
+  }
+
+let add_record row record =
+  let int name = Result.value (J.int_member name record) ~default:0 in
+  let row = { row with runs = row.runs + 1 } in
+  match J.string_member "status" record with
+  | Ok "ok" ->
+    {
+      row with
+      ok = row.ok + 1;
+      unconverged =
+        (row.unconverged + if J.member "converged" record = Some (J.Bool false) then 1 else 0);
+      messages = row.messages + int "messages";
+      bytes = row.bytes + int "bytes";
+      computations = row.computations + int "computations";
+      transit_computations = row.transit_computations + int "transit_computations";
+      table_total = row.table_total + int "table_total";
+      table_max = Stdlib.max row.table_max (int "table_max");
+      delivered = row.delivered + int "delivered";
+      flows = row.flows + int "flows";
+      wall_s = row.wall_s +. Result.value (J.float_member "wall_s" record) ~default:0.0;
+    }
+  | Ok "crashed" -> { row with crashed = row.crashed + 1 }
+  | Ok "timed-out" -> { row with timed_out = row.timed_out + 1 }
+  | Ok _ | Error _ -> { row with failed = row.failed + 1 }
+
+let rows (sink : Sink.t) =
+  let order = ref [] in
+  let by_protocol = Hashtbl.create 16 in
+  List.iter
+    (fun (_id, record) ->
+      let protocol = Result.value (J.string_member "protocol" record) ~default:"?" in
+      let row =
+        match Hashtbl.find_opt by_protocol protocol with
+        | Some row -> row
+        | None ->
+          order := protocol :: !order;
+          empty_row protocol
+      in
+      Hashtbl.replace by_protocol protocol (add_record row record))
+    sink.Sink.records;
+  List.rev_map (fun protocol -> Hashtbl.find by_protocol protocol) !order
+
+let columns =
+  [
+    ("design point", Texttable.Left);
+    ("protocol", Texttable.Left);
+    ("runs", Texttable.Right);
+    ("ok", Texttable.Right);
+    ("bad", Texttable.Right);
+    ("messages", Texttable.Right);
+    ("kbytes", Texttable.Right);
+    ("comp", Texttable.Right);
+    ("transit comp", Texttable.Right);
+    ("tbl total", Texttable.Right);
+    ("tbl max", Texttable.Right);
+    ("delivered", Texttable.Right);
+    ("wall s", Texttable.Right);
+  ]
+
+let table rows_list =
+  let t = Texttable.create ~columns in
+  List.iter
+    (fun r ->
+      Texttable.add_row t
+        [
+          r.design_point;
+          r.protocol;
+          Texttable.cell_int r.runs;
+          Texttable.cell_int r.ok;
+          Texttable.cell_int (r.failed + r.crashed + r.timed_out);
+          Texttable.cell_int r.messages;
+          Texttable.cell_float ~decimals:1 (float_of_int r.bytes /. 1024.);
+          Texttable.cell_int r.computations;
+          Texttable.cell_int r.transit_computations;
+          Texttable.cell_int r.table_total;
+          Texttable.cell_int r.table_max;
+          Printf.sprintf "%d/%d" r.delivered r.flows;
+          Texttable.cell_float ~decimals:2 r.wall_s;
+        ])
+    rows_list;
+  t
+
+let row_json r =
+  J.Obj
+    [
+      ("design_point", J.String r.design_point);
+      ("protocol", J.String r.protocol);
+      ("runs", J.Int r.runs);
+      ("ok", J.Int r.ok);
+      ("failed", J.Int r.failed);
+      ("crashed", J.Int r.crashed);
+      ("timed_out", J.Int r.timed_out);
+      ("unconverged", J.Int r.unconverged);
+      ("messages", J.Int r.messages);
+      ("bytes", J.Int r.bytes);
+      ("computations", J.Int r.computations);
+      ("transit_computations", J.Int r.transit_computations);
+      ("table_total", J.Int r.table_total);
+      ("table_max", J.Int r.table_max);
+      ("delivered", J.Int r.delivered);
+      ("flows", J.Int r.flows);
+      ("wall_s", J.Float r.wall_s);
+    ]
+
+let summary_json ?(skipped = 0) sink =
+  let rows_list = rows sink in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows_list in
+  J.Obj
+    [
+      ("benchmark", J.String "campaign");
+      ( "runs",
+        J.Obj
+          [
+            ("total", J.Int (sum (fun r -> r.runs)));
+            ("ok", J.Int (sum (fun r -> r.ok)));
+            ("failed", J.Int (sum (fun r -> r.failed)));
+            ("crashed", J.Int (sum (fun r -> r.crashed)));
+            ("timed_out", J.Int (sum (fun r -> r.timed_out)));
+            ("skipped_on_resume", J.Int skipped);
+            ("malformed_lines", J.Int sink.Sink.malformed);
+          ] );
+      ("per_design_point", J.List (List.map row_json rows_list));
+    ]
+
+let write_summary ~path json =
+  let oc = open_out path in
+  output_string oc (J.to_string_pretty json);
+  output_char oc '\n';
+  close_out oc

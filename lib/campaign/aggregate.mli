@@ -1,0 +1,42 @@
+(** Reduction of a campaign's JSONL into comparison exhibits.
+
+    Folds the latest record per run into one row per protocol, tagged
+    with the protocol's Table 1 design point, totalling the paper's
+    three cost axes — information (messages, bytes), computation
+    (total and at transit ADs), and state (table entries) — plus
+    delivery and run-health counts. Renders as a
+    {!Pr_util.Texttable} for the terminal and as the machine-readable
+    [BENCH_campaign.json] summary. *)
+
+type row = {
+  design_point : string;
+  protocol : string;
+  runs : int;  (** attempts aggregated (latest per id) *)
+  ok : int;
+  failed : int;
+  crashed : int;
+  timed_out : int;
+  unconverged : int;  (** ok runs stopped by the event budget *)
+  messages : int;
+  bytes : int;
+  computations : int;
+  transit_computations : int;
+  table_total : int;
+  table_max : int;
+  delivered : int;
+  flows : int;
+  wall_s : float;  (** summed worker wall clock over ok runs *)
+}
+
+val rows : Sink.t -> row list
+(** Grouped by protocol in first-appearance order. Numeric fields sum
+    over the ok runs only; [table_max] is the max. *)
+
+val table : row list -> Pr_util.Texttable.t
+
+val summary_json : ?skipped:int -> Sink.t -> Pr_util.Json.t
+(** The [BENCH_campaign.json] document: run-health totals (including
+    how many runs a resume [skipped] and how many lines were
+    malformed) and the per-design-point rows. *)
+
+val write_summary : path:string -> Pr_util.Json.t -> unit

@@ -1,0 +1,125 @@
+module J = Pr_util.Json
+module Rng = Pr_util.Rng
+module Graph = Pr_topology.Graph
+module Metrics = Pr_sim.Metrics
+module Runner = Pr_proto.Runner
+module Registry = Pr_core.Registry
+module Scenario = Pr_core.Scenario
+
+type chaos = { crash_id : string option; hang_id : string option }
+
+let no_chaos = { crash_id = None; hang_id = None }
+
+type t = {
+  run : Grid.run;
+  converged : bool;
+  stop_reason : string;
+  sim_time : float;
+  messages : int;
+  bytes : int;
+  computations : int;
+  transit_computations : int;
+  table_total : int;
+  table_max : int;
+  delivered : int;
+  wall_s : float;
+}
+
+(* Churn parameters: enough flips to interleave with convergence, an
+   even count so the topology ends where it started and every run's
+   workload is measured on the full internet. *)
+let churn_events = 6
+
+let churn_spacing = 4.0
+
+let apply_chaos chaos (run : Grid.run) =
+  (match chaos.crash_id with
+  | Some id when id = run.id -> Unix._exit 66
+  | _ -> ());
+  match chaos.hang_id with
+  | Some id when id = run.id ->
+    let rec forever () =
+      Unix.sleepf 3600.0;
+      forever ()
+    in
+    forever ()
+  | _ -> ()
+
+let execute ?(chaos = no_chaos) (run : Grid.run) =
+  apply_chaos chaos run;
+  match Registry.find_opt run.protocol with
+  | None ->
+    Error
+      (Printf.sprintf "unknown protocol %S (known: %s)" run.protocol
+         (String.concat ", " (Registry.names Registry.all)))
+  | Some (Registry.Packed (module P)) ->
+    let started = Unix.gettimeofday () in
+    let policy =
+      {
+        Pr_policy.Gen.default with
+        restrictiveness = run.restrictiveness;
+        granularity = run.granularity;
+      }
+    in
+    let scenario = Scenario.for_size ~policy ~target_ads:run.size ~seed:run.seed () in
+    let g = scenario.Scenario.graph in
+    let module R = Runner.Make (P) in
+    let r = R.setup g scenario.Scenario.config in
+    if run.churn then
+      Pr_sim.Churn.schedule (R.network r) (Rng.create (run.seed + 1)) ~events:churn_events
+        ~spacing:churn_spacing ();
+    let c = R.converge ~max_events:run.max_events r in
+    let rng = Rng.create (run.seed + 2) in
+    let flows = Scenario.flows scenario ~rng ~count:run.flows () in
+    let delivered =
+      List.fold_left
+        (fun acc f -> if Pr_proto.Forwarding.delivered (R.send_flow r f) then acc + 1 else acc)
+        0 flows
+    in
+    let m = R.metrics r in
+    let transit_computations =
+      List.fold_left
+        (fun acc ad -> acc + Metrics.computations_of m ad)
+        0 (Graph.transit_ids g)
+    in
+    Ok
+      {
+        run;
+        converged = c.Runner.converged;
+        stop_reason = (if c.Runner.converged then "drained" else "event-budget");
+        sim_time = c.Runner.sim_time;
+        messages = Metrics.messages m;
+        bytes = Metrics.bytes m;
+        computations = Metrics.computations m;
+        transit_computations;
+        table_total = R.table_entries r;
+        table_max = R.max_table_entries r;
+        delivered;
+        wall_s = Unix.gettimeofday () -. started;
+      }
+
+let to_json t =
+  J.Obj
+    (Grid.params_json t.run
+    @ [
+        ("status", J.String "ok");
+        ("converged", J.Bool t.converged);
+        ("stop_reason", J.String t.stop_reason);
+        ("sim_time", J.Float t.sim_time);
+        ("messages", J.Int t.messages);
+        ("bytes", J.Int t.bytes);
+        ("computations", J.Int t.computations);
+        ("transit_computations", J.Int t.transit_computations);
+        ("table_total", J.Int t.table_total);
+        ("table_max", J.Int t.table_max);
+        ("delivered", J.Int t.delivered);
+        ("wall_s", J.Float t.wall_s);
+      ])
+
+let run_record ?chaos run =
+  match execute ?chaos run with
+  | Ok t -> to_json t
+  | Error msg ->
+    J.Obj
+      (Grid.params_json run
+      @ [ ("status", J.String "failed"); ("error", J.String msg) ])

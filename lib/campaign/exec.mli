@@ -1,0 +1,47 @@
+(** Execution of one grid run inside a worker process.
+
+    Builds the scenario the run's parameters describe, converges the
+    protocol (with scheduled link churn interleaved when the run asks
+    for it), pushes the workload through the forwarding plane, and
+    reduces the {!Pr_sim.Metrics} to the totals the paper compares:
+    messages, bytes, route computations (split out at transit ADs),
+    and routing-table state. *)
+
+type chaos = {
+  crash_id : string option;
+      (** a worker whose run id matches dies with exit code 66 —
+          exercises the pool's crash isolation *)
+  hang_id : string option;
+      (** a worker whose run id matches sleeps forever — exercises the
+          per-run timeout *)
+}
+
+val no_chaos : chaos
+
+type t = {
+  run : Grid.run;
+  converged : bool;
+  stop_reason : string;  (** ["drained"] or ["event-budget"] *)
+  sim_time : float;
+  messages : int;
+  bytes : int;
+  computations : int;
+  transit_computations : int;
+  table_total : int;
+  table_max : int;
+  delivered : int;
+  wall_s : float;
+}
+
+val execute : ?chaos:chaos -> Grid.run -> (t, string) result
+(** [Error] reports an unknown protocol name; every simulation-level
+    problem is folded into the result's fields instead. *)
+
+val to_json : t -> Pr_util.Json.t
+(** The run's JSONL record: {!Grid.params_json} fields, then
+    [status = "ok"] and the measured totals. *)
+
+val run_record : ?chaos:chaos -> Grid.run -> Pr_util.Json.t
+(** [execute] then [to_json]; an [Error] becomes a record with
+    [status = "failed"] and an [error] field. The function handed to
+    {!Pool.run_all} as its [exec]. *)

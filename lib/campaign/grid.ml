@@ -1,0 +1,91 @@
+module Gen = Pr_policy.Gen
+
+type run = {
+  id : string;
+  protocol : string;
+  size : int;
+  restrictiveness : float;
+  granularity : Gen.granularity;
+  churn : bool;
+  replicate : int;
+  seed : int;
+  flows : int;
+  max_events : int;
+}
+
+type spec = {
+  protocols : string list;
+  sizes : int list;
+  restrictiveness : float list;
+  granularities : Gen.granularity list;
+  churn : bool list;
+  replicates : int;
+  base_seed : int;
+  flows : int;
+  max_events : int;
+}
+
+let default =
+  {
+    protocols = [ "ecma"; "idrp"; "ls-hbh-pt"; "orwg" ];
+    sizes = [ 14; 56 ];
+    restrictiveness = [ 0.0; 0.5 ];
+    granularities = [ Gen.Source_specific ];
+    churn = [ false; true ];
+    replicates = 1;
+    base_seed = 42;
+    flows = 60;
+    max_events = 10_000_000;
+  }
+
+let id_of ~protocol ~size ~restrictiveness ~granularity ~churn ~replicate =
+  Printf.sprintf "%s/n%d/r%.2f/g%s/%s/rep%d" protocol size restrictiveness
+    (Gen.granularity_to_string granularity)
+    (if churn then "churn" else "static")
+    replicate
+
+let expand spec =
+  List.concat_map
+    (fun protocol ->
+      List.concat_map
+        (fun size ->
+          List.concat_map
+            (fun restrictiveness ->
+              List.concat_map
+                (fun granularity ->
+                  List.concat_map
+                    (fun churn ->
+                      List.init spec.replicates (fun replicate ->
+                          {
+                            id =
+                              id_of ~protocol ~size ~restrictiveness ~granularity
+                                ~churn ~replicate;
+                            protocol;
+                            size;
+                            restrictiveness;
+                            granularity;
+                            churn;
+                            replicate;
+                            seed = spec.base_seed + replicate;
+                            flows = spec.flows;
+                            max_events = spec.max_events;
+                          }))
+                    spec.churn)
+                spec.granularities)
+            spec.restrictiveness)
+        spec.sizes)
+    spec.protocols
+
+let params_json run =
+  let module J = Pr_util.Json in
+  [
+    ("id", J.String run.id);
+    ("protocol", J.String run.protocol);
+    ("size", J.Int run.size);
+    ("restrictiveness", J.Float run.restrictiveness);
+    ("granularity", J.String (Gen.granularity_to_string run.granularity));
+    ("churn", J.Bool run.churn);
+    ("replicate", J.Int run.replicate);
+    ("seed", J.Int run.seed);
+    ("flows", J.Int run.flows);
+  ]

@@ -1,0 +1,59 @@
+(** Declarative sweep grids.
+
+    A campaign is the cross product of protocol (a §5 design point or
+    a baseline) × topology size × policy restrictiveness × policy
+    granularity × churn on/off × seed replicate. A [spec] names the
+    axes; {!expand} unrolls it into a deterministic run list, each run
+    carrying a stable human-readable id, so a campaign can be
+    re-expanded byte-identically on another day (or another machine)
+    and resumed against an existing results file. *)
+
+type run = {
+  id : string;  (** stable across expansions of the same spec *)
+  protocol : string;  (** a {!Pr_core.Registry} name *)
+  size : int;  (** target AD count; [<= 14] means the Figure 1 internet *)
+  restrictiveness : float;
+  granularity : Pr_policy.Gen.granularity;
+  churn : bool;  (** interleave scheduled link churn with convergence *)
+  replicate : int;  (** 0-based replicate index *)
+  seed : int;  (** derived: [base_seed + replicate] *)
+  flows : int;  (** workload size per run *)
+  max_events : int;  (** simulation event budget per converge call *)
+}
+
+type spec = {
+  protocols : string list;
+  sizes : int list;
+  restrictiveness : float list;
+  granularities : Pr_policy.Gen.granularity list;
+  churn : bool list;
+  replicates : int;
+  base_seed : int;
+  flows : int;
+  max_events : int;
+}
+
+val default : spec
+(** The four §5 design points (ecma, idrp, ls-hbh-pt, orwg) × sizes
+    {14, 56} × restrictiveness {0.0, 0.5} × source-specific ×
+    {static, churn} × 1 replicate = 32 runs. *)
+
+val expand : spec -> run list
+(** Cross product in axis order (protocol outermost, replicate
+    innermost); the order and every id are functions of the spec
+    alone. *)
+
+val id_of :
+  protocol:string ->
+  size:int ->
+  restrictiveness:float ->
+  granularity:Pr_policy.Gen.granularity ->
+  churn:bool ->
+  replicate:int ->
+  string
+(** E.g. ["orwg/n56/r0.50/gsource-specific/churn/rep0"]. *)
+
+val params_json : run -> (string * Pr_util.Json.t) list
+(** The run's parameters as JSON object fields ([id] first) — the
+    common prefix of every JSONL record about the run, whether it
+    completed, crashed or timed out. *)

@@ -1,0 +1,44 @@
+module J = Pr_util.Json
+
+type t = { records : (string * J.t) list; malformed : int }
+
+let read ~path =
+  if not (Sys.file_exists path) then { records = []; malformed = 0 }
+  else begin
+    let ic = open_in path in
+    let by_id = Hashtbl.create 64 in
+    let order = ref [] in
+    let malformed = ref 0 in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line <> "" then
+           match J.parse line with
+           | Ok record -> (
+             match J.string_member "id" record with
+             | Ok id ->
+               if not (Hashtbl.mem by_id id) then order := id :: !order;
+               Hashtbl.replace by_id id record
+             | Error _ -> incr malformed)
+           | Error _ -> incr malformed
+       done
+     with End_of_file -> ());
+    close_in ic;
+    {
+      records = List.rev_map (fun id -> (id, Hashtbl.find by_id id)) !order;
+      malformed = !malformed;
+    }
+  end
+
+let completed_ids t =
+  let done_ = Hashtbl.create 64 in
+  List.iter
+    (fun (id, record) ->
+      if J.string_member "status" record = Ok "ok" then Hashtbl.replace done_ id ())
+    t.records;
+  done_
+
+let append oc record =
+  output_string oc (J.to_string record);
+  output_char oc '\n';
+  flush oc

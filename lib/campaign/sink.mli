@@ -1,0 +1,25 @@
+(** The JSONL results file: append-only checkpoint of a campaign.
+
+    One JSON object per line, one line per run *attempt*. A campaign
+    appends as outcomes arrive, so a killed campaign leaves a valid
+    file; re-invoking the campaign reads it back, skips every run
+    whose latest attempt succeeded, and re-runs the rest (failed,
+    crashed, timed-out, or never attempted). Later lines supersede
+    earlier ones for the same id. *)
+
+type t = {
+  records : (string * Pr_util.Json.t) list;
+      (** latest record per run id, in first-appearance order *)
+  malformed : int;  (** lines that did not parse or lacked an [id] *)
+}
+
+val read : path:string -> t
+(** A missing file is an empty, zero-malformed [t]. *)
+
+val completed_ids : t -> (string, unit) Hashtbl.t
+(** Ids whose latest record has [status = "ok"] — the runs a resumed
+    campaign skips. *)
+
+val append : out_channel -> Pr_util.Json.t -> unit
+(** One compact line, flushed, so the file is a valid checkpoint after
+    every record even if the campaign is killed. *)

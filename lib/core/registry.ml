@@ -36,4 +36,6 @@ let all = baselines @ policy_designs @ extras
 
 let find wanted = List.find (fun p -> name p = wanted) all
 
+let find_opt wanted = List.find_opt (fun p -> name p = wanted) all
+
 let names packs = List.map name packs

@@ -24,4 +24,8 @@ val policy_designs : packed list
 val find : string -> packed
 (** @raise Not_found for unknown names. *)
 
+val find_opt : string -> packed option
+(** Non-raising {!find}, for tooling that must report unknown names
+    readably instead of dying on an exception. *)
+
 val names : packed list -> string list

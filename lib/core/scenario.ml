@@ -33,6 +33,10 @@ let hierarchical ?(policy = Gen.default) ?(topology = Generator.default) ~seed (
 let sized ?policy ~target_ads ~seed () =
   hierarchical ?policy ~topology:(Generator.scaled ~target_ads) ~seed ()
 
+let for_size ?policy ~target_ads ~seed () =
+  if target_ads <= 14 then figure1 ?policy ~seed ()
+  else sized ?policy ~target_ads ~seed ()
+
 let open_policies t =
   { t with label = t.label ^ "-open"; config = Config.defaults t.graph }
 

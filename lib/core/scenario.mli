@@ -25,6 +25,12 @@ val sized : ?policy:Pr_policy.Gen.params -> target_ads:int -> seed:int -> unit -
 (** A generated hierarchical internet of approximately the requested
     size. *)
 
+val for_size : ?policy:Pr_policy.Gen.params -> target_ads:int -> seed:int -> unit -> t
+(** The canonical scenario for a requested size: the Figure 1 internet
+    when [target_ads <= 14], a generated hierarchy otherwise. The one
+    constructor `prx` and campaign sweeps share, so a sweep point and
+    an interactive run of the same parameters see the same internet. *)
+
 val open_policies : t -> t
 (** The same topology with the class-implied default policies
     (transit open, stubs closed) — the policy-free control. *)

@@ -60,6 +60,15 @@ let snapshot t =
     tables = Array.copy t.tables;
   }
 
+let merge into from =
+  if into.n <> from.n then invalid_arg "Metrics.merge: size mismatch";
+  for i = 0 to into.n - 1 do
+    into.msgs.(i) <- into.msgs.(i) + from.msgs.(i);
+    into.bytes_sent.(i) <- into.bytes_sent.(i) + from.bytes_sent.(i);
+    into.comps.(i) <- into.comps.(i) + from.comps.(i);
+    into.tables.(i) <- into.tables.(i) + from.tables.(i)
+  done
+
 let diff ~after ~before =
   if after.n <> before.n then invalid_arg "Metrics.diff: size mismatch";
   {
@@ -69,6 +78,47 @@ let diff ~after ~before =
     comps = Array.init after.n (fun i -> after.comps.(i) - before.comps.(i));
     tables = Array.copy after.tables;
   }
+
+let to_json t =
+  let ints a = Pr_util.Json.List (Array.to_list (Array.map (fun i -> Pr_util.Json.Int i) a)) in
+  Pr_util.Json.Obj
+    [
+      ("n", Pr_util.Json.Int t.n);
+      ("messages", ints t.msgs);
+      ("bytes", ints t.bytes_sent);
+      ("computations", ints t.comps);
+      ("tables", ints t.tables);
+    ]
+
+let ( let* ) = Result.bind
+
+let of_json j =
+  let module J = Pr_util.Json in
+  let int_array name =
+    match J.member name j with
+    | None -> Error (Printf.sprintf "missing field %S" name)
+    | Some v ->
+      let* items = J.to_list v in
+      let* ints =
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            let* i = J.to_int item in
+            Ok (i :: acc))
+          (Ok []) items
+      in
+      Ok (Array.of_list (List.rev ints))
+  in
+  let* n = J.int_member "n" j in
+  let* msgs = int_array "messages" in
+  let* bytes_sent = int_array "bytes" in
+  let* comps = int_array "computations" in
+  let* tables = int_array "tables" in
+  if
+    Array.length msgs <> n || Array.length bytes_sent <> n || Array.length comps <> n
+    || Array.length tables <> n
+  then Error "per-AD array lengths disagree with n"
+  else Ok { n; msgs; bytes_sent; comps; tables }
 
 let pp ppf t =
   Format.fprintf ppf "msgs=%d bytes=%d comp=%d tables=%d" (messages t) (bytes t)

@@ -53,4 +53,16 @@ val snapshot : t -> t
 val diff : after:t -> before:t -> t
 (** Counter-wise difference (gauges are taken from [after]). *)
 
+val merge : t -> t -> unit
+(** [merge into from] adds [from]'s per-AD counters and gauges into
+    [into], so metrics recorded by independent workers combine to what
+    one sequential recording would have produced.
+    @raise Invalid_argument when the two differ in [n]. *)
+
+val to_json : t -> Pr_util.Json.t
+(** Full per-AD state, for shipping across a process boundary.
+    Round-trips exactly through {!of_json}. *)
+
+val of_json : Pr_util.Json.t -> (t, string) result
+
 val pp : Format.formatter -> t -> unit

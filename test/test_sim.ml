@@ -97,6 +97,96 @@ let metrics_reset () =
   Metrics.reset m;
   check_int "reset" 0 (Metrics.messages m)
 
+let metrics_merge () =
+  let a = Metrics.create ~n:3 and b = Metrics.create ~n:3 in
+  Metrics.record_send a 0 ~bytes:100;
+  Metrics.record_computation a 1 ~work:4 ();
+  Metrics.add_table_entries a 2 5;
+  Metrics.record_send b 0 ~bytes:50;
+  Metrics.record_send b 2 ~bytes:10;
+  Metrics.add_table_entries b 2 3;
+  Metrics.merge a b;
+  check_int "merged messages" 3 (Metrics.messages a);
+  check_int "merged bytes" 160 (Metrics.bytes a);
+  check_int "merged computations" 4 (Metrics.computations a);
+  check_int "merged per-node bytes" 150 (Metrics.bytes_of a 0);
+  check_int "merged gauge" 8 (Metrics.table_entries_of a 2);
+  (* [from] is read, not written. *)
+  check_int "source untouched" 2 (Metrics.messages b)
+
+let metrics_merge_size_mismatch () =
+  let a = Metrics.create ~n:2 and b = Metrics.create ~n:3 in
+  Alcotest.check_raises "n mismatch" (Invalid_argument "Metrics.merge: size mismatch")
+    (fun () -> Metrics.merge a b)
+
+(* Recording operations whose effect is additive per AD — the ones
+   workers perform — so that splitting a recording across workers and
+   merging must equal recording sequentially. *)
+let metrics_op =
+  QCheck.(
+    map
+      (fun (which, ad, v) ->
+        let ad = ad mod 4 and v = 1 + (v mod 50) in
+        match which mod 3 with
+        | 0 -> `Send (ad, v)
+        | 1 -> `Compute (ad, v)
+        | _ -> `Table (ad, v))
+      (triple small_int small_int small_int))
+
+let apply_op m = function
+  | `Send (ad, bytes) -> Metrics.record_send m ad ~bytes
+  | `Compute (ad, work) -> Metrics.record_computation m ad ~work ()
+  | `Table (ad, k) -> Metrics.add_table_entries m ad k
+
+let metrics_equal a b =
+  let per_node f = List.init 4 (fun ad -> f a ad = f b ad) in
+  Metrics.messages a = Metrics.messages b
+  && Metrics.bytes a = Metrics.bytes b
+  && Metrics.computations a = Metrics.computations b
+  && Metrics.table_entries a = Metrics.table_entries b
+  && Metrics.max_table_entries a = Metrics.max_table_entries b
+  && List.for_all Fun.id (per_node Metrics.messages_of)
+  && List.for_all Fun.id (per_node Metrics.bytes_of)
+  && List.for_all Fun.id (per_node Metrics.computations_of)
+  && List.for_all Fun.id (per_node Metrics.table_entries_of)
+
+let metrics_merge_matches_sequential =
+  QCheck.Test.make ~name:"merged worker metrics equal sequential recording" ~count:100
+    QCheck.(pair (list metrics_op) (list metrics_op))
+    (fun (ops1, ops2) ->
+      let sequential = Metrics.create ~n:4 in
+      List.iter (apply_op sequential) (ops1 @ ops2);
+      let w1 = Metrics.create ~n:4 and w2 = Metrics.create ~n:4 in
+      List.iter (apply_op w1) ops1;
+      List.iter (apply_op w2) ops2;
+      Metrics.merge w1 w2;
+      metrics_equal sequential w1)
+
+let metrics_json_roundtrip =
+  QCheck.Test.make ~name:"metrics survive a JSON round-trip" ~count:100
+    QCheck.(list metrics_op)
+    (fun ops ->
+      let m = Metrics.create ~n:4 in
+      List.iter (apply_op m) ops;
+      match Pr_util.Json.parse (Pr_util.Json.to_string (Metrics.to_json m)) with
+      | Error _ -> false
+      | Ok doc -> (
+        match Metrics.of_json doc with
+        | Error _ -> false
+        | Ok m' -> metrics_equal m m'))
+
+let metrics_of_json_rejects_garbage () =
+  List.iter
+    (fun doc ->
+      check_bool "rejected" true (Result.is_error (Metrics.of_json doc)))
+    Pr_util.Json.
+      [
+        Null;
+        Obj [];
+        Obj [ ("n", Int 2); ("messages", List [ Int 1 ]) ] (* wrong length *);
+        Obj [ ("n", Int 2); ("messages", String "x") ];
+      ]
+
 (* --- Network ------------------------------------------------------- *)
 
 let make_net () =
@@ -289,6 +379,33 @@ let churn_interleaves_with_protocol () =
   check_bool "delivers after churn" true
     (Pr_proto.Forwarding.delivered (R.send_flow r flow))
 
+let churn_no_up_links () =
+  (* Every link already down: the failure events find nothing to fail
+     and the restore events nothing churn-failed to restore — the
+     schedule must drain without raising or resurrecting links it did
+     not fail. *)
+  let net, e, _, g = make_net () in
+  Graph.fold_links g ~init:() ~f:(fun () l ->
+      Network.set_link_state net l.Link.id ~up:false);
+  Pr_sim.Churn.schedule net (Rng.create 3) ~events:6 ~spacing:1.0 ();
+  check_bool "drained" true (Engine.run e = Engine.Drained);
+  let up = ref 0 in
+  Graph.fold_links g ~init:() ~f:(fun () l ->
+      if Network.link_is_up net l.Link.id then incr up);
+  check_int "no link resurrected" 0 !up
+
+let churn_kind_matches_nothing () =
+  (* The parallel graph has only Lateral links: churn restricted to
+     Hierarchical links must be a no-op that still drains. *)
+  let g = parallel_graph () in
+  let e = Engine.create () in
+  let net = Network.create e g (Metrics.create ~n:2) in
+  Pr_sim.Churn.schedule net (Rng.create 7) ~events:5 ~spacing:1.0
+    ~kind:Pr_topology.Link.Hierarchical ();
+  check_bool "drained" true (Engine.run e = Engine.Drained);
+  check_bool "both links untouched" true
+    (Network.link_is_up net 0 && Network.link_is_up net 1)
+
 let churn_bad_spacing () =
   let net, _, _, _ = make_net () in
   Alcotest.check_raises "spacing" (Invalid_argument "Churn.schedule: spacing <= 0")
@@ -310,7 +427,12 @@ let () =
           Alcotest.test_case "counters" `Quick metrics_counters;
           Alcotest.test_case "diff" `Quick metrics_diff;
           Alcotest.test_case "reset" `Quick metrics_reset;
-        ] );
+          Alcotest.test_case "merge" `Quick metrics_merge;
+          Alcotest.test_case "merge size mismatch" `Quick metrics_merge_size_mismatch;
+          Alcotest.test_case "of_json rejects garbage" `Quick metrics_of_json_rejects_garbage;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ metrics_merge_matches_sequential; metrics_json_roundtrip ] );
       ( "network",
         [
           Alcotest.test_case "delivery" `Quick network_delivery;
@@ -332,6 +454,8 @@ let () =
           Alcotest.test_case "restores links" `Quick churn_restores_links;
           Alcotest.test_case "odd count leaves one down" `Quick churn_leaves_last_failure;
           Alcotest.test_case "interleaves with protocol" `Quick churn_interleaves_with_protocol;
+          Alcotest.test_case "no up links" `Quick churn_no_up_links;
+          Alcotest.test_case "kind matches nothing" `Quick churn_kind_matches_nothing;
           Alcotest.test_case "bad spacing" `Quick churn_bad_spacing;
         ] );
     ]
