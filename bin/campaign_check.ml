@@ -94,10 +94,13 @@ let () =
   let deterministic_fields =
     [
       "runs"; "ok"; "failed"; "crashed"; "timed_out"; "unconverged"; "messages"; "bytes";
-      "computations"; "transit_computations"; "table_total"; "table_max"; "delivered";
-      "flows";
+      "computations"; "transit_computations"; "table_total"; "table_max"; "msg_max";
+      "delivered"; "flows";
     ]
   in
+  (* Per-AD skew columns: float-valued but computed deterministically
+     from integer counters, so they must match the baseline exactly. *)
+  let deterministic_float_fields = [ "msg_mean"; "msg_p90"; "tbl_p90" ] in
   let fresh_rows = rows fresh_doc and baseline_rows = rows baseline_doc in
   if List.length fresh_rows <> List.length baseline_rows then
     fail "summary has %d design-point rows, baseline %d" (List.length fresh_rows)
@@ -117,7 +120,18 @@ let () =
             if get frow <> get brow then
               fail "%s.%s drifted: fresh %d, baseline %d" protocol field (get frow)
                 (get brow))
-          deterministic_fields)
+          deterministic_fields;
+        List.iter
+          (fun field ->
+            let get row =
+              match J.float_member field row with
+              | Ok v -> v
+              | Error e -> fail "%s row %s: %s" protocol field e
+            in
+            if get frow <> get brow then
+              fail "%s.%s drifted: fresh %g, baseline %g" protocol field (get frow)
+                (get brow))
+          deterministic_float_fields)
     baseline_rows;
   Printf.printf "campaign_check: %d lines, %d runs, totals match baseline\n"
     (List.length lines) (Hashtbl.length attempts)

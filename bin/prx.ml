@@ -7,6 +7,28 @@
 
 open Cmdliner
 
+(* Shared Logs setup, composed into every subcommand: without it the
+   pr.network / pr.campaign / pr.engine sources are unreachable from
+   the CLI because no reporter is ever installed. Default level
+   Warning, so engine event-limit warnings always surface. *)
+let logs_term =
+  let verbose_arg =
+    let doc = "Log informational messages (e.g. link flaps) to stderr." in
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+  in
+  let debug_arg =
+    let doc = "Log debug messages (every send, fork and reap) to stderr." in
+    Arg.(value & flag & info [ "debug" ] ~doc)
+  in
+  let setup verbose debug =
+    let level =
+      if debug then Logs.Debug else if verbose then Logs.Info else Logs.Warning
+    in
+    Logs.set_level (Some level);
+    Logs.set_reporter (Logs.format_reporter ())
+  in
+  Term.(const setup $ verbose_arg $ debug_arg)
+
 let seed_arg =
   let doc = "Deterministic seed for topology, policies and workload." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
@@ -51,7 +73,7 @@ let design_space_cmd =
   let run () = print_string (Pr_core.Design_space.render ()) in
   Cmd.v
     (Cmd.info "design-space" ~doc:"Print the paper's Table 1 with implemented protocols.")
-    Term.(const run $ const ())
+    Term.(const run $ logs_term)
 
 let save_arg =
   let doc = "Save the generated scenario (topology + policies) to this file." in
@@ -74,7 +96,7 @@ let scenario_of_args ~seed ~size ~restrictiveness ~granularity ~load =
 (* --- topology ----------------------------------------------------- *)
 
 let topology_cmd =
-  let run seed size save =
+  let run () seed size save =
     let s = scenario_of ~seed ~size ~restrictiveness:0.3 ~granularity:Pr_policy.Gen.Source_specific in
     (match save with
     | Some path ->
@@ -94,12 +116,12 @@ let topology_cmd =
   in
   Cmd.v
     (Cmd.info "topology" ~doc:"Generate and print a hierarchical internet.")
-    Term.(const run $ seed_arg $ size_arg $ save_arg)
+    Term.(const run $ logs_term $ seed_arg $ size_arg $ save_arg)
 
 (* --- evaluate ----------------------------------------------------- *)
 
 let evaluate_cmd =
-  let run seed size flows restrictiveness granularity load =
+  let run () seed size flows restrictiveness granularity load =
     let scenario = scenario_of_args ~seed ~size ~restrictiveness ~granularity ~load in
     let rng = Pr_util.Rng.create (seed + 1) in
     let workload = Pr_core.Scenario.flows scenario ~rng ~count:flows () in
@@ -126,13 +148,13 @@ let evaluate_cmd =
     (Cmd.info "evaluate"
        ~doc:"Run every protocol on one scenario and compare against the policy oracle.")
     Term.(
-      const run $ seed_arg $ size_arg $ flows_arg $ restrictiveness_arg $ granularity_arg
-      $ load_arg)
+      const run $ logs_term $ seed_arg $ size_arg $ flows_arg $ restrictiveness_arg
+      $ granularity_arg $ load_arg)
 
 (* --- dot ----------------------------------------------------------- *)
 
 let dot_cmd =
-  let run seed size =
+  let run () seed size =
     let s =
       scenario_of ~seed ~size ~restrictiveness:0.0 ~granularity:Pr_policy.Gen.Coarse
     in
@@ -140,7 +162,7 @@ let dot_cmd =
   in
   Cmd.v
     (Cmd.info "dot" ~doc:"Emit the generated internet as a Graphviz document on stdout.")
-    Term.(const run $ seed_arg $ size_arg)
+    Term.(const run $ logs_term $ seed_arg $ size_arg)
 
 (* --- oracle -------------------------------------------------------- *)
 
@@ -151,7 +173,7 @@ let oracle_cmd =
   let dst_arg =
     Arg.(required & opt (some int) None & info [ "dst" ] ~docv:"AD" ~doc:"Destination AD id.")
   in
-  let run seed size restrictiveness granularity src dst =
+  let run () seed size restrictiveness granularity src dst =
     let scenario = scenario_of ~seed ~size ~restrictiveness ~granularity in
     let g = scenario.Pr_core.Scenario.graph in
     let config = scenario.Pr_core.Scenario.config in
@@ -174,8 +196,8 @@ let oracle_cmd =
   Cmd.v
     (Cmd.info "oracle" ~doc:"Query the policy oracle for legal routes between two ADs.")
     Term.(
-      const run $ seed_arg $ size_arg $ restrictiveness_arg $ granularity_arg $ src_arg
-      $ dst_arg)
+      const run $ logs_term $ seed_arg $ size_arg $ restrictiveness_arg $ granularity_arg
+      $ src_arg $ dst_arg)
 
 (* --- impact -------------------------------------------------------- *)
 
@@ -190,7 +212,7 @@ let impact_cmd =
     let doc = "Assess closing the AD entirely (no transit) instead of opening it." in
     Arg.(value & flag & info [ "close" ] ~doc)
   in
-  let run seed size restrictiveness granularity ad close =
+  let run () seed size restrictiveness granularity ad close =
     let scenario = scenario_of ~seed ~size ~restrictiveness ~granularity in
     let proposed =
       if close then Pr_policy.Transit_policy.no_transit ad
@@ -205,8 +227,8 @@ let impact_cmd =
          "Predict the impact of replacing one AD's transit policy (section 6's \
           administrator tool).")
     Term.(
-      const run $ seed_arg $ size_arg $ restrictiveness_arg $ granularity_arg $ ad_arg
-      $ closed_arg)
+      const run $ logs_term $ seed_arg $ size_arg $ restrictiveness_arg $ granularity_arg
+      $ ad_arg $ closed_arg)
 
 (* --- conformance ---------------------------------------------------- *)
 
@@ -215,7 +237,7 @@ let conformance_cmd =
     let doc = "Protocol name (see `prx design-space`); default: all." in
     Arg.(value & opt (some string) None & info [ "protocol" ] ~docv:"NAME" ~doc)
   in
-  let run seed size restrictiveness granularity protocol =
+  let run () seed size restrictiveness granularity protocol =
     let scenario = scenario_of ~seed ~size ~restrictiveness ~granularity in
     let protocols =
       match protocol with
@@ -256,7 +278,7 @@ let conformance_cmd =
     (Cmd.info "conformance"
        ~doc:"Run the behavioural conformance properties against protocols on a scenario.")
     Term.(
-      const run $ seed_arg $ size_arg $ restrictiveness_arg $ granularity_arg
+      const run $ logs_term $ seed_arg $ size_arg $ restrictiveness_arg $ granularity_arg
       $ protocol_arg)
 
 (* --- sweep ---------------------------------------------------------- *)
@@ -374,8 +396,15 @@ let sweep_cmd =
     let doc = "Suppress per-run progress on stderr." in
     Arg.(value & flag & info [ "quiet" ] ~doc)
   in
-  let run protocols sizes restrictiveness granularities churn replicates seed flows
-      max_events jobs timeout out summary crash_id hang_id quiet =
+  let trace_dir_arg =
+    let doc =
+      "Write one Chrome trace-event file per run (plus the pool's worker timeline as \
+       pool.json) into this directory, created if missing."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"DIR" ~doc)
+  in
+  let run () protocols sizes restrictiveness granularities churn replicates seed flows
+      max_events jobs timeout out summary crash_id hang_id quiet trace_dir =
     let spec =
       {
         Grid.protocols;
@@ -393,7 +422,7 @@ let sweep_cmd =
     let report =
       Driver.sweep ~jobs ~timeout_s:timeout ~quiet
         ~chaos:{ Exec.crash_id; hang_id }
-        ?summary_path ~out spec
+        ?summary_path ?trace_dir ~out spec
     in
     Pr_util.Texttable.print ~title:"campaign: per-design-point totals"
       (Pr_campaign.Aggregate.table report.Driver.rows);
@@ -402,7 +431,8 @@ let sweep_cmd =
        failed/crashed/timed-out)\nresults: %s%s\n"
       report.Driver.total report.Driver.skipped report.Driver.executed report.Driver.ok
       report.Driver.not_ok out
-      (match summary_path with Some p -> Printf.sprintf "; summary: %s" p | None -> "")
+      (match summary_path with Some p -> Printf.sprintf "; summary: %s" p | None -> "");
+    Option.iter (fun dir -> Printf.printf "traces: %s/\n" dir) trace_dir
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -410,9 +440,107 @@ let sweep_cmd =
          "Run a parallel experiment campaign over (design point x topology x policy x \
           churn) with JSONL checkpoint/resume and per-design-point aggregation.")
     Term.(
-      const run $ protocols_arg $ sizes_arg $ restrictiveness_list_arg $ granularities_arg
-      $ churn_arg $ replicates_arg $ seed_arg $ flows_arg $ max_events_arg $ jobs_arg
-      $ timeout_arg $ out_arg $ summary_arg $ crash_run_arg $ hang_run_arg $ quiet_arg)
+      const run $ logs_term $ protocols_arg $ sizes_arg $ restrictiveness_list_arg
+      $ granularities_arg $ churn_arg $ replicates_arg $ seed_arg $ flows_arg
+      $ max_events_arg $ jobs_arg $ timeout_arg $ out_arg $ summary_arg $ crash_run_arg
+      $ hang_run_arg $ quiet_arg $ trace_dir_arg)
+
+(* --- trace ---------------------------------------------------------- *)
+
+(* One traced simulation run: converge + workload with an enabled
+   recorder, a Chrome trace on disk, and the convergence timeline and
+   per-AD load profile printed. *)
+
+let trace_cmd =
+  let protocol_arg =
+    let doc = "Protocol (design point) to trace; see `prx design-space`." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROTOCOL" ~doc)
+  in
+  let out_arg =
+    let doc = "Chrome trace-event output file (open in Perfetto or chrome://tracing)." in
+    Arg.(value & opt string "trace.json" & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let window_arg =
+    let doc = "Timeline sampling window in simulated time units." in
+    Arg.(value & opt float 1.0 & info [ "window" ] ~docv:"W" ~doc)
+  in
+  let max_events_arg =
+    let doc = "Simulation event budget." in
+    Arg.(value & opt int 10_000_000 & info [ "max-events" ] ~docv:"N" ~doc)
+  in
+  let run () protocol seed size flows restrictiveness granularity window max_events out =
+    match Pr_core.Registry.find_opt protocol with
+    | None ->
+      Printf.eprintf "prx: unknown protocol %S (known: %s)\n" protocol
+        (String.concat ", " (Pr_core.Registry.names Pr_core.Registry.all));
+      exit 1
+    | Some (Pr_core.Registry.Packed (module P)) ->
+      let scenario = scenario_of ~seed ~size ~restrictiveness ~granularity in
+      let g = scenario.Pr_core.Scenario.graph in
+      let module R = Pr_proto.Runner.Make (P) in
+      let trace = Pr_obs.Trace.create () in
+      let r = R.setup ~trace g scenario.Pr_core.Scenario.config in
+      let m = R.metrics r in
+      let table_total () =
+        let acc = ref 0 in
+        for ad = 0 to Pr_topology.Graph.n g - 1 do
+          acc := !acc + P.table_entries (R.protocol r) ad
+        done;
+        !acc
+      in
+      let tl =
+        Pr_obs.Timeline.create ~window
+          ~series:[ "messages"; "computations"; "table-entries" ]
+          ~probe:(fun () ->
+            [|
+              float_of_int (Pr_sim.Metrics.messages m);
+              float_of_int (Pr_sim.Metrics.computations m);
+              float_of_int (table_total ());
+            |])
+          trace
+      in
+      let engine = Pr_sim.Network.engine (R.network r) in
+      Pr_sim.Engine.set_observer engine
+        (Some (fun ~time ~pending:_ -> Pr_obs.Timeline.observe tl ~now:time));
+      let c = R.converge ~max_events r in
+      let rng = Pr_util.Rng.create (seed + 2) in
+      let workload = Pr_core.Scenario.flows scenario ~rng ~count:flows () in
+      let delivered =
+        List.fold_left
+          (fun acc f ->
+            if Pr_proto.Forwarding.delivered (R.send_flow r f) then acc + 1 else acc)
+          0 workload
+      in
+      Pr_obs.Timeline.finish tl ~now:(Pr_sim.Engine.now engine);
+      Pr_obs.Trace.write ~path:out trace;
+      Format.printf "%s on %s: %a; delivered %d/%d@." protocol
+        scenario.Pr_core.Scenario.label Pr_proto.Runner.pp_convergence c delivered flows;
+      Pr_util.Texttable.print ~title:"convergence timeline" (Pr_obs.Timeline.table tl);
+      (match Pr_obs.Timeline.first_nonzero tl "table-entries" with
+      | Some ts -> Printf.printf "time to first route:  %.2f\n" ts
+      | None -> print_string "time to first route:  never\n");
+      Printf.printf "time to quiescence:   %.2f\n" (Pr_obs.Timeline.quiescence tl);
+      let per_ad_tables =
+        Array.init (Pr_topology.Graph.n g) (fun ad ->
+            float_of_int (P.table_entries (R.protocol r) ad))
+      in
+      let profile =
+        Pr_obs.Load_profile.of_series
+          (Pr_sim.Metrics.load_series m @ [ ("table-entries", per_ad_tables) ])
+      in
+      Pr_util.Texttable.print ~title:"per-AD load profile" (Pr_obs.Load_profile.table profile);
+      Printf.printf "trace: %s (%d events%s)\n" out (Pr_obs.Trace.length trace)
+        (let d = Pr_obs.Trace.dropped trace in
+         if d = 0 then "" else Printf.sprintf ", %d dropped" d)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one protocol with tracing enabled: write a Perfetto-loadable Chrome trace \
+          and print the convergence timeline and per-AD load profile.")
+    Term.(
+      const run $ logs_term $ protocol_arg $ seed_arg $ size_arg $ flows_arg
+      $ restrictiveness_arg $ granularity_arg $ window_arg $ max_events_arg $ out_arg)
 
 let () =
   let info = Cmd.info "prx" ~doc:"Inter-AD policy routing explorer (Breslau & Estrin, SIGCOMM 1990)." in
@@ -428,4 +556,5 @@ let () =
             impact_cmd;
             conformance_cmd;
             sweep_cmd;
+            trace_cmd;
           ]))

@@ -1,0 +1,42 @@
+(* Verifier for the trace smoke test (see bin/dune).
+
+   Usage: trace_check TRACE.json [TRACE.json ...]
+
+   Each file must parse as JSON and satisfy the Chrome trace-event
+   invariants Pr_obs.Trace.to_json guarantees: well-formed events,
+   non-decreasing timestamps, balanced span begin/end pairs per track
+   (see Pr_obs.Trace.validate_json). Also requires at least one event,
+   so an accidentally disabled recorder cannot pass. *)
+
+module J = Pr_util.Json
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("trace_check: " ^ msg); exit 1) fmt
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let check path =
+  let doc =
+    match J.parse (read_file path) with
+    | Ok doc -> doc
+    | Error e -> fail "%s is not JSON: %s" path e
+  in
+  (match Pr_obs.Trace.validate_json doc with
+  | Ok () -> ()
+  | Error e -> fail "%s: %s" path e);
+  let events =
+    match J.member "traceEvents" doc with
+    | Some (J.List evs) -> List.length evs
+    | _ -> fail "%s: missing traceEvents" path
+  in
+  if events = 0 then fail "%s: empty trace" path;
+  Printf.printf "trace_check: %s ok (%d events)\n" path events
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: (_ :: _ as paths) -> List.iter check paths
+  | _ -> fail "usage: trace_check TRACE.json [TRACE.json ...]"

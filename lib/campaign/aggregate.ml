@@ -16,6 +16,10 @@ type row = {
   transit_computations : int;
   table_total : int;
   table_max : int;
+  msg_max : int;
+  msg_mean : float;
+  msg_p90 : float;
+  tbl_p90 : float;
   delivered : int;
   flows : int;
   wall_s : float;
@@ -42,6 +46,10 @@ let empty_row protocol =
     transit_computations = 0;
     table_total = 0;
     table_max = 0;
+    msg_max = 0;
+    msg_mean = 0.0;
+    msg_p90 = 0.0;
+    tbl_p90 = 0.0;
     delivered = 0;
     flows = 0;
     wall_s = 0.0;
@@ -63,6 +71,15 @@ let add_record row record =
       transit_computations = row.transit_computations + int "transit_computations";
       table_total = row.table_total + int "table_total";
       table_max = Stdlib.max row.table_max (int "table_max");
+      (* Per-AD skew: worst AD over all the design point's runs for the
+         max/percentile figures; [msg_mean] accumulates the per-run
+         means here and is normalized to their average in {!rows}. *)
+      msg_max = Stdlib.max row.msg_max (int "msg_max");
+      msg_mean = row.msg_mean +. Result.value (J.float_member "msg_mean" record) ~default:0.0;
+      msg_p90 =
+        Stdlib.max row.msg_p90 (Result.value (J.float_member "msg_p90" record) ~default:0.0);
+      tbl_p90 =
+        Stdlib.max row.tbl_p90 (Result.value (J.float_member "tbl_p90" record) ~default:0.0);
       delivered = row.delivered + int "delivered";
       flows = row.flows + int "flows";
       wall_s = row.wall_s +. Result.value (J.float_member "wall_s" record) ~default:0.0;
@@ -86,7 +103,11 @@ let rows (sink : Sink.t) =
       in
       Hashtbl.replace by_protocol protocol (add_record row record))
     sink.Sink.records;
-  List.rev_map (fun protocol -> Hashtbl.find by_protocol protocol) !order
+  List.rev_map
+    (fun protocol ->
+      let r = Hashtbl.find by_protocol protocol in
+      if r.ok = 0 then r else { r with msg_mean = r.msg_mean /. float_of_int r.ok })
+    !order
 
 let columns =
   [
@@ -101,6 +122,10 @@ let columns =
     ("transit comp", Texttable.Right);
     ("tbl total", Texttable.Right);
     ("tbl max", Texttable.Right);
+    ("msg max", Texttable.Right);
+    ("msg mean", Texttable.Right);
+    ("msg p90", Texttable.Right);
+    ("tbl p90", Texttable.Right);
     ("delivered", Texttable.Right);
     ("wall s", Texttable.Right);
   ]
@@ -122,6 +147,10 @@ let table rows_list =
           Texttable.cell_int r.transit_computations;
           Texttable.cell_int r.table_total;
           Texttable.cell_int r.table_max;
+          Texttable.cell_int r.msg_max;
+          Texttable.cell_float ~decimals:1 r.msg_mean;
+          Texttable.cell_float ~decimals:1 r.msg_p90;
+          Texttable.cell_float ~decimals:1 r.tbl_p90;
           Printf.sprintf "%d/%d" r.delivered r.flows;
           Texttable.cell_float ~decimals:2 r.wall_s;
         ])
@@ -145,6 +174,10 @@ let row_json r =
       ("transit_computations", J.Int r.transit_computations);
       ("table_total", J.Int r.table_total);
       ("table_max", J.Int r.table_max);
+      ("msg_max", J.Int r.msg_max);
+      ("msg_mean", J.Float r.msg_mean);
+      ("msg_p90", J.Float r.msg_p90);
+      ("tbl_p90", J.Float r.tbl_p90);
       ("delivered", J.Int r.delivered);
       ("flows", J.Int r.flows);
       ("wall_s", J.Float r.wall_s);

@@ -23,6 +23,11 @@ type row = {
   transit_computations : int;
   table_total : int;
   table_max : int;
+  msg_max : int;
+      (** messages sent by the worst-loaded AD of any ok run *)
+  msg_mean : float;  (** mean per-AD message load, averaged over ok runs *)
+  msg_p90 : float;  (** worst per-run p90 of per-AD message load *)
+  tbl_p90 : float;  (** worst per-run p90 of per-AD table entries *)
   delivered : int;
   flows : int;
   wall_s : float;  (** summed worker wall clock over ok runs *)
@@ -30,7 +35,8 @@ type row = {
 
 val rows : Sink.t -> row list
 (** Grouped by protocol in first-appearance order. Numeric fields sum
-    over the ok runs only; [table_max] is the max. *)
+    over the ok runs only; [table_max], [msg_max] and the p90 skew
+    columns take the max over runs. *)
 
 val table : row list -> Pr_util.Texttable.t
 

@@ -23,9 +23,14 @@ val sweep :
   ?quiet:bool ->
   ?chaos:Exec.chaos ->
   ?summary_path:string ->
+  ?trace_dir:string ->
   out:string ->
   Grid.spec ->
   report
 (** [sweep ~out spec] appends to (never truncates) the JSONL at
     [out]; a second invocation with the same spec therefore resumes,
-    re-running only runs whose latest attempt is not [ok]. *)
+    re-running only runs whose latest attempt is not [ok]. With
+    [trace_dir] (created if missing), each executed run writes a
+    Chrome trace of its simulation into the directory (see
+    {!Exec.trace_filename}) and the pool writes its wall-clock worker
+    timeline to [pool.json] there. *)

@@ -1,10 +1,14 @@
 module J = Pr_util.Json
 module Rng = Pr_util.Rng
+module Stats = Pr_util.Stats
 module Graph = Pr_topology.Graph
 module Metrics = Pr_sim.Metrics
+module Engine = Pr_sim.Engine
 module Runner = Pr_proto.Runner
 module Registry = Pr_core.Registry
 module Scenario = Pr_core.Scenario
+module Trace = Pr_obs.Trace
+module Timeline = Pr_obs.Timeline
 
 type chaos = { crash_id : string option; hang_id : string option }
 
@@ -21,8 +25,14 @@ type t = {
   transit_computations : int;
   table_total : int;
   table_max : int;
+  msg_max : int;
+  msg_mean : float;
+  msg_p90 : float;
+  tbl_p90 : float;
   delivered : int;
   wall_s : float;
+  trace_file : string option;
+  time_to_first_route : float option;
 }
 
 (* Churn parameters: enough flips to interleave with convergence, an
@@ -45,7 +55,10 @@ let apply_chaos chaos (run : Grid.run) =
     forever ()
   | _ -> ()
 
-let execute ?(chaos = no_chaos) (run : Grid.run) =
+let trace_filename (run : Grid.run) =
+  String.map (fun c -> if c = '/' then '_' else c) run.id ^ ".json"
+
+let execute ?(chaos = no_chaos) ?trace_dir (run : Grid.run) =
   apply_chaos chaos run;
   match Registry.find_opt run.protocol with
   | None ->
@@ -64,7 +77,39 @@ let execute ?(chaos = no_chaos) (run : Grid.run) =
     let scenario = Scenario.for_size ~policy ~target_ads:run.size ~seed:run.seed () in
     let g = scenario.Scenario.graph in
     let module R = Runner.Make (P) in
-    let r = R.setup g scenario.Scenario.config in
+    let trace =
+      match trace_dir with
+      | Some _ -> Trace.create ()
+      | None -> Trace.disabled
+    in
+    let r = R.setup ~trace g scenario.Scenario.config in
+    let m = R.metrics r in
+    let table_total () =
+      let acc = ref 0 in
+      for ad = 0 to Graph.n g - 1 do
+        acc := !acc + P.table_entries (R.protocol r) ad
+      done;
+      !acc
+    in
+    let timeline =
+      if trace_dir = None then None
+      else
+        Some
+          (Timeline.create
+             ~series:[ "messages"; "computations"; "table-entries" ]
+             ~probe:(fun () ->
+               [|
+                 float_of_int (Metrics.messages m);
+                 float_of_int (Metrics.computations m);
+                 float_of_int (table_total ());
+               |])
+             trace)
+    in
+    let engine = Pr_sim.Network.engine (R.network r) in
+    Option.iter
+      (fun tl ->
+        Engine.set_observer engine (Some (fun ~time ~pending:_ -> Timeline.observe tl ~now:time)))
+      timeline;
     if run.churn then
       Pr_sim.Churn.schedule (R.network r) (Rng.create (run.seed + 1)) ~events:churn_events
         ~spacing:churn_spacing ();
@@ -76,11 +121,28 @@ let execute ?(chaos = no_chaos) (run : Grid.run) =
         (fun acc f -> if Pr_proto.Forwarding.delivered (R.send_flow r f) then acc + 1 else acc)
         0 flows
     in
-    let m = R.metrics r in
     let transit_computations =
       List.fold_left
         (fun acc ad -> acc + Metrics.computations_of m ad)
         0 (Graph.transit_ids g)
+    in
+    (* Per-AD skew: the §5.2.1/§5.3 arguments are about the
+       worst-loaded AD, not the totals. *)
+    let n = Graph.n g in
+    let per_ad_msgs = List.init n (fun ad -> float_of_int (Metrics.messages_of m ad)) in
+    let per_ad_tbls = List.init n (fun ad -> float_of_int (P.table_entries (R.protocol r) ad)) in
+    let msg_max =
+      List.fold_left (fun acc ad -> Stdlib.max acc (Metrics.messages_of m ad)) 0
+        (List.init n Fun.id)
+    in
+    let trace_file =
+      Option.map
+        (fun dir ->
+          let file = trace_filename run in
+          Option.iter (fun tl -> Timeline.finish tl ~now:(Engine.now engine)) timeline;
+          Trace.write ~path:(Filename.concat dir file) trace;
+          file)
+        trace_dir
     in
     Ok
       {
@@ -94,8 +156,15 @@ let execute ?(chaos = no_chaos) (run : Grid.run) =
         transit_computations;
         table_total = R.table_entries r;
         table_max = R.max_table_entries r;
+        msg_max;
+        msg_mean = Stats.mean per_ad_msgs;
+        msg_p90 = Stats.percentile per_ad_msgs 90.0;
+        tbl_p90 = Stats.percentile per_ad_tbls 90.0;
         delivered;
         wall_s = Unix.gettimeofday () -. started;
+        trace_file;
+        time_to_first_route =
+          Option.bind timeline (fun tl -> Timeline.first_nonzero tl "table-entries");
       }
 
 let to_json t =
@@ -112,12 +181,23 @@ let to_json t =
         ("transit_computations", J.Int t.transit_computations);
         ("table_total", J.Int t.table_total);
         ("table_max", J.Int t.table_max);
+        ("msg_max", J.Int t.msg_max);
+        ("msg_mean", J.Float t.msg_mean);
+        ("msg_p90", J.Float t.msg_p90);
+        ("tbl_p90", J.Float t.tbl_p90);
         ("delivered", J.Int t.delivered);
         ("wall_s", J.Float t.wall_s);
-      ])
+      ]
+    @ (match t.trace_file with
+      | Some f -> [ ("trace_file", J.String f) ]
+      | None -> [])
+    @
+    match t.time_to_first_route with
+    | Some ts -> [ ("time_to_first_route", J.Float ts) ]
+    | None -> [])
 
-let run_record ?chaos run =
-  match execute ?chaos run with
+let run_record ?chaos ?trace_dir run =
+  match execute ?chaos ?trace_dir run with
   | Ok t -> to_json t
   | Error msg ->
     J.Obj

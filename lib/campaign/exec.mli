@@ -29,19 +29,35 @@ type t = {
   transit_computations : int;
   table_total : int;
   table_max : int;
+  msg_max : int;  (** messages sent by the worst-loaded AD *)
+  msg_mean : float;  (** mean messages per AD *)
+  msg_p90 : float;  (** 90th percentile of per-AD messages *)
+  tbl_p90 : float;  (** 90th percentile of per-AD table entries *)
   delivered : int;
   wall_s : float;
+  trace_file : string option;
+      (** basename of the Chrome trace written under [trace_dir] *)
+  time_to_first_route : float option;
+      (** simulated time the first routing-table entry appeared
+          (only measured when tracing, via {!Pr_obs.Timeline}) *)
 }
 
-val execute : ?chaos:chaos -> Grid.run -> (t, string) result
+val trace_filename : Grid.run -> string
+(** The run's trace basename: its id with ['/'] flattened to ['_'],
+    plus [".json"]. *)
+
+val execute : ?chaos:chaos -> ?trace_dir:string -> Grid.run -> (t, string) result
 (** [Error] reports an unknown protocol name; every simulation-level
-    problem is folded into the result's fields instead. *)
+    problem is folded into the result's fields instead. When
+    [trace_dir] is given (the directory must exist), the run executes
+    with an enabled recorder and writes a Chrome trace named
+    {!trace_filename} into it. *)
 
 val to_json : t -> Pr_util.Json.t
 (** The run's JSONL record: {!Grid.params_json} fields, then
     [status = "ok"] and the measured totals. *)
 
-val run_record : ?chaos:chaos -> Grid.run -> Pr_util.Json.t
+val run_record : ?chaos:chaos -> ?trace_dir:string -> Grid.run -> Pr_util.Json.t
 (** [execute] then [to_json]; an [Error] becomes a record with
     [status = "failed"] and an [error] field. The function handed to
     {!Pool.run_all} as its [exec]. *)

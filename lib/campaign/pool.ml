@@ -1,4 +1,5 @@
 module J = Pr_util.Json
+module Trace = Pr_obs.Trace
 
 let log_src = Logs.Src.create "pr.campaign" ~doc:"Campaign worker pool"
 
@@ -100,8 +101,16 @@ let outcome_of_exit w proc_status wall_s =
       wall_s;
     }
 
-let run_all ?(jobs = 4) ?(timeout_s = 120.0) ?(quiet = false) ~exec ~on_outcome runs =
+let run_all ?(jobs = 4) ?(timeout_s = 120.0) ?(quiet = false) ?(trace = Trace.disabled) ~exec
+    ~on_outcome runs =
   let jobs = Stdlib.max 1 jobs in
+  (* Pool spans are on the wall clock (microseconds since pool start),
+     one track per worker pid — a different timebase from the
+     simulated-time run traces, which is why they live in their own
+     trace file. The parent records everything single-threaded, so the
+     buffer stays in chronological order. *)
+  let t0 = Unix.gettimeofday () in
+  let wall_us () = (Unix.gettimeofday () -. t0) *. 1e6 in
   let total = List.length runs in
   let pending = Queue.create () in
   List.iter (fun r -> Queue.add r pending) runs;
@@ -120,7 +129,10 @@ let run_all ?(jobs = 4) ?(timeout_s = 120.0) ?(quiet = false) ~exec ~on_outcome 
   in
   while (not (Queue.is_empty pending)) || !active <> [] do
     while List.length !active < jobs && not (Queue.is_empty pending) do
-      active := spawn ~exec (Queue.pop pending) :: !active
+      let w = spawn ~exec (Queue.pop pending) in
+      if Trace.enabled trace then
+        Trace.span_begin trace ~ts:(wall_us ()) ~tid:w.pid w.run.Grid.id;
+      active := w :: !active
     done;
     let now = Unix.gettimeofday () in
     let reaped = ref false in
@@ -136,6 +148,11 @@ let run_all ?(jobs = 4) ?(timeout_s = 120.0) ?(quiet = false) ~exec ~on_outcome 
               let payload = read_all w.fd in
               ignore payload;
               Unix.close w.fd;
+              if Trace.enabled trace then begin
+                let ts = wall_us () in
+                Trace.instant trace ~ts ~tid:w.pid "worker.timeout";
+                Trace.span_end trace ~ts ~tid:w.pid w.run.Grid.id
+              end;
               reaped := true;
               finish
                 {
@@ -150,8 +167,18 @@ let run_all ?(jobs = 4) ?(timeout_s = 120.0) ?(quiet = false) ~exec ~on_outcome 
             else true
           | _, proc_status ->
             Log.debug (fun m -> m "reaped pid %d (%s)" w.pid w.run.Grid.id);
+            let outcome = outcome_of_exit w proc_status (now -. w.started) in
+            if Trace.enabled trace then begin
+              let ts = wall_us () in
+              (match outcome.status with
+              | Done -> ()
+              | Crashed _ -> Trace.instant trace ~ts ~tid:w.pid "worker.crash"
+              | Failed -> Trace.instant trace ~ts ~tid:w.pid "worker.failed"
+              | Timed_out -> ());
+              Trace.span_end trace ~ts ~tid:w.pid w.run.Grid.id
+            end;
             reaped := true;
-            finish (outcome_of_exit w proc_status (now -. w.started));
+            finish outcome;
             false)
         !active;
     if (not !reaped) && !active <> [] then Unix.sleepf 0.01

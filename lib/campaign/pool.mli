@@ -32,6 +32,7 @@ val run_all :
   ?jobs:int ->
   ?timeout_s:float ->
   ?quiet:bool ->
+  ?trace:Pr_obs.Trace.t ->
   exec:(Grid.run -> Pr_util.Json.t) ->
   on_outcome:(outcome -> unit) ->
   Grid.run list ->
@@ -43,4 +44,8 @@ val run_all :
     [on_outcome] fires in the parent, in completion order. An [exec]
     that raises inside the child is reported as [Failed] with the
     exception text in the record. Returns [(ok, not_ok)] counts.
-    With [quiet] no progress is written to stderr. *)
+    With [quiet] no progress is written to stderr. When [trace]
+    (default {!Pr_obs.Trace.disabled}) is enabled, each worker's
+    lifetime is a span named by its run id on its pid's track,
+    timestamped in wall-clock microseconds since pool start, with
+    instants for timeouts, crashes and failures. *)

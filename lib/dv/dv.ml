@@ -117,6 +117,7 @@ module Make (V : VARIANT) = struct
 
   let handle_message t ~at ~from vector =
     Metrics.record_computation (Network.metrics t.net) at ();
+    Pr_proto.Probe.computation t.net ~at "dv.update";
     let table = heard_table t at from in
     let changed = ref [] in
     List.iter

@@ -192,6 +192,7 @@ let heard_table t ad nbr =
 
 let handle_message t ~at ~from entries =
   Metrics.record_computation (Network.metrics t.net) at ();
+  Pr_proto.Probe.computation t.net ~at "ecma.update";
   let n = Graph.n t.graph in
   let heard = heard_table t at from in
   (* [from] below us feeds down_only; above us feeds mixed. *)

@@ -102,6 +102,7 @@ let start t =
 
 let handle_message t ~at ~from entries =
   Metrics.record_computation (Network.metrics t.net) at ();
+  Pr_proto.Probe.computation t.net ~at "egp.update";
   List.iter
     (fun (dst, reachable) ->
       t.nodes.(at).advertisers.(dst).(from) <- reachable;

@@ -233,6 +233,7 @@ module Make (V : VARIANT) = struct
 
   let handle_message t ~at ~from updates =
     Metrics.record_computation (Network.metrics t.net) at ~work:(List.length updates) ();
+    Pr_proto.Probe.computation t.net ~at ~work:(List.length updates) "idrp.update";
     let node = t.nodes.(at) in
     let touched = ref [] in
     List.iter

@@ -89,6 +89,7 @@ let run_spf t ad ~version =
   drain ();
   t.spf_count <- t.spf_count + 1;
   Metrics.record_computation (Network.metrics t.net) ad ~work:!work ();
+  Pr_proto.Probe.computation t.net ~at:ad ~work:!work "ls.spf";
   t.nodes.(ad).next_hops <- first_hop;
   t.nodes.(ad).computed_version <- version
 

@@ -61,6 +61,7 @@ let compute_route t at (flow : Flow.t) =
     let db = Ls_flood.db t.flood at in
     let path, work = Policy_route.shortest db ~n flow () in
     Metrics.record_computation (Network.metrics t.net) at ~work ();
+    Pr_proto.Probe.computation t.net ~at ~work "lshbh.synth";
     Hashtbl.replace node.route_cache key (version, path);
     path
 

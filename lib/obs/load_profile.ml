@@ -1,0 +1,89 @@
+module J = Pr_util.Json
+module S = Pr_util.Stats
+module T = Pr_util.Texttable
+
+type row = {
+  name : string;
+  total : float;
+  mean : float;
+  max : float;
+  argmax : int;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type t = row list
+
+let row_of name values =
+  let n = Array.length values in
+  let total = Array.fold_left ( +. ) 0.0 values in
+  let max_v = ref 0.0 and argmax = ref 0 in
+  Array.iteri
+    (fun i v ->
+      if v > !max_v then begin
+        max_v := v;
+        argmax := i
+      end)
+    values;
+  let xs = Array.to_list values in
+  {
+    name;
+    total;
+    mean = (if n = 0 then 0.0 else total /. float_of_int n);
+    max = !max_v;
+    argmax = !argmax;
+    p50 = S.percentile xs 50.0;
+    p90 = S.percentile xs 90.0;
+    p99 = S.percentile xs 99.0;
+  }
+
+let of_series series = List.map (fun (name, values) -> row_of name values) series
+
+let table t =
+  let tbl =
+    T.create
+      ~columns:
+        [
+          ("load", T.Left);
+          ("total", T.Right);
+          ("mean/AD", T.Right);
+          ("max", T.Right);
+          ("max@AD", T.Right);
+          ("p50", T.Right);
+          ("p90", T.Right);
+          ("p99", T.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      T.add_row tbl
+        [
+          r.name;
+          T.cell_float ~decimals:0 r.total;
+          T.cell_float ~decimals:1 r.mean;
+          T.cell_float ~decimals:0 r.max;
+          T.cell_int r.argmax;
+          T.cell_float ~decimals:1 r.p50;
+          T.cell_float ~decimals:1 r.p90;
+          T.cell_float ~decimals:1 r.p99;
+        ])
+    t;
+  tbl
+
+let to_json t =
+  J.List
+    (List.map
+       (fun r ->
+         J.Obj
+           [
+             ("name", J.String r.name);
+             ("total", J.Float r.total);
+             ("mean", J.Float r.mean);
+             ("max", J.Float r.max);
+             ("argmax", J.Int r.argmax);
+             ("p50", J.Float r.p50);
+             ("p90", J.Float r.p90);
+             ("p99", J.Float r.p99);
+           ])
+       t)

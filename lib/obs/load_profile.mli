@@ -1,0 +1,27 @@
+(** Per-AD load distributions.
+
+    The paper's §5 arguments turn on which ADs bear the cost of each
+    design point, not on totals; a load profile summarises one named
+    per-AD vector (messages, computations, table entries) into the
+    distribution figures — worst-loaded AD, mean, percentiles. *)
+
+type row = {
+  name : string;
+  total : float;
+  mean : float;  (** per AD *)
+  max : float;
+  argmax : int;  (** the worst-loaded AD's id *)
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type t = row list
+
+val of_series : (string * float array) list -> t
+(** One row per (name, per-AD values) pair, e.g. from
+    [Metrics.load_series]. *)
+
+val table : t -> Pr_util.Texttable.t
+
+val to_json : t -> Pr_util.Json.t

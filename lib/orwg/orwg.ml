@@ -252,6 +252,7 @@ module Make (V : VARIANT) = struct
         else Policy_route.shortest db ~n flow ~avoid ()
       in
       Metrics.record_computation (Network.metrics t.net) server ~work ();
+      Pr_proto.Probe.computation t.net ~at:server ~work "orwg.synth";
       charge_delegation path;
       path
     in
@@ -269,6 +270,9 @@ module Make (V : VARIANT) = struct
       Metrics.record_computation (Network.metrics t.net) server
         ~work:(Stdlib.max 1 (List.length candidates))
         ();
+      Pr_proto.Probe.computation t.net ~at:server
+        ~work:(Stdlib.max 1 (List.length candidates))
+        "orwg.synth";
       match Source_policy.best policy t.graph candidates with
       | Some path ->
         charge_delegation (Some path);
@@ -321,6 +325,7 @@ module Make (V : VARIANT) = struct
         if not admitted then Error ad
         else begin
           Metrics.record_computation (Network.metrics t.net) ad ();
+          Pr_proto.Probe.computation t.net ~at:ad "orwg.validate";
           if next <> None || ad = flow.Flow.dst then
             pg_install t ad handle { prev; next; last_used = 0 };
           validate (Some ad) rest

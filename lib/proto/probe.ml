@@ -1,0 +1,8 @@
+module Trace = Pr_obs.Trace
+
+let computation net ~at ?(work = 1) name =
+  let tr = Pr_sim.Network.trace net in
+  if Trace.enabled tr then
+    Trace.complete tr
+      ~ts:(Pr_sim.Engine.now (Pr_sim.Network.engine net))
+      ~dur:(float_of_int work) ~tid:at name

@@ -1,0 +1,10 @@
+(** Trace hooks for protocol drivers.
+
+    [computation net ~at ~work name] records a self-contained span on
+    the network's trace: timestamped at the current simulated time, on
+    the AD's track, with the work charge as its duration — so Perfetto
+    renders per-AD computation load directly. A single branch when the
+    trace is disabled; call it right next to
+    [Metrics.record_computation] with the same [at] and [work]. *)
+
+val computation : 'msg Pr_sim.Network.t -> at:Pr_topology.Ad.id -> ?work:int -> string -> unit

@@ -2,6 +2,7 @@ module Engine = Pr_sim.Engine
 module Network = Pr_sim.Network
 module Metrics = Pr_sim.Metrics
 module Graph = Pr_topology.Graph
+module Trace = Pr_obs.Trace
 
 type convergence = {
   converged : bool;
@@ -32,10 +33,11 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     mutable events_marker : int;
   }
 
-  let setup graph config =
+  let setup ?(trace = Trace.disabled) graph config =
     let engine = Engine.create () in
+    Engine.set_trace engine trace;
     let metrics = Metrics.create ~n:(Graph.n graph) in
-    let net = Network.create engine graph metrics in
+    let net = Network.create ~trace engine graph metrics in
     let proto = P.create graph config net in
     Network.set_message_handler net (fun ~at ~from msg ->
         P.handle_message proto ~at ~from msg);
@@ -62,14 +64,20 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
 
   let network t = t.net
 
+  let trace t = Network.trace t.net
+
   let converge ?max_events t =
     let before = t.marker in
     let events_before = t.events_marker in
+    let tr = Network.trace t.net in
+    if Trace.enabled tr then
+      Trace.span_begin tr ~ts:(Engine.now t.engine) ~tid:0 "converge";
     if not t.started then begin
       t.started <- true;
       P.start t.proto
     end;
     let stop = Engine.run ?max_events t.engine in
+    if Trace.enabled tr then Trace.span_end tr ~ts:(Engine.now t.engine) ~tid:0 "converge";
     let delta = Metrics.diff ~after:t.metrics ~before in
     t.marker <- Metrics.snapshot t.metrics;
     t.events_marker <- Engine.events_executed t.engine;

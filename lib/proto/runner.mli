@@ -18,9 +18,12 @@ val pp_convergence : Format.formatter -> convergence -> unit
 module Make (P : Protocol_intf.PROTOCOL) : sig
   type t
 
-  val setup : Pr_topology.Graph.t -> Pr_policy.Config.t -> t
+  val setup : ?trace:Pr_obs.Trace.t -> Pr_topology.Graph.t -> Pr_policy.Config.t -> t
   (** Build engine, network, metrics and protocol agents; handlers are
-      installed but nothing has been sent yet. *)
+      installed but nothing has been sent yet. [trace] (default
+      {!Pr_obs.Trace.disabled}) is threaded into the engine and
+      network, and protocols pick it up via [Network.trace] for their
+      route-computation spans. *)
 
   val graph : t -> Pr_topology.Graph.t
 
@@ -32,9 +35,13 @@ module Make (P : Protocol_intf.PROTOCOL) : sig
 
   val network : t -> P.message Pr_sim.Network.t
 
+  val trace : t -> Pr_obs.Trace.t
+  (** The recorder passed to {!setup}. *)
+
   val converge : ?max_events:int -> t -> convergence
   (** First call starts the protocol; later calls just drain whatever
-      events are pending (e.g. after a link event). *)
+      events are pending (e.g. after a link event). When tracing, each
+      converge is wrapped in a ["converge"] span on track 0. *)
 
   val fail_link : t -> Pr_topology.Link.id -> unit
   (** Take a link down and notify the protocol at both ends (run

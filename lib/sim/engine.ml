@@ -1,14 +1,34 @@
 module Pqueue = Pr_util.Pqueue
+module Trace = Pr_obs.Trace
+
+let log_src = Logs.Src.create "pr.engine" ~doc:"Discrete-event engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type t = {
   queue : (unit -> unit) Pqueue.t;
   mutable clock : float;
   mutable executed : int;
+  mutable trace : Trace.t;
+  mutable observer : (time:float -> pending:int -> unit) option;
 }
 
-let create () = { queue = Pqueue.create (); clock = 0.0; executed = 0 }
+let create () =
+  {
+    queue = Pqueue.create ();
+    clock = 0.0;
+    executed = 0;
+    trace = Trace.disabled;
+    observer = None;
+  }
 
 let now t = t.clock
+
+let set_trace t trace = t.trace <- trace
+
+let trace t = t.trace
+
+let set_observer t obs = t.observer <- obs
 
 let schedule t ~delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
@@ -22,10 +42,20 @@ let pending t = Pqueue.length t.queue
 
 type stop_reason = Drained | Reached_limit
 
+(* Queue-depth counter cadence: every 64 executed events keeps the
+   trace a small fraction of the event count while still resolving the
+   flooding bursts that dominate queue depth. *)
+let depth_sample_mask = 63
+
 let run ?(max_events = 10_000_000) t =
   let budget = ref max_events in
   let rec loop () =
-    if !budget <= 0 then Reached_limit
+    if !budget <= 0 then begin
+      Log.warn (fun m ->
+          m "event limit reached: %d events executed, %d still pending at t=%g"
+            t.executed (Pqueue.length t.queue) t.clock);
+      Reached_limit
+    end
     else
       match Pqueue.pop t.queue with
       | None -> Drained
@@ -34,6 +64,13 @@ let run ?(max_events = 10_000_000) t =
         t.executed <- t.executed + 1;
         decr budget;
         f ();
+        if Trace.enabled t.trace && t.executed land depth_sample_mask = 0 then
+          Trace.counter t.trace ~ts:t.clock ~tid:0
+            ~value:(float_of_int (Pqueue.length t.queue))
+            "engine.queue_depth";
+        (match t.observer with
+        | Some obs -> obs ~time:t.clock ~pending:(Pqueue.length t.queue)
+        | None -> ());
         loop ()
   in
   loop ()

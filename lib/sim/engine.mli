@@ -12,6 +12,21 @@ val create : unit -> t
 val now : t -> float
 (** Current simulated time; 0 before any event runs. *)
 
+val set_trace : t -> Pr_obs.Trace.t -> unit
+(** Attach a trace recorder. While enabled, [run] samples an
+    ["engine.queue_depth"] counter every 64 executed events. Defaults
+    to {!Pr_obs.Trace.disabled}: no recording, no overhead beyond one
+    branch per event. *)
+
+val trace : t -> Pr_obs.Trace.t
+
+val set_observer : t -> (time:float -> pending:int -> unit) option -> unit
+(** Install a hook called after every executed event with the engine
+    clock and remaining queue depth. Unlike a self-rescheduling probe
+    event, an observer never keeps the queue from draining, so
+    convergence (and every Metrics total) is unchanged. Used by
+    {!Pr_obs.Timeline}. *)
+
 val schedule : t -> delay:float -> (unit -> unit) -> unit
 (** Schedule an event [delay >= 0] time units from now. *)
 
@@ -27,7 +42,10 @@ type stop_reason =
 
 val run : ?max_events:int -> t -> stop_reason
 (** Execute events until none remain or [max_events] (default 10^7)
-    have run. Returns why it stopped. *)
+    have run. Returns why it stopped; hitting the limit also logs a
+    warning on the ["pr.engine"] source with the executed and pending
+    counts, so divergence is diagnosable even when the caller ignores
+    the variant. *)
 
 val events_executed : t -> int
 (** Total events executed so far over the engine's lifetime. *)

@@ -120,6 +120,14 @@ let of_json j =
   then Error "per-AD array lengths disagree with n"
   else Ok { n; msgs; bytes_sent; comps; tables }
 
+let load_series t =
+  let floats a = Array.map float_of_int a in
+  [
+    ("messages", floats t.msgs);
+    ("bytes", floats t.bytes_sent);
+    ("computations", floats t.comps);
+  ]
+
 let pp ppf t =
   Format.fprintf ppf "msgs=%d bytes=%d comp=%d tables=%d" (messages t) (bytes t)
     (computations t) (table_entries t)

@@ -65,4 +65,11 @@ val to_json : t -> Pr_util.Json.t
 
 val of_json : Pr_util.Json.t -> (t, string) result
 
+val load_series : t -> (string * float array) list
+(** The per-AD counter vectors (["messages"], ["bytes"],
+    ["computations"]) as floats, in the shape
+    {!Pr_obs.Load_profile.of_series} and {!Pr_obs.Timeline} consume.
+    Table gauges are not included: protocols expose table sizes
+    directly via their [table_entries], not through this recorder. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,6 +1,7 @@
 module Graph = Pr_topology.Graph
 module Link = Pr_topology.Link
 module Rng = Pr_util.Rng
+module Trace = Pr_obs.Trace
 
 (* Debug tracing: enable with Logs.Src.set_level Network.log_src
    (Some Logs.Debug) and a reporter. Off by default and free when
@@ -13,16 +14,18 @@ type 'msg t = {
   engine : Engine.t;
   graph : Graph.t;
   metrics : Metrics.t;
+  trace : Trace.t;
   link_up : bool array;
   mutable on_message : at:Pr_topology.Ad.id -> from:Pr_topology.Ad.id -> 'msg -> unit;
   mutable on_link : at:Pr_topology.Ad.id -> link:Link.id -> up:bool -> unit;
 }
 
-let create engine graph metrics =
+let create ?(trace = Trace.disabled) engine graph metrics =
   {
     engine;
     graph;
     metrics;
+    trace;
     link_up = Array.make (Graph.num_links graph) true;
     on_message = (fun ~at:_ ~from:_ _ -> ());
     on_link = (fun ~at:_ ~link:_ ~up:_ -> ());
@@ -33,6 +36,8 @@ let graph t = t.graph
 let engine t = t.engine
 
 let metrics t = t.metrics
+
+let trace t = t.trace
 
 let set_message_handler t f = t.on_message <- f
 
@@ -74,15 +79,20 @@ let send t ~src ~dst ~bytes msg =
   | None -> ()
   | Some lid ->
     Metrics.record_send t.metrics src ~bytes;
+    if Trace.enabled t.trace then
+      Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid:src "net.send";
     Log.debug (fun m ->
         m "t=%.1f send %d -> %d (%d bytes)" (Engine.now t.engine) src dst bytes);
     let delay = (Graph.link t.graph lid).Link.delay in
     Engine.schedule t.engine ~delay (fun () ->
         (* The message is lost if the link failed while in flight. *)
         if t.link_up.(lid) then t.on_message ~at:dst ~from:src msg
-        else
+        else begin
+          if Trace.enabled t.trace then
+            Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid:dst "net.lost";
           Log.debug (fun m ->
-              m "t=%.1f message %d -> %d lost in flight" (Engine.now t.engine) src dst))
+              m "t=%.1f message %d -> %d lost in flight" (Engine.now t.engine) src dst)
+        end)
 
 let broadcast t ~src ~bytes msg =
   let neighbors = up_neighbors t src in
@@ -93,6 +103,9 @@ let set_link_state t lid ~up =
   if t.link_up.(lid) <> up then begin
     t.link_up.(lid) <- up;
     let l = Graph.link t.graph lid in
+    if Trace.enabled t.trace then
+      Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid:l.Link.a
+        (if up then "link.up" else "link.down");
     Log.info (fun m ->
         m "t=%.1f link %d--%d %s" (Engine.now t.engine) l.Link.a l.Link.b
           (if up then "restored" else "FAILED"));
