@@ -93,9 +93,10 @@ let () =
   in
   let deterministic_fields =
     [
-      "runs"; "ok"; "failed"; "crashed"; "timed_out"; "unconverged"; "messages"; "bytes";
-      "computations"; "transit_computations"; "table_total"; "table_max"; "msg_max";
-      "delivered"; "flows";
+      "runs"; "ok"; "failed"; "crashed"; "timed_out"; "unconverged"; "budget_exhausted";
+      "messages"; "bytes"; "computations"; "transit_computations"; "msgs_lost";
+      "table_total"; "table_max"; "msg_max"; "delivered"; "flows"; "loop_violations";
+      "blackhole_violations";
     ]
   in
   (* Per-AD skew columns: float-valued but computed deterministically

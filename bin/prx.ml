@@ -357,6 +357,25 @@ let sweep_cmd =
           [ false; true ]
       & info [ "churn" ] ~docv:"CHURN" ~doc)
   in
+  let faults_arg =
+    let doc =
+      "Comma-separated fault-profile dimension (see `prx chaos`): none, default, \
+       crash, partition, storm, lossy."
+    in
+    let profile_conv =
+      let parse s =
+        match Pr_faults.Plan.profile s with
+        | Some _ -> Ok s
+        | None ->
+          Error
+            (`Msg
+               (Printf.sprintf "unknown fault profile %S; known profiles: %s" s
+                  (String.concat ", " Pr_faults.Plan.profile_names)))
+      in
+      Arg.conv ~docv:"PROFILE" (parse, Format.pp_print_string)
+    in
+    Arg.(value & opt (list profile_conv) [ "none" ] & info [ "faults" ] ~docv:"PROFILES" ~doc)
+  in
   let replicates_arg =
     let doc = "Seed replicates per grid point." in
     Arg.(value & opt int 1 & info [ "replicates" ] ~docv:"N" ~doc)
@@ -403,8 +422,9 @@ let sweep_cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"DIR" ~doc)
   in
-  let run () protocols sizes restrictiveness granularities churn replicates seed flows
-      max_events jobs timeout out summary crash_id hang_id quiet trace_dir =
+  let run () protocols sizes restrictiveness granularities churn fault_profiles
+      replicates seed flows max_events jobs timeout out summary crash_id hang_id quiet
+      trace_dir =
     let spec =
       {
         Grid.protocols;
@@ -412,6 +432,7 @@ let sweep_cmd =
         restrictiveness;
         granularities;
         churn;
+        fault_profiles;
         replicates;
         base_seed = seed;
         flows;
@@ -441,9 +462,9 @@ let sweep_cmd =
           churn) with JSONL checkpoint/resume and per-design-point aggregation.")
     Term.(
       const run $ logs_term $ protocols_arg $ sizes_arg $ restrictiveness_list_arg
-      $ granularities_arg $ churn_arg $ replicates_arg $ seed_arg $ flows_arg
-      $ max_events_arg $ jobs_arg $ timeout_arg $ out_arg $ summary_arg $ crash_run_arg
-      $ hang_run_arg $ quiet_arg $ trace_dir_arg)
+      $ granularities_arg $ churn_arg $ faults_arg $ replicates_arg $ seed_arg
+      $ flows_arg $ max_events_arg $ jobs_arg $ timeout_arg $ out_arg $ summary_arg
+      $ crash_run_arg $ hang_run_arg $ quiet_arg $ trace_dir_arg)
 
 (* --- trace ---------------------------------------------------------- *)
 
@@ -542,6 +563,90 @@ let trace_cmd =
       const run $ logs_term $ protocol_arg $ seed_arg $ size_arg $ flows_arg
       $ restrictiveness_arg $ granularity_arg $ window_arg $ max_events_arg $ out_arg)
 
+(* --- chaos ---------------------------------------------------------- *)
+
+(* One protocol through the fault-injection gauntlet: compile a fault
+   plan onto the event queue, converge through it, and check the
+   resilience invariants (loop-freedom, no blackholes, reconvergence).
+   Violations exit non-zero, so this doubles as a CI gate. *)
+
+let chaos_cmd =
+  let protocol_arg =
+    let doc =
+      "Protocol (design point) to torture; see `prx design-space`. The deliberately \
+       broken variant $(b,broken-ls) is also accepted — the harness must flag it."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROTOCOL" ~doc)
+  in
+  let plan_arg =
+    let doc =
+      "Fault plan: a profile name (none, default, crash, partition, storm, lossy) or a \
+       spec like \"delay:p=0.25,max=2,until=40;crash:at=14,down=8\"."
+    in
+    Arg.(value & opt string "default" & info [ "plan" ] ~docv:"PLAN" ~doc)
+  in
+  let probes_arg =
+    let doc = "Number of probe flows checked against the invariants." in
+    Arg.(value & opt int 40 & info [ "probes" ] ~docv:"N" ~doc)
+  in
+  let churn_flag =
+    let doc = "Interleave scheduled link churn (its own rng stream) with the plan." in
+    Arg.(value & flag & info [ "churn" ] ~doc)
+  in
+  let max_events_arg =
+    let doc = "Simulation event budget (exhaustion is a no-reconvergence violation)." in
+    Arg.(value & opt int 10_000_000 & info [ "max-events" ] ~docv:"N" ~doc)
+  in
+  let report_arg =
+    let doc = "Write the full deterministic report as JSON to this file." in
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+  in
+  let run () protocol seed size probes restrictiveness granularity churn max_events
+      plan_str report_path =
+    let plan =
+      match Pr_faults.Plan.profile plan_str with
+      | Some p -> p
+      | None -> (
+        match Pr_faults.Plan.of_string plan_str with
+        | Ok p -> p
+        | Error e ->
+          Printf.eprintf "prx: bad --plan %S: %s\n" plan_str e;
+          exit 2)
+    in
+    match Pr_faults.Chaos.find_protocol protocol with
+    | None ->
+      Printf.eprintf "prx: unknown protocol %S (known: %s, broken-ls)\n" protocol
+        (String.concat ", " (Pr_core.Registry.names Pr_core.Registry.all));
+      exit 2
+    | Some packed ->
+      let scenario = scenario_of ~seed ~size ~restrictiveness ~granularity in
+      let report =
+        Pr_faults.Chaos.run ~plan ~probes
+          ?churn:(if churn then Some (6, 4.0) else None)
+          ~max_events packed scenario
+      in
+      Format.printf "%a@." Pr_faults.Chaos.pp report;
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc (Pr_util.Json.to_string_pretty (Pr_faults.Chaos.report_json report));
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "report: %s\n" path)
+        report_path;
+      if report.Pr_faults.Chaos.violations <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run one protocol under a deterministic fault plan (crashes, partitions, link \
+          storms, message faults) and check the resilience invariants; exits 1 on any \
+          violation.")
+    Term.(
+      const run $ logs_term $ protocol_arg $ seed_arg $ size_arg $ probes_arg
+      $ restrictiveness_arg $ granularity_arg $ churn_flag $ max_events_arg $ plan_arg
+      $ report_arg)
+
 let () =
   let info = Cmd.info "prx" ~doc:"Inter-AD policy routing explorer (Breslau & Estrin, SIGCOMM 1990)." in
   exit
@@ -557,4 +662,5 @@ let () =
             conformance_cmd;
             sweep_cmd;
             trace_cmd;
+            chaos_cmd;
           ]))

@@ -10,10 +10,12 @@ type row = {
   crashed : int;
   timed_out : int;
   unconverged : int;
+  budget_exhausted : int;
   messages : int;
   bytes : int;
   computations : int;
   transit_computations : int;
+  msgs_lost : int;
   table_total : int;
   table_max : int;
   msg_max : int;
@@ -22,6 +24,8 @@ type row = {
   tbl_p90 : float;
   delivered : int;
   flows : int;
+  loop_violations : int;
+  blackhole_violations : int;
   wall_s : float;
 }
 
@@ -40,10 +44,12 @@ let empty_row protocol =
     crashed = 0;
     timed_out = 0;
     unconverged = 0;
+    budget_exhausted = 0;
     messages = 0;
     bytes = 0;
     computations = 0;
     transit_computations = 0;
+    msgs_lost = 0;
     table_total = 0;
     table_max = 0;
     msg_max = 0;
@@ -52,6 +58,8 @@ let empty_row protocol =
     tbl_p90 = 0.0;
     delivered = 0;
     flows = 0;
+    loop_violations = 0;
+    blackhole_violations = 0;
     wall_s = 0.0;
   }
 
@@ -65,10 +73,14 @@ let add_record row record =
       ok = row.ok + 1;
       unconverged =
         (row.unconverged + if J.member "converged" record = Some (J.Bool false) then 1 else 0);
+      budget_exhausted =
+        (row.budget_exhausted
+        + if J.member "outcome" record = Some (J.String "budget_exhausted") then 1 else 0);
       messages = row.messages + int "messages";
       bytes = row.bytes + int "bytes";
       computations = row.computations + int "computations";
       transit_computations = row.transit_computations + int "transit_computations";
+      msgs_lost = row.msgs_lost + int "msgs_lost";
       table_total = row.table_total + int "table_total";
       table_max = Stdlib.max row.table_max (int "table_max");
       (* Per-AD skew: worst AD over all the design point's runs for the
@@ -82,6 +94,8 @@ let add_record row record =
         Stdlib.max row.tbl_p90 (Result.value (J.float_member "tbl_p90" record) ~default:0.0);
       delivered = row.delivered + int "delivered";
       flows = row.flows + int "flows";
+      loop_violations = row.loop_violations + int "loop_violations";
+      blackhole_violations = row.blackhole_violations + int "blackhole_violations";
       wall_s = row.wall_s +. Result.value (J.float_member "wall_s" record) ~default:0.0;
     }
   | Ok "crashed" -> { row with crashed = row.crashed + 1 }
@@ -127,6 +141,8 @@ let columns =
     ("msg p90", Texttable.Right);
     ("tbl p90", Texttable.Right);
     ("delivered", Texttable.Right);
+    ("lost", Texttable.Right);
+    ("viols", Texttable.Right);
     ("wall s", Texttable.Right);
   ]
 
@@ -152,6 +168,8 @@ let table rows_list =
           Texttable.cell_float ~decimals:1 r.msg_p90;
           Texttable.cell_float ~decimals:1 r.tbl_p90;
           Printf.sprintf "%d/%d" r.delivered r.flows;
+          Texttable.cell_int r.msgs_lost;
+          Texttable.cell_int (r.loop_violations + r.blackhole_violations);
           Texttable.cell_float ~decimals:2 r.wall_s;
         ])
     rows_list;
@@ -168,10 +186,12 @@ let row_json r =
       ("crashed", J.Int r.crashed);
       ("timed_out", J.Int r.timed_out);
       ("unconverged", J.Int r.unconverged);
+      ("budget_exhausted", J.Int r.budget_exhausted);
       ("messages", J.Int r.messages);
       ("bytes", J.Int r.bytes);
       ("computations", J.Int r.computations);
       ("transit_computations", J.Int r.transit_computations);
+      ("msgs_lost", J.Int r.msgs_lost);
       ("table_total", J.Int r.table_total);
       ("table_max", J.Int r.table_max);
       ("msg_max", J.Int r.msg_max);
@@ -180,6 +200,8 @@ let row_json r =
       ("tbl_p90", J.Float r.tbl_p90);
       ("delivered", J.Int r.delivered);
       ("flows", J.Int r.flows);
+      ("loop_violations", J.Int r.loop_violations);
+      ("blackhole_violations", J.Int r.blackhole_violations);
       ("wall_s", J.Float r.wall_s);
     ]
 

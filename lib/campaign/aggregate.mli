@@ -16,11 +16,13 @@ type row = {
   failed : int;
   crashed : int;
   timed_out : int;
-  unconverged : int;  (** ok runs stopped by the event budget *)
+  unconverged : int;
+  budget_exhausted : int;  (** ok runs whose event budget ran out *)
   messages : int;
   bytes : int;
   computations : int;
   transit_computations : int;
+  msgs_lost : int;
   table_total : int;
   table_max : int;
   msg_max : int;
@@ -30,6 +32,8 @@ type row = {
   tbl_p90 : float;  (** worst per-run p90 of per-AD table entries *)
   delivered : int;
   flows : int;
+  loop_violations : int;
+  blackhole_violations : int;
   wall_s : float;  (** summed worker wall clock over ok runs *)
 }
 

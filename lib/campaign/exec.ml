@@ -18,11 +18,13 @@ type t = {
   run : Grid.run;
   converged : bool;
   stop_reason : string;
+  outcome : string;
   sim_time : float;
   messages : int;
   bytes : int;
   computations : int;
   transit_computations : int;
+  msgs_lost : int;
   table_total : int;
   table_max : int;
   msg_max : int;
@@ -30,6 +32,9 @@ type t = {
   msg_p90 : float;
   tbl_p90 : float;
   delivered : int;
+  loop_violations : int;
+  blackhole_violations : int;
+  chaos_fields : (string * J.t) list;
   wall_s : float;
   trace_file : string option;
   time_to_first_route : float option;
@@ -58,6 +63,66 @@ let apply_chaos chaos (run : Grid.run) =
 let trace_filename (run : Grid.run) =
   String.map (fun c -> if c = '/' then '_' else c) run.id ^ ".json"
 
+let scenario_of (run : Grid.run) =
+  let policy =
+    {
+      Pr_policy.Gen.default with
+      restrictiveness = run.restrictiveness;
+      granularity = run.granularity;
+    }
+  in
+  Scenario.for_size ~policy ~target_ads:run.size ~seed:run.seed ()
+
+(* A fault-profile run goes through the resilience harness: the plan
+   plays out during convergence, the workload doubles as the probe set,
+   and invariant violations land in the JSONL record. An exhausted
+   event budget is a *result* here ([outcome = "budget_exhausted"] with
+   partial metrics), not a worker failure to retry. *)
+let execute_faulted packed (run : Grid.run) plan =
+  let started = Unix.gettimeofday () in
+  let scenario = scenario_of run in
+  let flows =
+    Scenario.flows scenario ~rng:(Rng.create (run.seed + 2)) ~count:run.flows ()
+  in
+  let report =
+    Pr_faults.Chaos.run ~plan ~flows
+      ?churn:(if run.churn then Some (churn_events, churn_spacing) else None)
+      ~max_events:run.max_events packed scenario
+  in
+  let module C = Pr_faults.Chaos in
+  Ok
+    {
+      run;
+      converged = report.C.converged;
+      stop_reason = report.C.stop_reason;
+      outcome = (if report.C.converged then "completed" else "budget_exhausted");
+      sim_time = report.C.sim_time;
+      messages = report.C.messages;
+      bytes = report.C.bytes;
+      computations = report.C.computations;
+      transit_computations = report.C.transit_computations;
+      msgs_lost = report.C.msgs_lost;
+      table_total = report.C.table_total;
+      table_max = report.C.table_max;
+      msg_max = report.C.msg_max;
+      msg_mean = report.C.msg_mean;
+      msg_p90 = report.C.msg_p90;
+      tbl_p90 = report.C.tbl_p90;
+      delivered = report.C.delivered;
+      loop_violations = C.loop_violations report;
+      blackhole_violations = C.blackhole_violations report;
+      chaos_fields =
+        [
+          ("reconvergence_time", J.Float report.C.reconvergence_time);
+          ("transient_loops", J.Int report.C.transient_loops);
+          ("baseline_delivered", J.Int report.C.baseline_delivered);
+          ("faults_fired", J.Int (List.length report.C.fault_log));
+        ];
+      wall_s = Unix.gettimeofday () -. started;
+      trace_file = None;
+      time_to_first_route = None;
+    }
+
 let execute ?(chaos = no_chaos) ?trace_dir (run : Grid.run) =
   apply_chaos chaos run;
   match Registry.find_opt run.protocol with
@@ -65,16 +130,19 @@ let execute ?(chaos = no_chaos) ?trace_dir (run : Grid.run) =
     Error
       (Printf.sprintf "unknown protocol %S (known: %s)" run.protocol
          (String.concat ", " (Registry.names Registry.all)))
-  | Some (Registry.Packed (module P)) ->
+  | Some (Registry.Packed (module P) as packed) -> (
+    match
+      if run.faults = "none" then Some []
+      else Pr_faults.Plan.profile run.faults
+    with
+    | None ->
+      Error
+        (Printf.sprintf "unknown fault profile %S (known: %s)" run.faults
+           (String.concat ", " Pr_faults.Plan.profile_names))
+    | Some plan when run.faults <> "none" -> execute_faulted packed run plan
+    | Some _ ->
     let started = Unix.gettimeofday () in
-    let policy =
-      {
-        Pr_policy.Gen.default with
-        restrictiveness = run.restrictiveness;
-        granularity = run.granularity;
-      }
-    in
-    let scenario = Scenario.for_size ~policy ~target_ads:run.size ~seed:run.seed () in
+    let scenario = scenario_of run in
     let g = scenario.Scenario.graph in
     let module R = Runner.Make (P) in
     let trace =
@@ -111,8 +179,9 @@ let execute ?(chaos = no_chaos) ?trace_dir (run : Grid.run) =
         Engine.set_observer engine (Some (fun ~time ~pending:_ -> Timeline.observe tl ~now:time)))
       timeline;
     if run.churn then
-      Pr_sim.Churn.schedule (R.network r) (Rng.create (run.seed + 1)) ~events:churn_events
-        ~spacing:churn_spacing ();
+      Pr_sim.Churn.schedule (R.network r)
+        (Rng.derive run.seed "churn")
+        ~events:churn_events ~spacing:churn_spacing ();
     let c = R.converge ~max_events:run.max_events r in
     let rng = Rng.create (run.seed + 2) in
     let flows = Scenario.flows scenario ~rng ~count:run.flows () in
@@ -149,11 +218,13 @@ let execute ?(chaos = no_chaos) ?trace_dir (run : Grid.run) =
         run;
         converged = c.Runner.converged;
         stop_reason = (if c.Runner.converged then "drained" else "event-budget");
+        outcome = (if c.Runner.converged then "completed" else "budget_exhausted");
         sim_time = c.Runner.sim_time;
         messages = Metrics.messages m;
         bytes = Metrics.bytes m;
         computations = Metrics.computations m;
         transit_computations;
+        msgs_lost = Metrics.msgs_lost m;
         table_total = R.table_entries r;
         table_max = R.max_table_entries r;
         msg_max;
@@ -161,11 +232,14 @@ let execute ?(chaos = no_chaos) ?trace_dir (run : Grid.run) =
         msg_p90 = Stats.percentile per_ad_msgs 90.0;
         tbl_p90 = Stats.percentile per_ad_tbls 90.0;
         delivered;
+        loop_violations = 0;
+        blackhole_violations = 0;
+        chaos_fields = [];
         wall_s = Unix.gettimeofday () -. started;
         trace_file;
         time_to_first_route =
           Option.bind timeline (fun tl -> Timeline.first_nonzero tl "table-entries");
-      }
+      })
 
 let to_json t =
   J.Obj
@@ -174,11 +248,13 @@ let to_json t =
         ("status", J.String "ok");
         ("converged", J.Bool t.converged);
         ("stop_reason", J.String t.stop_reason);
+        ("outcome", J.String t.outcome);
         ("sim_time", J.Float t.sim_time);
         ("messages", J.Int t.messages);
         ("bytes", J.Int t.bytes);
         ("computations", J.Int t.computations);
         ("transit_computations", J.Int t.transit_computations);
+        ("msgs_lost", J.Int t.msgs_lost);
         ("table_total", J.Int t.table_total);
         ("table_max", J.Int t.table_max);
         ("msg_max", J.Int t.msg_max);
@@ -186,8 +262,11 @@ let to_json t =
         ("msg_p90", J.Float t.msg_p90);
         ("tbl_p90", J.Float t.tbl_p90);
         ("delivered", J.Int t.delivered);
+        ("loop_violations", J.Int t.loop_violations);
+        ("blackhole_violations", J.Int t.blackhole_violations);
         ("wall_s", J.Float t.wall_s);
       ]
+    @ t.chaos_fields
     @ (match t.trace_file with
       | Some f -> [ ("trace_file", J.String f) ]
       | None -> [])

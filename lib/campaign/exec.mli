@@ -22,11 +22,16 @@ type t = {
   run : Grid.run;
   converged : bool;
   stop_reason : string;  (** ["drained"] or ["event-budget"] *)
+  outcome : string;
+      (** ["completed"], or ["budget_exhausted"] when the event budget
+          ran out — a result with partial metrics, not a worker
+          failure (so resume does not re-run it) *)
   sim_time : float;
   messages : int;
   bytes : int;
   computations : int;
   transit_computations : int;
+  msgs_lost : int;  (** messages lost in flight (faults, crashes) *)
   table_total : int;
   table_max : int;
   msg_max : int;  (** messages sent by the worst-loaded AD *)
@@ -34,6 +39,15 @@ type t = {
   msg_p90 : float;  (** 90th percentile of per-AD messages *)
   tbl_p90 : float;  (** 90th percentile of per-AD table entries *)
   delivered : int;
+  loop_violations : int;
+      (** post-reconvergence forwarding loops found by the resilience
+          harness (0 when the run's fault profile is ["none"]) *)
+  blackhole_violations : int;
+      (** probes the residual-topology baseline delivers but the
+          faulted run does not (0 when the profile is ["none"]) *)
+  chaos_fields : (string * Pr_util.Json.t) list;
+      (** extra record fields a fault-profile run carries
+          (reconvergence time, transient loops, ...) *)
   wall_s : float;
   trace_file : string option;
       (** basename of the Chrome trace written under [trace_dir] *)
@@ -47,11 +61,14 @@ val trace_filename : Grid.run -> string
     plus [".json"]. *)
 
 val execute : ?chaos:chaos -> ?trace_dir:string -> Grid.run -> (t, string) result
-(** [Error] reports an unknown protocol name; every simulation-level
-    problem is folded into the result's fields instead. When
-    [trace_dir] is given (the directory must exist), the run executes
-    with an enabled recorder and writes a Chrome trace named
-    {!trace_filename} into it. *)
+(** [Error] reports an unknown protocol name or fault profile; every
+    simulation-level problem is folded into the result's fields
+    instead. When [trace_dir] is given (the directory must exist), the
+    run executes with an enabled recorder and writes a Chrome trace
+    named {!trace_filename} into it. Runs whose [faults] profile is
+    not ["none"] go through {!Pr_faults.Chaos} — the workload doubles
+    as the invariant probe set and violation counts land in the
+    record; tracing is not supported on that path. *)
 
 val to_json : t -> Pr_util.Json.t
 (** The run's JSONL record: {!Grid.params_json} fields, then

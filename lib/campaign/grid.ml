@@ -7,6 +7,7 @@ type run = {
   restrictiveness : float;
   granularity : Gen.granularity;
   churn : bool;
+  faults : string;
   replicate : int;
   seed : int;
   flows : int;
@@ -19,6 +20,7 @@ type spec = {
   restrictiveness : float list;
   granularities : Gen.granularity list;
   churn : bool list;
+  fault_profiles : string list;
   replicates : int;
   base_seed : int;
   flows : int;
@@ -32,17 +34,18 @@ let default =
     restrictiveness = [ 0.0; 0.5 ];
     granularities = [ Gen.Source_specific ];
     churn = [ false; true ];
+    fault_profiles = [ "none" ];
     replicates = 1;
     base_seed = 42;
     flows = 60;
     max_events = 10_000_000;
   }
 
-let id_of ~protocol ~size ~restrictiveness ~granularity ~churn ~replicate =
-  Printf.sprintf "%s/n%d/r%.2f/g%s/%s/rep%d" protocol size restrictiveness
+let id_of ~protocol ~size ~restrictiveness ~granularity ~churn ~faults ~replicate =
+  Printf.sprintf "%s/n%d/r%.2f/g%s/%s/f%s/rep%d" protocol size restrictiveness
     (Gen.granularity_to_string granularity)
     (if churn then "churn" else "static")
-    replicate
+    faults replicate
 
 let expand spec =
   List.concat_map
@@ -55,21 +58,25 @@ let expand spec =
                 (fun granularity ->
                   List.concat_map
                     (fun churn ->
-                      List.init spec.replicates (fun replicate ->
-                          {
-                            id =
-                              id_of ~protocol ~size ~restrictiveness ~granularity
-                                ~churn ~replicate;
-                            protocol;
-                            size;
-                            restrictiveness;
-                            granularity;
-                            churn;
-                            replicate;
-                            seed = spec.base_seed + replicate;
-                            flows = spec.flows;
-                            max_events = spec.max_events;
-                          }))
+                      List.concat_map
+                        (fun faults ->
+                          List.init spec.replicates (fun replicate ->
+                              {
+                                id =
+                                  id_of ~protocol ~size ~restrictiveness ~granularity
+                                    ~churn ~faults ~replicate;
+                                protocol;
+                                size;
+                                restrictiveness;
+                                granularity;
+                                churn;
+                                faults;
+                                replicate;
+                                seed = spec.base_seed + replicate;
+                                flows = spec.flows;
+                                max_events = spec.max_events;
+                              }))
+                        spec.fault_profiles)
                     spec.churn)
                 spec.granularities)
             spec.restrictiveness)
@@ -85,6 +92,7 @@ let params_json run =
     ("restrictiveness", J.Float run.restrictiveness);
     ("granularity", J.String (Gen.granularity_to_string run.granularity));
     ("churn", J.Bool run.churn);
+    ("faults", J.String run.faults);
     ("replicate", J.Int run.replicate);
     ("seed", J.Int run.seed);
     ("flows", J.Int run.flows);

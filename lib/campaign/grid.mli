@@ -15,6 +15,7 @@ type run = {
   restrictiveness : float;
   granularity : Pr_policy.Gen.granularity;
   churn : bool;  (** interleave scheduled link churn with convergence *)
+  faults : string;  (** a [Pr_faults.Plan] profile name; ["none"] disables *)
   replicate : int;  (** 0-based replicate index *)
   seed : int;  (** derived: [base_seed + replicate] *)
   flows : int;  (** workload size per run *)
@@ -27,6 +28,7 @@ type spec = {
   restrictiveness : float list;
   granularities : Pr_policy.Gen.granularity list;
   churn : bool list;
+  fault_profiles : string list;
   replicates : int;
   base_seed : int;
   flows : int;
@@ -49,9 +51,10 @@ val id_of :
   restrictiveness:float ->
   granularity:Pr_policy.Gen.granularity ->
   churn:bool ->
+  faults:string ->
   replicate:int ->
   string
-(** E.g. ["orwg/n56/r0.50/gsource-specific/churn/rep0"]. *)
+(** E.g. ["orwg/n56/r0.50/gsource-specific/churn/fnone/rep0"]. *)
 
 val params_json : run -> (string * Pr_util.Json.t) list
 (** The run's parameters as JSON object fields ([id] first) — the

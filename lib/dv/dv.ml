@@ -140,6 +140,16 @@ module Make (V : VARIANT) = struct
       advertise t at changed
     end
 
+  let reset_node t ~at =
+    let node = t.nodes.(at) in
+    let n = Graph.n t.graph in
+    Hashtbl.reset node.heard;
+    Array.fill node.metric 0 n infinity_metric;
+    Array.fill node.next_hop 0 n (-1);
+    node.metric.(at) <- 0;
+    node.next_hop.(at) <- at;
+    advertise t at (all_dests t)
+
   let prepare_flow _t _flow = Packet.no_prep
 
   let originate _t _packet = ()

@@ -223,6 +223,19 @@ let handle_link t ~at ~link ~up =
     advertise t at changed
   end
 
+let reset_node t ~at =
+  let node = t.nodes.(at) in
+  Hashtbl.reset node.heard;
+  let clear_metrics rows = Array.iter (fun row -> Array.fill row 0 (Array.length row) infinity_metric) rows in
+  let clear_hops rows = Array.iter (fun row -> Array.fill row 0 (Array.length row) (-1)) rows in
+  clear_metrics node.down_only;
+  clear_hops node.down_hop;
+  clear_metrics node.mixed;
+  clear_hops node.mixed_hop;
+  Array.iter (fun row -> row.(at) <- 0) node.down_only;
+  Array.iter (fun row -> row.(at) <- at) node.down_hop;
+  advertise t at (all_pairs t)
+
 let prepare_flow _t _flow = Packet.no_prep
 
 let originate _t _packet = ()

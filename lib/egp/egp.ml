@@ -123,6 +123,16 @@ let handle_link t ~at ~link ~up =
   end;
   advertise t at
 
+let reset_node t ~at =
+  let node = t.nodes.(at) in
+  Array.iter (fun adv -> Array.fill adv 0 (Array.length adv) false) node.advertisers;
+  Array.fill node.chosen 0 (Array.length node.chosen) (-1);
+  node.chosen.(at) <- at;
+  (* Forgetting [sent] resets the NR diff baseline: the next advertise
+     re-announces everything the restarted gateway reaches. *)
+  Hashtbl.reset node.sent;
+  advertise t at
+
 let prepare_flow _t _flow = Packet.no_prep
 
 let originate _t _packet = ()

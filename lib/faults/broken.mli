@@ -1,0 +1,19 @@
+(** A deliberately broken protocol variant: the invariant harness's
+    non-vacuity check.
+
+    Wraps plain link-state ({!Pr_ls.Ls}); any AD that observes a link
+    failure becomes permanently "confused" and thereafter drops packets
+    for even destinations ("stale FIB") and bounces the rest back to
+    the previous hop (a two-AD forwarding loop). Restarts do not clear
+    it. A chaos run of any plan containing a topology fault must
+    therefore report loop and blackhole violations against this
+    protocol — if it reports none, the harness is checking nothing.
+
+    Deliberately NOT in {!Pr_core.Registry.all} (it would fail every
+    conformance exhibit); resolve it via {!Chaos.find_protocol}. *)
+
+type message = Pr_ls.Ls.message
+
+include Pr_proto.Protocol_intf.PROTOCOL with type message := message
+
+val packed : Pr_core.Registry.packed

@@ -1,0 +1,272 @@
+module Engine = Pr_sim.Engine
+module Network = Pr_sim.Network
+module Trace = Pr_obs.Trace
+module Rng = Pr_util.Rng
+module Graph = Pr_topology.Graph
+module Link = Pr_topology.Link
+
+let log_src = Logs.Src.create "pr.faults" ~doc:"Fault injection"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  mutable log : (float * string) list;  (* reverse chronological *)
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable delayed : int;
+  mutable reordered : int;
+  mutable partition_cut : Link.id list;
+}
+
+let fault_log t = List.rev t.log
+
+let dropped t = t.dropped
+
+let duplicated t = t.duplicated
+
+let delayed t = t.delayed
+
+let reordered t = t.reordered
+
+let partition_cut t = t.partition_cut
+
+let in_window (w : Plan.window) now = now >= w.Plan.from_time && now <= w.Plan.until_time
+
+let install (type msg) (net : msg Network.t) ~rng ?crash ?restart (plan : Plan.t) =
+  let engine = Network.engine net in
+  let graph = Network.graph net in
+  let trace = Network.trace net in
+  let t =
+    {
+      log = [];
+      dropped = 0;
+      duplicated = 0;
+      delayed = 0;
+      reordered = 0;
+      partition_cut = [];
+    }
+  in
+  let note time what =
+    t.log <- (time, what) :: t.log;
+    Log.info (fun m -> m "t=%.2f %s" time what)
+  in
+  let instant ~tid name =
+    if Trace.enabled trace then Trace.instant trace ~ts:(Engine.now engine) ~tid name
+  in
+  (* Without protocol-aware callbacks (tests driving a bare network),
+     fall back to the same links-then-node sequence Runner.crash_ad
+     performs, minus the handler muting and state reset. *)
+  let fallback_links : (int, Link.id list) Hashtbl.t = Hashtbl.create 4 in
+  let crash =
+    match crash with
+    | Some f -> f
+    | None ->
+      fun ad ->
+        if Network.node_is_up net ad then begin
+          let mine = ref [] in
+          Graph.iter_neighbors graph ad ~f:(fun _nbr lid ->
+              if Network.link_is_up net lid then mine := lid :: !mine);
+          let mine = List.sort_uniq compare !mine in
+          List.iter (fun lid -> Network.set_link_state net lid ~up:false) mine;
+          Hashtbl.replace fallback_links ad mine;
+          Network.set_node_state net ad ~up:false
+        end
+  in
+  let restart =
+    match restart with
+    | Some f -> f
+    | None ->
+      fun ad ->
+        if not (Network.node_is_up net ad) then begin
+          Network.set_node_state net ad ~up:true;
+          let mine = Option.value (Hashtbl.find_opt fallback_links ad) ~default:[] in
+          Hashtbl.remove fallback_links ad;
+          List.iter (fun lid -> Network.set_link_state net lid ~up:true) mine
+        end
+  in
+  (* One independent stream per concern, split in a fixed order, so the
+     number of draws one action makes never shifts another's. *)
+  let msg_rng = Rng.split rng in
+  let sched_rng = Rng.split rng in
+  (* Message-level faults become a delivery interposer. *)
+  let drops = ref [] and dups = ref [] and delays = ref [] and reorders = ref [] in
+  List.iter
+    (function
+      | Plan.Drop { prob; window } -> drops := (prob, window) :: !drops
+      | Plan.Duplicate { prob; window } -> dups := (prob, window) :: !dups
+      | Plan.Delay { prob; max_extra; window } ->
+        delays := (prob, max_extra, window) :: !delays
+      | Plan.Reorder { prob; max_extra; window } ->
+        reorders := (prob, max_extra, window) :: !reorders
+      | Plan.Crash _ | Plan.Partition _ | Plan.Flap_storm _ -> ())
+    plan;
+  let drops = List.rev !drops
+  and dups = List.rev !dups
+  and delays = List.rev !delays
+  and reorders = List.rev !reorders in
+  if drops <> [] || dups <> [] || delays <> [] || reorders <> [] then begin
+    let has_delay = delays <> [] in
+    (* Latest scheduled arrival per directed neighbor pair: the FIFO
+       clamp floor. Plain added latency must not overtake earlier
+       messages on the same channel — only Reorder may do that. *)
+    let last_arrival : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
+    Network.set_delivery_interposer net
+      (Some
+         (fun ~src ~dst ~link ->
+           let now = Engine.now engine in
+           if List.exists (fun (p, w) -> in_window w now && Rng.chance msg_rng p) drops
+           then begin
+             t.dropped <- t.dropped + 1;
+             instant ~tid:dst "fault.drop";
+             []
+           end
+           else begin
+             let base_delay = (Graph.link graph link).Link.delay in
+             let base = now +. base_delay in
+             let extra_d =
+               List.fold_left
+                 (fun acc (p, mx, w) ->
+                   if in_window w now && Rng.chance msg_rng p then acc +. Rng.float msg_rng mx
+                   else acc)
+                 0.0 delays
+             in
+             let extra_r =
+               List.fold_left
+                 (fun acc (p, mx, w) ->
+                   if in_window w now && Rng.chance msg_rng p then acc +. Rng.float msg_rng mx
+                   else acc)
+                 0.0 reorders
+             in
+             if extra_d > 0.0 then begin
+               t.delayed <- t.delayed + 1;
+               instant ~tid:dst "fault.delay"
+             end;
+             if extra_r > 0.0 then begin
+               t.reordered <- t.reordered + 1;
+               instant ~tid:dst "fault.reorder"
+             end;
+             let key = (src, dst) in
+             let arrival =
+               if extra_r > 0.0 then base +. extra_d +. extra_r
+               else if has_delay then begin
+                 (* Clamp even undelayed messages: one may not overtake
+                    an earlier delayed one on the same channel. *)
+                 let floor_a =
+                   match Hashtbl.find_opt last_arrival key with
+                   | Some a -> a
+                   | None -> 0.0
+                 in
+                 let a = Stdlib.max (base +. extra_d) floor_a in
+                 Hashtbl.replace last_arrival key a;
+                 a
+               end
+               else base
+             in
+             let copies = ref [ arrival -. base ] in
+             List.iter
+               (fun (p, w) ->
+                 if in_window w now && Rng.chance msg_rng p then begin
+                   t.duplicated <- t.duplicated + 1;
+                   instant ~tid:dst "fault.dup";
+                   let dup_arrival = arrival +. (0.25 *. base_delay) in
+                   if has_delay && extra_r = 0.0 then
+                     Hashtbl.replace last_arrival key dup_arrival;
+                   copies := (dup_arrival -. base) :: !copies
+                 end)
+               dups;
+             List.rev !copies
+           end))
+  end;
+  (* Topology/node incidents become scheduled events, Churn-style. The
+     engine clock is 0 at install time, so absolute times are valid. *)
+  List.iter
+    (function
+      | Plan.Drop _ | Plan.Duplicate _ | Plan.Delay _ | Plan.Reorder _ -> ()
+      | Plan.Crash { ad; at_time; down_for } ->
+        let r = Rng.split sched_rng in
+        let target =
+          match ad with
+          | Some a -> a
+          | None -> (
+            match Graph.transit_ids graph with
+            | [] -> Rng.int r (Graph.n graph)
+            | pool -> Rng.choose r pool)
+        in
+        Engine.schedule_at engine ~time:at_time (fun () ->
+            note at_time (Printf.sprintf "crash ad=%d" target);
+            instant ~tid:target "fault.crash";
+            crash target);
+        Option.iter
+          (fun d ->
+            let tr = at_time +. d in
+            Engine.schedule_at engine ~time:tr (fun () ->
+                note tr (Printf.sprintf "restart ad=%d" target);
+                instant ~tid:target "fault.restart";
+                restart target))
+          down_for
+      | Plan.Partition { at_time; heal_after } ->
+        let r = Rng.split sched_rng in
+        let n = Graph.n graph in
+        (* Membership is fixed at install (BFS to ~n/2 from a random
+           seed, so each side is connected in the static graph); the
+           links actually cut are decided at fire time — only then is
+           it known which crossing links are still up. *)
+        let side = Array.make n false in
+        let start = Rng.int r n in
+        let target_size = Stdlib.max 1 (n / 2) in
+        let q = Queue.create () in
+        Queue.push start q;
+        side.(start) <- true;
+        let count = ref 1 in
+        while !count < target_size && not (Queue.is_empty q) do
+          let u = Queue.pop q in
+          Graph.iter_neighbor_ids graph u ~f:(fun v ->
+              if !count < target_size && not side.(v) then begin
+                side.(v) <- true;
+                incr count;
+                Queue.push v q
+              end)
+        done;
+        let cut = ref [] in
+        Engine.schedule_at engine ~time:at_time (fun () ->
+            Array.iter
+              (fun (l : Link.t) ->
+                if side.(l.Link.a) <> side.(l.Link.b) && Network.link_is_up net l.Link.id
+                then begin
+                  cut := l.Link.id :: !cut;
+                  Network.set_link_state net l.Link.id ~up:false
+                end)
+              (Graph.links graph);
+            cut := List.rev !cut;
+            t.partition_cut <- !cut;
+            note at_time
+              (Printf.sprintf "partition %d|%d cut=%d links" !count (n - !count)
+                 (List.length !cut));
+            instant ~tid:0 "fault.partition");
+        Option.iter
+          (fun h ->
+            let th = at_time +. h in
+            Engine.schedule_at engine ~time:th (fun () ->
+                (* Exactly the links the partition took down — never a
+                   link churn, a storm or a crash failed. *)
+                List.iter (fun lid -> Network.set_link_state net lid ~up:true) !cut;
+                note th (Printf.sprintf "heal restore=%d links" (List.length !cut));
+                instant ~tid:0 "fault.heal"))
+          heal_after
+      | Plan.Flap_storm { at_time; flaps; spacing } ->
+        let r = Rng.split sched_rng in
+        for i = 0 to flaps - 1 do
+          let tf = at_time +. (float_of_int i *. spacing) in
+          Engine.schedule_at engine ~time:tf (fun () ->
+              match Network.fail_random_link net r () with
+              | None -> note tf "flap: no up link to fail"
+              | Some lid ->
+                note tf (Printf.sprintf "flap down link=%d" lid);
+                instant ~tid:0 "fault.flap";
+                let hold = Plan.storm_hold ~spacing in
+                Engine.schedule engine ~delay:hold (fun () ->
+                    note (tf +. hold) (Printf.sprintf "flap restore link=%d" lid);
+                    Network.set_link_state net lid ~up:true))
+        done)
+    plan;
+  t

@@ -1,0 +1,49 @@
+(** Compiles a {!Plan} onto a live network: the component that actually
+    breaks things.
+
+    Message faults install a delivery interposer
+    ({!Pr_sim.Network.set_delivery_interposer}); topology and node
+    incidents are scheduled on the engine like {!Pr_sim.Churn} events,
+    so a subsequent converge drains both the faults and every protocol
+    reaction to them. Every incident is appended to a chronological
+    fault log and, when tracing, recorded as a [fault.*] instant
+    ([fault.crash], [fault.restart], [fault.partition], [fault.heal],
+    [fault.flap], [fault.drop], [fault.dup], [fault.delay],
+    [fault.reorder]). *)
+
+type t
+
+val log_src : Logs.src
+(** ["pr.faults"]: set to [Info] to watch incidents fire. *)
+
+val install :
+  'msg Pr_sim.Network.t ->
+  rng:Pr_util.Rng.t ->
+  ?crash:(Pr_topology.Ad.id -> unit) ->
+  ?restart:(Pr_topology.Ad.id -> unit) ->
+  Plan.t ->
+  t
+(** Compile the plan. Call with the engine clock still at 0 (before the
+    first converge). [crash]/[restart] should be
+    [Pr_proto.Runner.Make.crash_ad]/[restart_ad] so the protocol loses
+    and rebuilds its state; without them a network-level fallback takes
+    the node and its links down without telling any protocol. All
+    randomness (flap targets, crash victim, per-message draws) comes
+    from [rng] via fixed-order splits — same rng state + same plan =
+    byte-identical schedule. *)
+
+val fault_log : t -> (float * string) list
+(** Chronological (time, description) pairs of every incident fired so
+    far. Deterministic: contains simulated times only. *)
+
+val dropped : t -> int
+
+val duplicated : t -> int
+
+val delayed : t -> int
+
+val reordered : t -> int
+
+val partition_cut : t -> Pr_topology.Link.id list
+(** The links the (last) partition actually took down — exactly the
+    set its heal restores. Empty before the partition fires. *)

@@ -280,6 +280,19 @@ module Make (V : VARIANT) = struct
       export t at changed
     end
 
+  let reset_node t ~at =
+    let node = t.nodes.(at) in
+    Hashtbl.reset node.rib_in;
+    Hashtbl.reset node.selected;
+    (* mask_cache is a pure function of the static policy
+       configuration, so state loss need not invalidate it. *)
+    List.iter
+      (fun (c, dest) ->
+        Hashtbl.replace node.selected (c, dest)
+          (at, { dest; class_idx = c; path = [ at ]; allowed = full_set t }))
+      (own_pairs t at);
+    export t at (own_pairs t at)
+
   let prepare_flow _t _flow = Packet.no_prep
 
   let originate _t _packet = ()

@@ -48,6 +48,12 @@ let handle_message t ~at ~from lsa = Ls_flood.handle_message t.flood ~at ~from l
 
 let handle_link t ~at ~link:_ ~up = Ls_flood.handle_link t.flood ~at ~up
 
+let reset_node t ~at =
+  let node = t.nodes.(at) in
+  Array.fill node.next_hops 0 (Array.length node.next_hops) (-1);
+  node.computed_version <- -1;
+  Ls_flood.reset_node t.flood at
+
 (* Plain Dijkstra over the AD's database, recording the first hop of
    each shortest path. *)
 let run_spf t ad ~version =

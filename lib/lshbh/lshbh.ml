@@ -45,6 +45,10 @@ let handle_message t ~at ~from lsa = Ls_flood.handle_message t.flood ~at ~from l
 
 let handle_link t ~at ~link:_ ~up = Ls_flood.handle_link t.flood ~at ~up
 
+let reset_node t ~at =
+  Hashtbl.reset t.nodes.(at).route_cache;
+  Ls_flood.reset_node t.flood at
+
 (* The uniform computation every AD replicates: the policy-constrained
    shortest route for the flow, from the flow's *source*, over this
    AD's own database. Source selection criteria are NOT applied — they

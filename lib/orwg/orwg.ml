@@ -221,6 +221,17 @@ module Make (V : VARIANT) = struct
 
   let handle_link t ~at ~link:_ ~up = Ls_flood.handle_link t.flood ~at ~up
 
+  let reset_node t ~at =
+    let node = t.nodes.(at) in
+    (* Route server and policy gateway state are both lost: cached
+       policy routes and handle setup state vanish. Sources forwarding
+       on a vanished handle are notified and re-set-up — the
+       data-driven repair of §5.4. Counters survive (they are
+       lifetime gauges, not routing state). *)
+    Hashtbl.reset node.pr_cache;
+    Hashtbl.reset node.pg_cache;
+    Ls_flood.reset_node t.flood at
+
   (* Route synthesis at the source's route server. The source applies
      its own selection criteria privately (§5.4: "it can keep these
      policies private from other ADS"). *)

@@ -86,3 +86,23 @@ let handle_message t ~at ~from lsa =
   end
 
 let handle_link t ~at ~up:_ = originate t at
+
+let reset_node t ad =
+  (* State loss empties the AD's database; the origination sequence
+     number survives (lollipop-style — restarting at 0 would make the
+     rest of the internet reject the fresh LSAs as stale). *)
+  let n = Graph.n (Network.graph t.net) in
+  t.dbs.(ad) <- Lsdb.create ~n;
+  changed t ad;
+  originate t ad;
+  (* Adjacency bring-up database exchange (the OSPF-style sync real
+     link-state protocols perform): each up in-scope neighbor pushes
+     its full database to the restarted AD, so its view reconverges
+     even for origins it shares no adjacency with. Duplicates are shed
+     by the sequence-number check; the pushes are charged to the
+     neighbors like any other flood traffic. *)
+  if t.flood_to ad then
+    Network.iter_up_neighbors t.net ad ~f:(fun nbr ->
+        if t.flood_to nbr then
+          Lsdb.fold t.dbs.(nbr) ~init:() ~f:(fun () lsa ->
+              Network.send t.net ~src:nbr ~dst:ad ~bytes:(Lsdb.lsa_bytes lsa) lsa))

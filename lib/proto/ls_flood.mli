@@ -36,6 +36,14 @@ val handle_link : t -> at:Pr_topology.Ad.id -> up:bool -> unit
 (** The AD re-originates and floods a fresh LSA reflecting its current
     adjacencies. *)
 
+val reset_node : t -> Pr_topology.Ad.id -> unit
+(** The AD restarted with state loss: its database is emptied (the
+    origination sequence survives, lollipop-style), a fresh LSA is
+    originated, and — modeling the adjacency bring-up database
+    exchange of real link-state protocols — every up in-scope neighbor
+    pushes its full database to the restarted AD. Call with the AD's
+    links already restored. *)
+
 val db : t -> Pr_topology.Ad.id -> Lsdb.t
 (** The AD's current link-state database. *)
 

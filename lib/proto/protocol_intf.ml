@@ -31,6 +31,18 @@ module type PROTOCOL = sig
   val handle_link : t -> at:Pr_topology.Ad.id -> link:Pr_topology.Link.id -> up:bool -> unit
   (** Link state change visible at endpoint [at]. *)
 
+  val reset_node : t -> at:Pr_topology.Ad.id -> unit
+  (** AD [at]'s router restarted with total state loss (paper §2.2:
+      gateways crash and recover): forget every learned route and
+      database entry, rebuild the AD's own local entries exactly as
+      {!create} would, and re-announce over currently-up links. The
+      rest of the internet keeps whatever it heard from the AD before
+      the crash — recovery must go through the normal protocol
+      exchange. Callers (see [Runner.Make.restart_ad]) invoke this
+      after the AD's links are back up, mirroring a rebooted gateway
+      whose adjacencies come up before its routing process has
+      relearned anything. *)
+
   (** {2 Data plane} *)
 
   val prepare_flow : t -> Pr_policy.Flow.t -> Packet.prep

@@ -31,6 +31,15 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
        handlers) is attributed to the next convergence delta. *)
     mutable marker : Metrics.t;
     mutable events_marker : int;
+    (* AD whose link notifications are suppressed, or -1. While a
+       crashed AD's links are being forced down (and back up on
+       restart), the dead router must not react to them — only its
+       neighbors observe the outage. *)
+    mutable muted : int;
+    (* Links that were up when the AD crashed, to restore on restart.
+       Only links this crash transitioned down are recorded, so a
+       restart never restores a link some other fault source failed. *)
+    crash_links : (Pr_topology.Ad.id, Pr_topology.Link.id list) Hashtbl.t;
   }
 
   let setup ?(trace = Trace.disabled) graph config =
@@ -39,20 +48,26 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
     let metrics = Metrics.create ~n:(Graph.n graph) in
     let net = Network.create ~trace engine graph metrics in
     let proto = P.create graph config net in
+    let t =
+      {
+        graph;
+        config;
+        engine;
+        net;
+        metrics;
+        proto;
+        started = false;
+        marker = Metrics.snapshot metrics;
+        events_marker = 0;
+        muted = -1;
+        crash_links = Hashtbl.create 4;
+      }
+    in
     Network.set_message_handler net (fun ~at ~from msg ->
         P.handle_message proto ~at ~from msg);
-    Network.set_link_handler net (fun ~at ~link ~up -> P.handle_link proto ~at ~link ~up);
-    {
-      graph;
-      config;
-      engine;
-      net;
-      metrics;
-      proto;
-      started = false;
-      marker = Metrics.snapshot metrics;
-      events_marker = 0;
-    }
+    Network.set_link_handler net (fun ~at ~link ~up ->
+        if at <> t.muted then P.handle_link proto ~at ~link ~up);
+    t
 
   let graph t = t.graph
 
@@ -92,6 +107,39 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
   let fail_link t lid = Network.set_link_state t.net lid ~up:false
 
   let restore_link t lid = Network.set_link_state t.net lid ~up:true
+
+  let crash_ad t ad =
+    if Network.node_is_up t.net ad then begin
+      (* Take the gateway's up links down first: neighbors observe the
+         outage through their link handlers (failure detection), while
+         the dying router itself — muted — reacts to nothing. *)
+      let mine = ref [] in
+      Graph.iter_neighbors t.graph ad ~f:(fun _nbr lid ->
+          if Network.link_is_up t.net lid then mine := lid :: !mine);
+      let mine = List.sort_uniq compare !mine in
+      t.muted <- ad;
+      List.iter (fun lid -> Network.set_link_state t.net lid ~up:false) mine;
+      t.muted <- -1;
+      Hashtbl.replace t.crash_links ad mine;
+      Network.set_node_state t.net ad ~up:false
+    end
+
+  let restart_ad t ad =
+    if not (Network.node_is_up t.net ad) then begin
+      Network.set_node_state t.net ad ~up:true;
+      (* Bring the adjacencies back before the routing process knows
+         anything: neighbors react normally, the restarting router —
+         still muted — does not advertise its stale pre-crash state. *)
+      let mine = Option.value (Hashtbl.find_opt t.crash_links ad) ~default:[] in
+      Hashtbl.remove t.crash_links ad;
+      t.muted <- ad;
+      List.iter (fun lid -> Network.set_link_state t.net lid ~up:true) mine;
+      t.muted <- -1;
+      (* Then reboot it with total state loss; its re-announcements go
+         out over the restored links, and the neighbors' link-up
+         advertisements are already in flight toward it. *)
+      P.reset_node t.proto ~at:ad
+    end
 
   let send_flow t flow =
     Forwarding.send ~n:(Graph.n t.graph)

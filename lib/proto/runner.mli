@@ -49,6 +49,23 @@ module Make (P : Protocol_intf.PROTOCOL) : sig
 
   val restore_link : t -> Pr_topology.Link.id -> unit
 
+  val crash_ad : t -> Pr_topology.Ad.id -> unit
+  (** The AD's gateway crashes: every currently-up incident link is
+      taken down (neighbors are notified through their link handlers —
+      the crashed router itself reacts to nothing) and the node stops
+      sending and receiving. In-flight messages addressed to it are
+      lost and counted in {!Pr_sim.Metrics.msgs_lost}. Only the links
+      this crash transitioned down are remembered for {!restart_ad},
+      so a restart never restores a link some other fault source
+      failed. No-op if the AD is already down. *)
+
+  val restart_ad : t -> Pr_topology.Ad.id -> unit
+  (** Restart a crashed AD with total state loss: the node comes back
+      up, the links the crash took down are restored (neighbors react
+      normally; the restarting router stays silent), and the
+      protocol's [reset_node] rebuilds its local state and
+      re-announces. No-op if the AD is up. *)
+
   val send_flow : t -> Pr_policy.Flow.t -> Forwarding.outcome
   (** Send one packet of the flow through the protocol's forwarding
       plane (including any route setup the protocol performs). *)

@@ -4,6 +4,7 @@ type t = {
   bytes_sent : int array;
   comps : int array;
   tables : int array;
+  lost : int array;
 }
 
 let create ~n =
@@ -13,17 +14,21 @@ let create ~n =
     bytes_sent = Array.make n 0;
     comps = Array.make n 0;
     tables = Array.make n 0;
+    lost = Array.make n 0;
   }
 
 let reset t =
   Array.fill t.msgs 0 t.n 0;
   Array.fill t.bytes_sent 0 t.n 0;
   Array.fill t.comps 0 t.n 0;
-  Array.fill t.tables 0 t.n 0
+  Array.fill t.tables 0 t.n 0;
+  Array.fill t.lost 0 t.n 0
 
 let record_send t ad ~bytes =
   t.msgs.(ad) <- t.msgs.(ad) + 1;
   t.bytes_sent.(ad) <- t.bytes_sent.(ad) + bytes
+
+let record_loss t ad = t.lost.(ad) <- t.lost.(ad) + 1
 
 let record_computation t ad ?(work = 1) () = t.comps.(ad) <- t.comps.(ad) + work
 
@@ -41,6 +46,8 @@ let computations t = sum t.comps
 
 let table_entries t = sum t.tables
 
+let msgs_lost t = sum t.lost
+
 let messages_of t ad = t.msgs.(ad)
 
 let bytes_of t ad = t.bytes_sent.(ad)
@@ -48,6 +55,8 @@ let bytes_of t ad = t.bytes_sent.(ad)
 let computations_of t ad = t.comps.(ad)
 
 let table_entries_of t ad = t.tables.(ad)
+
+let msgs_lost_of t ad = t.lost.(ad)
 
 let max_table_entries t = Array.fold_left Stdlib.max 0 t.tables
 
@@ -58,6 +67,7 @@ let snapshot t =
     bytes_sent = Array.copy t.bytes_sent;
     comps = Array.copy t.comps;
     tables = Array.copy t.tables;
+    lost = Array.copy t.lost;
   }
 
 let merge into from =
@@ -66,7 +76,8 @@ let merge into from =
     into.msgs.(i) <- into.msgs.(i) + from.msgs.(i);
     into.bytes_sent.(i) <- into.bytes_sent.(i) + from.bytes_sent.(i);
     into.comps.(i) <- into.comps.(i) + from.comps.(i);
-    into.tables.(i) <- into.tables.(i) + from.tables.(i)
+    into.tables.(i) <- into.tables.(i) + from.tables.(i);
+    into.lost.(i) <- into.lost.(i) + from.lost.(i)
   done
 
 let diff ~after ~before =
@@ -77,6 +88,7 @@ let diff ~after ~before =
     bytes_sent = Array.init after.n (fun i -> after.bytes_sent.(i) - before.bytes_sent.(i));
     comps = Array.init after.n (fun i -> after.comps.(i) - before.comps.(i));
     tables = Array.copy after.tables;
+    lost = Array.init after.n (fun i -> after.lost.(i) - before.lost.(i));
   }
 
 let to_json t =
@@ -88,6 +100,7 @@ let to_json t =
       ("bytes", ints t.bytes_sent);
       ("computations", ints t.comps);
       ("tables", ints t.tables);
+      ("losses", ints t.lost);
     ]
 
 let ( let* ) = Result.bind
@@ -114,11 +127,17 @@ let of_json j =
   let* bytes_sent = int_array "bytes" in
   let* comps = int_array "computations" in
   let* tables = int_array "tables" in
+  (* Pre-fault-era documents carry no losses array; treat it as zeros. *)
+  let* lost =
+    match J.member "losses" j with
+    | None -> Ok (Array.make n 0)
+    | Some _ -> int_array "losses"
+  in
   if
     Array.length msgs <> n || Array.length bytes_sent <> n || Array.length comps <> n
-    || Array.length tables <> n
+    || Array.length tables <> n || Array.length lost <> n
   then Error "per-AD array lengths disagree with n"
-  else Ok { n; msgs; bytes_sent; comps; tables }
+  else Ok { n; msgs; bytes_sent; comps; tables; lost }
 
 let load_series t =
   let floats a = Array.map float_of_int a in
@@ -129,5 +148,5 @@ let load_series t =
   ]
 
 let pp ppf t =
-  Format.fprintf ppf "msgs=%d bytes=%d comp=%d tables=%d" (messages t) (bytes t)
-    (computations t) (table_entries t)
+  Format.fprintf ppf "msgs=%d bytes=%d comp=%d tables=%d lost=%d" (messages t) (bytes t)
+    (computations t) (table_entries t) (msgs_lost t)

@@ -15,6 +15,12 @@ val reset : t -> unit
 val record_send : t -> Pr_topology.Ad.id -> bytes:int -> unit
 (** One control message of the given size sent by the AD. *)
 
+val record_loss : t -> Pr_topology.Ad.id -> unit
+(** One control message lost in the network before reaching the AD —
+    taken by a link that failed while it was in flight, addressed to a
+    crashed AD, or eaten by a fault-plan drop. Charged to the intended
+    {e receiver}: loss is the receiver's missing information. *)
+
 val record_computation : t -> Pr_topology.Ad.id -> ?work:int -> unit -> unit
 (** One route computation at the AD; [work] (default 1) scales it,
     e.g. by the number of nodes visited by a Dijkstra run. *)
@@ -35,6 +41,9 @@ val computations : t -> int
 val table_entries : t -> int
 (** Sum of the table-size gauges. *)
 
+val msgs_lost : t -> int
+(** Total in-flight message losses (see {!record_loss}). *)
+
 val messages_of : t -> Pr_topology.Ad.id -> int
 
 val bytes_of : t -> Pr_topology.Ad.id -> int
@@ -42,6 +51,8 @@ val bytes_of : t -> Pr_topology.Ad.id -> int
 val computations_of : t -> Pr_topology.Ad.id -> int
 
 val table_entries_of : t -> Pr_topology.Ad.id -> int
+
+val msgs_lost_of : t -> Pr_topology.Ad.id -> int
 
 val max_table_entries : t -> int
 (** Largest per-AD table gauge — the state burden on the worst-loaded
@@ -64,6 +75,8 @@ val to_json : t -> Pr_util.Json.t
     Round-trips exactly through {!of_json}. *)
 
 val of_json : Pr_util.Json.t -> (t, string) result
+(** Accepts documents without a ["losses"] array (written before the
+    loss counter existed) by reading zeros. *)
 
 val load_series : t -> (string * float array) list
 (** The per-AD counter vectors (["messages"], ["bytes"],

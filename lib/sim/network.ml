@@ -16,6 +16,13 @@ type 'msg t = {
   metrics : Metrics.t;
   trace : Trace.t;
   link_up : bool array;
+  node_up : bool array;
+  (* Fault-plan hook: maps each send to the extra delivery delays of
+     its copies ([] = dropped in flight, one 0.0 entry = the normal
+     delivery, several entries = duplicates). None (the default) costs
+     one match per send. *)
+  mutable interpose :
+    (src:Pr_topology.Ad.id -> dst:Pr_topology.Ad.id -> link:Link.id -> float list) option;
   mutable on_message : at:Pr_topology.Ad.id -> from:Pr_topology.Ad.id -> 'msg -> unit;
   mutable on_link : at:Pr_topology.Ad.id -> link:Link.id -> up:bool -> unit;
 }
@@ -27,6 +34,8 @@ let create ?(trace = Trace.disabled) engine graph metrics =
     metrics;
     trace;
     link_up = Array.make (Graph.num_links graph) true;
+    node_up = Array.make (Graph.n graph) true;
+    interpose = None;
     on_message = (fun ~at:_ ~from:_ _ -> ());
     on_link = (fun ~at:_ ~link:_ ~up:_ -> ());
   }
@@ -43,7 +52,11 @@ let set_message_handler t f = t.on_message <- f
 
 let set_link_handler t f = t.on_link <- f
 
+let set_delivery_interposer t f = t.interpose <- f
+
 let link_is_up t lid = t.link_up.(lid)
+
+let node_is_up t ad = t.node_up.(ad)
 
 let up_link_between t x y =
   let best = ref (-1) and best_cost = ref max_int in
@@ -74,25 +87,42 @@ let up_neighbors t x =
   iter_up_neighbors t x ~f:(fun v -> acc := v :: !acc);
   List.rev !acc
 
+let lose t ~src ~dst =
+  Metrics.record_loss t.metrics dst;
+  if Trace.enabled t.trace then
+    Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid:dst "net.lost";
+  Log.debug (fun m ->
+      m "t=%.1f message %d -> %d lost in flight" (Engine.now t.engine) src dst)
+
 let send t ~src ~dst ~bytes msg =
-  match up_link_between t src dst with
-  | None -> ()
-  | Some lid ->
-    Metrics.record_send t.metrics src ~bytes;
-    if Trace.enabled t.trace then
-      Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid:src "net.send";
-    Log.debug (fun m ->
-        m "t=%.1f send %d -> %d (%d bytes)" (Engine.now t.engine) src dst bytes);
-    let delay = (Graph.link t.graph lid).Link.delay in
-    Engine.schedule t.engine ~delay (fun () ->
-        (* The message is lost if the link failed while in flight. *)
-        if t.link_up.(lid) then t.on_message ~at:dst ~from:src msg
-        else begin
-          if Trace.enabled t.trace then
-            Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid:dst "net.lost";
-          Log.debug (fun m ->
-              m "t=%.1f message %d -> %d lost in flight" (Engine.now t.engine) src dst)
-        end)
+  (* A crashed AD transmits nothing. *)
+  if not t.node_up.(src) then ()
+  else
+    match up_link_between t src dst with
+    | None -> ()
+    | Some lid ->
+      Metrics.record_send t.metrics src ~bytes;
+      if Trace.enabled t.trace then
+        Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid:src "net.send";
+      Log.debug (fun m ->
+          m "t=%.1f send %d -> %d (%d bytes)" (Engine.now t.engine) src dst bytes);
+      let delay = (Graph.link t.graph lid).Link.delay in
+      let deliver () =
+        (* Lost if the link failed, or the receiver crashed, while the
+           message was in flight. *)
+        if t.link_up.(lid) && t.node_up.(dst) then t.on_message ~at:dst ~from:src msg
+        else lose t ~src ~dst
+      in
+      (match t.interpose with
+      | None -> Engine.schedule t.engine ~delay deliver
+      | Some f -> (
+        match f ~src ~dst ~link:lid with
+        | [] ->
+          (* The fault plan ate it; the bits were still transmitted, so
+             the send stays charged. *)
+          lose t ~src ~dst
+        | extras ->
+          List.iter (fun extra -> Engine.schedule t.engine ~delay:(delay +. extra) deliver) extras))
 
 let broadcast t ~src ~bytes msg =
   let neighbors = up_neighbors t src in
@@ -111,6 +141,16 @@ let set_link_state t lid ~up =
           (if up then "restored" else "FAILED"));
     t.on_link ~at:l.Link.a ~link:lid ~up;
     t.on_link ~at:l.Link.b ~link:lid ~up
+  end
+
+let set_node_state t ad ~up =
+  if t.node_up.(ad) <> up then begin
+    t.node_up.(ad) <- up;
+    if Trace.enabled t.trace then
+      Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid:ad
+        (if up then "node.up" else "node.down");
+    Log.info (fun m ->
+        m "t=%.1f AD %d %s" (Engine.now t.engine) ad (if up then "restarted" else "CRASHED"))
   end
 
 let fail_random_link t rng ?kind () =

@@ -20,8 +20,8 @@ val create :
     traffic flows. When [trace] (default {!Pr_obs.Trace.disabled}) is
     enabled, the network records instant events for sends
     (["net.send"], track = sender), in-flight losses (["net.lost"],
-    track = intended receiver) and link flaps (["link.up"] /
-    ["link.down"]). *)
+    track = intended receiver), link flaps (["link.up"] /
+    ["link.down"]) and AD crashes (["node.up"] / ["node.down"]). *)
 
 val graph : 'msg t -> Pr_topology.Graph.t
 
@@ -42,6 +42,19 @@ val set_link_handler :
   'msg t -> (at:Pr_topology.Ad.id -> link:Pr_topology.Link.id -> up:bool -> unit) -> unit
 (** Called at both endpoints when a link changes state. *)
 
+val set_delivery_interposer :
+  'msg t ->
+  (src:Pr_topology.Ad.id -> dst:Pr_topology.Ad.id -> link:Pr_topology.Link.id -> float list)
+  option ->
+  unit
+(** Install (or remove, with [None]) a fault-plan hook consulted on
+    every send. It returns the extra delivery delays of the message's
+    copies: [\[0.0\]] is the unperturbed delivery, [\[\]] drops the
+    message in flight (counted in {!Pr_sim.Metrics.msgs_lost}, the
+    send still charged), several entries duplicate it, and non-zero
+    entries delay it. Without an interposer the only cost is one match
+    per send. *)
+
 val send :
   'msg t -> src:Pr_topology.Ad.id -> dst:Pr_topology.Ad.id -> bytes:int -> 'msg -> unit
 (** Send over (the cheapest) link between neighbors [src] and [dst].
@@ -56,6 +69,18 @@ val broadcast :
     sent. *)
 
 val link_is_up : 'msg t -> Pr_topology.Link.id -> bool
+
+val node_is_up : 'msg t -> Pr_topology.Ad.id -> bool
+
+val set_node_state : 'msg t -> Pr_topology.Ad.id -> up:bool -> unit
+(** Crash ([up:false]) or restart an AD. A crashed AD transmits
+    nothing (its sends are silently suppressed, not charged) and
+    receives nothing (deliveries addressed to it are lost and
+    counted). Link state is independent: callers modeling a gateway
+    crash take the AD's links down alongside, so neighbors observe the
+    outage through their link handlers — see
+    [Pr_proto.Runner.Make.crash_ad]. No-op when the state is
+    unchanged. *)
 
 val adjacent_and_up : 'msg t -> Pr_topology.Ad.id -> Pr_topology.Ad.id -> bool
 (** Some up link joins the two ADs. *)

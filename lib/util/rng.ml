@@ -13,6 +13,17 @@ let mix z =
 
 let create seed = { state = mix (Int64.of_int seed) }
 
+(* FNV-1a over the label, folded into the seed, then remixed: distinct
+   labels give independent streams of the same seed, and adding draws
+   to one stream cannot perturb another. *)
+let derive seed label =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+    label;
+  { state = mix (Int64.add (mix (Int64.of_int seed)) !h) }
+
 let copy t = { state = t.state }
 
 let bits64 t =

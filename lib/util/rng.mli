@@ -15,6 +15,13 @@ val create : int -> t
 val copy : t -> t
 (** [copy t] duplicates the current state; the copy evolves independently. *)
 
+val derive : int -> string -> t
+(** [derive seed label] is a generator determined by the (seed, label)
+    pair: the same pair always yields the same stream, and distinct
+    labels yield independent streams of the same run seed. Subsystems
+    that draw side by side (churn, fault plans, workloads) each derive
+    their own label so enabling one cannot perturb the others. *)
+
 val split : t -> t
 (** [split t] derives an independent generator from [t], advancing [t].
     Used to give each subsystem (topology, policies, failures) its own

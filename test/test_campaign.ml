@@ -83,6 +83,7 @@ let toy_spec =
     restrictiveness = [ 0.0; 0.5 ];
     granularities = [ Pr_policy.Gen.Source_specific ];
     churn = [ false ];
+    fault_profiles = [ "none" ];
     replicates = 1;
     base_seed = 42;
     flows = 5;
@@ -99,7 +100,7 @@ let grid_deterministic () =
   check_bool "expansion is a pure function of the spec" true (a = b);
   let ids = List.map (fun (r : Grid.run) -> r.Grid.id) a in
   check_bool "ids distinct" true (List.length (List.sort_uniq compare ids) = List.length ids);
-  check_string "stable id scheme" "ecma/n14/r0.00/gsource-specific/static/rep0"
+  check_string "stable id scheme" "ecma/n14/r0.00/gsource-specific/static/fnone/rep0"
     (List.hd ids)
 
 let grid_default_covers_designs () =
@@ -121,16 +122,17 @@ let grid_replicates_vary_seed () =
 
 (* --- Exec ----------------------------------------------------------- *)
 
-let sample_run ?(protocol = "ecma") ?(churn = false) () =
+let sample_run ?(protocol = "ecma") ?(churn = false) ?(faults = "none") () =
   {
     Grid.id =
       Grid.id_of ~protocol ~size:14 ~restrictiveness:0.0
-        ~granularity:Pr_policy.Gen.Source_specific ~churn ~replicate:0;
+        ~granularity:Pr_policy.Gen.Source_specific ~churn ~faults ~replicate:0;
     protocol;
     size = 14;
     restrictiveness = 0.0;
     granularity = Pr_policy.Gen.Source_specific;
     churn;
+    faults;
     replicate = 0;
     seed = 42;
     flows = 5;
@@ -306,7 +308,7 @@ let aggregate_groups_by_protocol () =
 
 let driver_end_to_end_and_resume () =
   let path = temp_jsonl () in
-  let crash_id = "ecma/n14/r0.50/gsource-specific/static/rep0" in
+  let crash_id = "ecma/n14/r0.50/gsource-specific/static/fnone/rep0" in
   (* First invocation: one injected crash. *)
   let r1 =
     Driver.sweep ~jobs:2 ~timeout_s:30.0 ~quiet:true

@@ -232,6 +232,7 @@ let sweep_trace_files () =
       restrictiveness = [ 0.0 ];
       granularities = [ Pr_policy.Gen.Source_specific ];
       churn = [ false ];
+      fault_profiles = [ "none" ];
       replicates = 1;
       base_seed = 42;
       flows = 5;
