@@ -1,0 +1,84 @@
+(* Well-formedness check for synthesis benchmark JSON (the files
+   bench/main.exe synth --json emits): parses with the in-repo JSON
+   reader and validates the schema the tracking tooling relies on —
+   top-level identity fields, a non-empty Spf scaling table, and the
+   restrictive-policy synthesis section with positive timings on every
+   row. Run from dune's runtest alias over both the smoke output and
+   the committed BENCH_synthesis.json baseline. *)
+
+module J = Pr_util.Json
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let number = function
+  | J.Int v -> Some (float_of_int v)
+  | J.Float v -> Some v
+  | _ -> None
+
+let check_rows file ~section ~fields rows =
+  if rows = [] then fail "%s: %s: empty results" file section;
+  List.iteri
+    (fun i row ->
+      List.iter
+        (fun field ->
+          match Option.bind (J.member field row) number with
+          | Some v when v > 0.0 -> ()
+          | Some _ -> fail "%s: %s[%d]: non-positive %S" file section i field
+          | None -> fail "%s: %s[%d]: missing or non-numeric %S" file section i field)
+        fields)
+    rows
+
+let rows_of file ~section doc name =
+  match Option.bind (J.member name doc) (fun v -> Result.to_option (J.to_list v)) with
+  | Some l -> l
+  | None -> fail "%s: %s: missing %S list" file section name
+
+let check_file file =
+  let doc =
+    match J.parse (read_file file) with
+    | Ok doc -> doc
+    | Error e -> fail "%s: parse error: %s" file e
+  in
+  (match J.member "benchmark" doc with
+  | Some (J.String "route_synthesis_scaling") -> ()
+  | _ -> fail "%s: missing or unexpected \"benchmark\" identity" file);
+  (match J.member "kernel" doc with
+  | Some (J.String _) -> ()
+  | _ -> fail "%s: missing \"kernel\"" file);
+  check_rows file ~section:"results"
+    ~fields:
+      [ "target_ads"; "ads"; "links"; "sources"; "reps"; "ns_per_op"; "live_words" ]
+    (rows_of file ~section:"top" doc "results");
+  let policy =
+    match J.member "policy_synthesis" doc with
+    | Some p -> p
+    | None -> fail "%s: missing \"policy_synthesis\" section" file
+  in
+  (match J.member "kernel" policy with
+  | Some (J.String _) -> ()
+  | _ -> fail "%s: policy_synthesis: missing \"kernel\"" file);
+  check_rows file ~section:"policy_synthesis.results"
+    ~fields:
+      [
+        "target_ads";
+        "ads";
+        "links";
+        "flows";
+        "interpreted_ns_per_route";
+        "compiled_ns_per_route";
+        "speedup";
+      ]
+    (rows_of file ~section:"policy_synthesis" policy "results")
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then fail "usage: bench_check FILE.json ...";
+  List.iter check_file files;
+  Printf.printf "bench_check: %d file(s) well-formed\n" (List.length files)

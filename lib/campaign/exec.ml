@@ -81,6 +81,7 @@ let scenario_of (run : Grid.run) =
 let execute_faulted packed (run : Grid.run) plan =
   let started = Unix.gettimeofday () in
   let scenario = scenario_of run in
+  ignore (Pr_policy.Policy_store.of_config scenario.Scenario.config);
   let flows =
     Scenario.flows scenario ~rng:(Rng.create (run.seed + 2)) ~count:run.flows ()
   in
@@ -143,6 +144,10 @@ let execute ?(chaos = no_chaos) ?trace_dir (run : Grid.run) =
     | Some _ ->
     let started = Unix.gettimeofday () in
     let scenario = scenario_of run in
+    (* Pre-warm the shared compiled-policy store for this run's
+       configuration: the protocol instance and every post-convergence
+       flow probe then share one compilation per AD. *)
+    ignore (Pr_policy.Policy_store.of_config scenario.Scenario.config);
     let g = scenario.Scenario.graph in
     let module R = Runner.Make (P) in
     let trace =

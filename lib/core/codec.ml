@@ -109,17 +109,19 @@ let graph_of_sexp sexp =
 
 let pred_to_sexp = function
   | Policy_term.Any -> Sexp.atom "any"
-  | Policy_term.Only ids -> Sexp.field "only" (List.map Sexp.int ids)
-  | Policy_term.Except ids -> Sexp.field "except" (List.map Sexp.int ids)
+  | Policy_term.Only ids ->
+    Sexp.field "only" (List.map Sexp.int (Array.to_list ids))
+  | Policy_term.Except ids ->
+    Sexp.field "except" (List.map Sexp.int (Array.to_list ids))
 
 let pred_of_sexp = function
   | Sexp.Atom "any" -> Ok Policy_term.Any
   | Sexp.List (Sexp.Atom "only" :: ids) ->
     let* ids = map_result Sexp.to_int ids in
-    Ok (Policy_term.Only ids)
+    Ok (Policy_term.Only (Array.of_list ids))
   | Sexp.List (Sexp.Atom "except" :: ids) ->
     let* ids = map_result Sexp.to_int ids in
-    Ok (Policy_term.Except ids)
+    Ok (Policy_term.Except (Array.of_list ids))
   | s -> Error ("malformed predicate: " ^ Sexp.to_string s)
 
 let term_to_sexp (t : Policy_term.t) =

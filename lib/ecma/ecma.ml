@@ -64,19 +64,17 @@ let design_point =
   Design_point.make Design_point.Distance_vector Design_point.Hop_by_hop
     Design_point.In_topology
 
+(* Both advertisement gates run per (qos, dest, neighbor) during
+   convergence: probe the shared compiled store (one QOS-union mask
+   check / one bitset probe per term) instead of re-interpreting the
+   term lists. *)
 let supports_qos config ad q =
-  let p = Config.transit config ad in
-  List.exists
-    (fun (term : Policy_term.t) -> List.exists (Qos.equal q) term.Policy_term.qos)
-    p.Transit_policy.terms
+  let store = Pr_policy.Policy_store.of_config config in
+  Pr_policy.Compiled.supports_qos (Pr_policy.Policy_store.compiled store ad) q
 
 let dest_allowed config ad dest q =
-  let p = Config.transit config ad in
-  List.exists
-    (fun (term : Policy_term.t) ->
-      Policy_term.pred_admits term.Policy_term.destinations dest
-      && List.exists (Qos.equal q) term.Policy_term.qos)
-    p.Transit_policy.terms
+  let store = Pr_policy.Policy_store.of_config config in
+  Pr_policy.Compiled.dest_allowed (Pr_policy.Policy_store.compiled store ad) dest q
 
 let create graph config net =
   let n = Graph.n graph in

@@ -88,6 +88,10 @@ let run ?(plan = Plan.default) ?flows ?(probes = 40) ?churn ?max_events
     | Some fs -> fs
     | None -> Scenario.flows scenario ~rng:(Rng.derive seed "chaos-probes") ~count:probes ()
   in
+  (* Pre-warm the shared compiled-policy store: the faulted run, the
+     residual-topology baseline below, and every validation probe all
+     key off this configuration, so the terms compile exactly once. *)
+  ignore (Pr_policy.Policy_store.of_config scenario.Scenario.config);
   let r = R.setup ~trace g scenario.Scenario.config in
   let engine = Network.engine (R.network r) in
   let nem =

@@ -50,6 +50,7 @@ module Make (V : VARIANT) = struct
     net : message Network.t;
     nodes : node array;
     n : int;
+    store : Pr_policy.Policy_store.t;  (* shared compiled policies *)
   }
 
   let name = V.name
@@ -81,7 +82,14 @@ module Make (V : VARIANT) = struct
         mask_cache = Hashtbl.create 64;
       }
     in
-    { graph; config; net; nodes = Array.init n make_node; n }
+    {
+      graph;
+      config;
+      net;
+      nodes = Array.init n make_node;
+      n;
+      store = Pr_policy.Policy_store.of_config config;
+    }
 
   (* Which sources does [at]'s policy admit for transit toward [dest]
      in class [c], arriving from [prev] and departing to [next]. *)
@@ -92,19 +100,23 @@ module Make (V : VARIANT) = struct
     | Some b -> b
     | None ->
       let qos, uci, fixed_src = decompose t c in
-      let policy = Config.transit t.config at in
+      let compiled = Pr_policy.Policy_store.compiled t.store at in
       let b = Bitset.create t.n in
-      let admit src =
-        let flow = Flow.make ~src ~dst:dest ~qos ~uci () in
-        Transit_policy.allows policy
-          { Policy_term.flow; prev = Some prev; next = Some next }
-      in
+      (* The probe flow mirrors Flow.make's defaults (hour 12, not
+         authenticated): masks describe steady-state transit policy,
+         not a specific packet. *)
       (match fixed_src with
-      | Some src -> if admit src then Bitset.add b src
+      | Some src ->
+        let flow = Flow.make ~src ~dst:dest ~qos ~uci () in
+        if
+          Pr_policy.Compiled.allows compiled
+            { Policy_term.flow; prev = Some prev; next = Some next }
+        then Bitset.add b src
       | None ->
-        for src = 0 to t.n - 1 do
-          if admit src then Bitset.add b src
-        done);
+        (* One bitset union per passing term instead of n interpreted
+           probes — the compiled engine's IDRP fast path. *)
+        Pr_policy.Compiled.admitted_sources_into compiled b ~dst:dest ~qos ~uci
+          ~hour:12 ~auth:false ~prev:(Some prev) ~next:(Some next));
       Hashtbl.replace node.mask_cache key b;
       b
 

@@ -63,7 +63,8 @@ let compute_route t at (flow : Flow.t) =
   | Some (v, cached) when v = version -> cached
   | _ ->
     let db = Ls_flood.db t.flood at in
-    let path, work = Policy_route.shortest db ~n flow () in
+    let engine = Policy_route.engine db ~n flow in
+    let path, work = Policy_route.shortest engine () in
     Metrics.record_computation (Network.metrics t.net) at ~work ();
     Pr_proto.Probe.computation t.net ~at ~work "lshbh.synth";
     Hashtbl.replace node.route_cache key (version, path);

@@ -7,6 +7,7 @@ module Config = Pr_policy.Config
 module Policy_term = Pr_policy.Policy_term
 module Transit_policy = Pr_policy.Transit_policy
 module Source_policy = Pr_policy.Source_policy
+module Policy_store = Pr_policy.Policy_store
 module Packet = Pr_proto.Packet
 module Cost_model = Pr_proto.Cost_model
 module Lsdb = Pr_proto.Lsdb
@@ -100,10 +101,12 @@ module Make (V : VARIANT) = struct
     net : message Network.t;
     flood : Ls_flood.t;
     nodes : node array;
-    (* Runtime policy replacements (paper section 2.3: policies change,
-       slowly). The override is the AD's live local policy; the rest of
-       the internet learns it from the re-originated LSA. *)
-    overrides : Transit_policy.t option array;
+    (* Live local policies (paper section 2.3: policies change,
+       slowly). A private version-keyed store over the configuration:
+       [set_policy] mutates it, the rest of the internet learns the
+       replacement from the re-originated LSA. Private — a shared
+       {!Policy_store.of_config} store must never see mutations. *)
+    store : Policy_store.t;
     (* The route server each AD uses: itself, or its provider under
        stub delegation. *)
     route_server : Pr_topology.Ad.id array;
@@ -120,12 +123,13 @@ module Make (V : VARIANT) = struct
 
   (* Does the route server's database still support this path? Used to
      invalidate cached policy routes when LSAs arrive. *)
-  let path_supported db flow path =
+  let path_supported db ~n flow path =
+    let e = Policy_route.engine db ~n flow in
     let rec ok prev = function
       | [] | [ _ ] -> true
       | a :: (b :: _ as rest) ->
         Lsdb.bidirectional db a b <> None
-        && (prev = None || Policy_route.admits db a flow ~prev ~next:(Some b))
+        && (prev = None || Policy_route.admits e a ~prev ~next:(Some b))
         && ok (Some a) rest
     in
     match path with
@@ -134,12 +138,8 @@ module Make (V : VARIANT) = struct
 
   let create graph config net =
     let n = Graph.n graph in
-    let overrides = Array.make n None in
-    let terms_for ad =
-      match overrides.(ad) with
-      | Some p -> p.Transit_policy.terms
-      | None -> (Config.transit config ad).Transit_policy.terms
-    in
+    let store = Policy_store.create config in
+    let terms_for ad = (Policy_store.transit store ad).Transit_policy.terms in
     let transit_capable ad = Pr_topology.Ad.is_transit_capable (Graph.ad graph ad) in
     let flood =
       if V.delegate_stub_route_servers then
@@ -164,7 +164,7 @@ module Make (V : VARIANT) = struct
         config;
         net;
         flood;
-        overrides;
+        store;
         route_server;
         ranks =
           Array.map
@@ -193,23 +193,24 @@ module Make (V : VARIANT) = struct
               let qos = Pr_policy.Qos.of_index (class_idx / Pr_policy.Uci.count) in
               let uci = Pr_policy.Uci.of_index (class_idx mod Pr_policy.Uci.count) in
               let flow = Flow.make ~src:ad ~dst ~qos ~uci () in
-              if path_supported (Ls_flood.db t.flood ad) flow entry.path then acc
+              if path_supported (Ls_flood.db t.flood ad) ~n flow entry.path then acc
               else key :: acc)
             node.pr_cache []
         in
         List.iter (Hashtbl.remove node.pr_cache) stale);
     t
 
-  (* The AD's live transit policy: a runtime override when one was
-     installed, else the configured policy. *)
-  let local_policy t ad =
-    match t.overrides.(ad) with
-    | Some p -> p
-    | None -> Config.transit t.config ad
+  (* The AD's live transit policy: whatever the private store holds
+     (the configured policy until [set_policy] replaces it). *)
+  let local_policy t ad = Policy_store.transit t.store ad
+
+  (* Compiled check against the live local policy — the allocation-free
+     fast path for setup validation and per-packet gateway checks. *)
+  let local_allows t ad ctx = Policy_store.allows t.store ad ctx
 
   let set_policy t (policy : Transit_policy.t) =
     let ad = policy.Transit_policy.owner in
-    t.overrides.(ad) <- Some policy;
+    Policy_store.set_transit t.store ad policy;
     (* Re-originate so the new terms flood; until the flood completes,
        remote route servers are stale and their setups may be refused
        (and retried around the refusal). *)
@@ -245,6 +246,7 @@ module Make (V : VARIANT) = struct
     let server = t.route_server.(src) in
     let n = Graph.n t.graph in
     let db = Ls_flood.db t.flood server in
+    let engine = Policy_route.engine db ~n flow in
     let policy = Config.source t.config src in
     let avoid = extra_avoid @ policy.Source_policy.avoid in
     let charge_delegation path =
@@ -259,8 +261,8 @@ module Make (V : VARIANT) = struct
     let shortest () =
       let path, work =
         if V.prune_synthesis then
-          Policy_route.shortest_pruned db ~n ~ranks:t.ranks flow ~avoid ()
-        else Policy_route.shortest db ~n flow ~avoid ()
+          Policy_route.shortest_pruned engine ~ranks:t.ranks ~avoid ()
+        else Policy_route.shortest engine ~avoid ()
       in
       Metrics.record_computation (Network.metrics t.net) server ~work ();
       Pr_proto.Probe.computation t.net ~at:server ~work "orwg.synth";
@@ -272,7 +274,7 @@ module Make (V : VARIANT) = struct
     else begin
       (* Preferences require a candidate set to choose from. *)
       let candidates =
-        Policy_route.enumerate db ~n flow ~max_hops:max_route_hops ~limit:500 ()
+        Policy_route.enumerate engine ~max_hops:max_route_hops ~limit:500 ()
         |> List.filter (fun p ->
                List.for_all
                  (fun ad -> not (List.mem ad (Path.transit_ads p)))
@@ -330,8 +332,7 @@ module Make (V : VARIANT) = struct
         in
         let is_endpoint = ad = flow.Flow.src || ad = flow.Flow.dst in
         let admitted =
-          is_endpoint
-          || Transit_policy.allows (local_policy t ad) { Policy_term.flow; prev; next }
+          is_endpoint || local_allows t ad { Policy_term.flow; prev; next }
         in
         if not admitted then Error ad
         else begin
@@ -384,7 +385,7 @@ module Make (V : VARIANT) = struct
                && not
                     (path_supported
                        (Ls_flood.db t.flood t.route_server.(flow.Flow.src))
-                       flow entry.path) ->
+                       ~n:(Graph.n t.graph) flow entry.path) ->
           (* A delegated stub's own (empty) database never triggers the
              on_change revalidation, so it checks against its server's
              database on use. *)
@@ -481,8 +482,7 @@ module Make (V : VARIANT) = struct
           let is_endpoint = at = flow.Flow.src in
           let admitted =
             is_endpoint
-            || Transit_policy.allows (local_policy t at)
-                 { Policy_term.flow; prev = from; next = Some next }
+            || local_allows t at { Policy_term.flow; prev = from; next = Some next }
           in
           if admitted then Packet.Forward next
           else Packet.Drop "policy refused at gateway")

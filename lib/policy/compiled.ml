@@ -1,0 +1,179 @@
+module Bitset = Pr_util.Bitset
+
+(* A compiled AD predicate: membership bits over the AD universe plus a
+   complement flag. [Any] is the complement of the empty set, [Except]
+   the complement of its listed ids — one representation, one probe. *)
+type pred = { bits : Bitset.t; compl : bool }
+
+type cterm = {
+  src : pred;
+  dst : pred;
+  prev : pred;
+  next : pred;
+  qos_mask : int;  (* bit per Qos.index *)
+  uci_mask : int;  (* bit per Uci.index *)
+  hour_mask : int;  (* bit per hour of day, 24 bits *)
+  auth_required : bool;
+}
+
+type t = {
+  n : int;
+  cterms : cterm array;
+  terms : Policy_term.t array;  (* source terms, same order as cterms *)
+  qos_union : int;  (* union of all qos_masks: which QOS the AD carries at all *)
+}
+
+let compile_pred n = function
+  | Policy_term.Any -> { bits = Bitset.create n; compl = true }
+  | Policy_term.Only ids ->
+    let bits = Bitset.create n in
+    Array.iter (fun id -> if id >= 0 && id < n then Bitset.add bits id) ids;
+    { bits; compl = false }
+  | Policy_term.Except ids ->
+    let bits = Bitset.create n in
+    Array.iter (fun id -> if id >= 0 && id < n then Bitset.add bits id) ids;
+    { bits; compl = true }
+
+let qos_mask qos = List.fold_left (fun m q -> m lor (1 lsl Qos.index q)) 0 qos
+
+let uci_mask ucis = List.fold_left (fun m u -> m lor (1 lsl Uci.index u)) 0 ucis
+
+let full_day = (1 lsl 24) - 1
+
+let hour_mask = function
+  | None -> full_day
+  | Some (h1, h2) ->
+    if h1 < h2 then ((1 lsl (h2 - h1)) - 1) lsl h1
+    else if h1 = h2 then 0 (* empty window; unreachable via Policy_term.make *)
+    else (((1 lsl (24 - h1)) - 1) lsl h1) lor ((1 lsl h2) - 1)
+
+let compile_term n (t : Policy_term.t) =
+  {
+    src = compile_pred n t.Policy_term.sources;
+    dst = compile_pred n t.Policy_term.destinations;
+    prev = compile_pred n t.Policy_term.prev_hops;
+    next = compile_pred n t.Policy_term.next_hops;
+    qos_mask = qos_mask t.Policy_term.qos;
+    uci_mask = uci_mask t.Policy_term.ucis;
+    hour_mask = hour_mask t.Policy_term.hours;
+    auth_required = t.Policy_term.auth_required;
+  }
+
+let compile ~n terms =
+  let terms = Array.of_list terms in
+  let cterms = Array.map (compile_term n) terms in
+  let qos_union = Array.fold_left (fun m ct -> m lor ct.qos_mask) 0 cterms in
+  { n; cterms; terms; qos_union }
+
+let term_count t = Array.length t.cterms
+
+(* Ids outside [0, n) carry no bit: they are outside every [Only] and
+   outside every [Except] list, exactly as the interpreted List.mem. *)
+let probe p ad = (ad >= 0 && ad < Bitset.capacity p.bits && Bitset.mem p.bits ad) <> p.compl
+
+let opt_probe p = function
+  | None -> true
+  | Some ad -> probe p ad
+
+let cterm_admits ct (ctx : Policy_term.transit_ctx) =
+  let f = ctx.Policy_term.flow in
+  ct.qos_mask land (1 lsl Qos.index f.Flow.qos) <> 0
+  && ct.uci_mask land (1 lsl Uci.index f.Flow.uci) <> 0
+  && ct.hour_mask land (1 lsl f.Flow.hour) <> 0
+  && ((not ct.auth_required) || f.Flow.authenticated)
+  && probe ct.src f.Flow.src
+  && probe ct.dst f.Flow.dst
+  && opt_probe ct.prev ctx.Policy_term.prev
+  && opt_probe ct.next ctx.Policy_term.next
+
+let allows t ctx =
+  let k = Array.length t.cterms in
+  let i = ref 0 in
+  while !i < k && not (cterm_admits (Array.unsafe_get t.cterms !i) ctx) do
+    incr i
+  done;
+  !i < k
+
+let admitting_term t ctx =
+  let k = Array.length t.cterms in
+  let rec go i =
+    if i >= k then None
+    else if cterm_admits t.cterms.(i) ctx then Some t.terms.(i)
+    else go (i + 1)
+  in
+  go 0
+
+(* Per-flow specialization: resolve every flow-only condition (src,
+   dst, qos, uci, hour, auth) once, keeping just the prev/next preds of
+   the surviving terms. The inner-loop check is then two bitset probes
+   per term with zero allocation. *)
+type spec = { s_prev : pred array; s_next : pred array }
+
+let specialize t (f : Flow.t) =
+  let qbit = 1 lsl Qos.index f.Flow.qos
+  and ubit = 1 lsl Uci.index f.Flow.uci
+  and hbit = 1 lsl f.Flow.hour in
+  let live =
+    Array.to_list t.cterms
+    |> List.filter (fun ct ->
+           ct.qos_mask land qbit <> 0
+           && ct.uci_mask land ubit <> 0
+           && ct.hour_mask land hbit <> 0
+           && ((not ct.auth_required) || f.Flow.authenticated)
+           && probe ct.src f.Flow.src
+           && probe ct.dst f.Flow.dst)
+  in
+  {
+    s_prev = Array.of_list (List.map (fun ct -> ct.prev) live);
+    s_next = Array.of_list (List.map (fun ct -> ct.next) live);
+  }
+
+let spec_term_count s = Array.length s.s_prev
+
+let spec_allows s ~prev ~next =
+  let k = Array.length s.s_prev in
+  let i = ref 0 in
+  while
+    !i < k
+    && not
+         (opt_probe (Array.unsafe_get s.s_prev !i) prev
+         && opt_probe (Array.unsafe_get s.s_next !i) next)
+  do
+    incr i
+  done;
+  !i < k
+
+let supports_qos t q = t.qos_union land (1 lsl Qos.index q) <> 0
+
+let dest_allowed t dst q =
+  let qbit = 1 lsl Qos.index q in
+  let k = Array.length t.cterms in
+  let i = ref 0 in
+  while
+    !i < k
+    && not
+         (let ct = Array.unsafe_get t.cterms !i in
+          ct.qos_mask land qbit <> 0 && probe ct.dst dst)
+  do
+    incr i
+  done;
+  !i < k
+
+let admitted_sources_into t acc ~dst ~qos ~uci ~hour ~auth ~prev ~next =
+  let qbit = 1 lsl Qos.index qos
+  and ubit = 1 lsl Uci.index uci
+  and hbit = 1 lsl hour in
+  Array.iter
+    (fun ct ->
+      if
+        ct.qos_mask land qbit <> 0
+        && ct.uci_mask land ubit <> 0
+        && ct.hour_mask land hbit <> 0
+        && ((not ct.auth_required) || auth)
+        && probe ct.dst dst
+        && opt_probe ct.prev prev
+        && opt_probe ct.next next
+      then
+        if ct.src.compl then Bitset.union_compl_into acc ct.src.bits
+        else Bitset.union_into acc ct.src.bits)
+    t.cterms

@@ -1,0 +1,89 @@
+(** Compiled policy terms: the allocation-free admit engine.
+
+    The interpreted path ({!Transit_policy.allows}) re-walks
+    [Policy_term.t] lists with [List.exists]/[List.mem] on every probe
+    — an O(terms × ids) scan per edge relaxation that dominates
+    restrictive-policy route synthesis. This module compiles a term
+    list once per policy version into flat arrays of bit-level checks:
+
+    - each {!Policy_term.ad_pred} becomes a packed {!Pr_util.Bitset}
+      over AD ids plus a complement flag ([Any] = complement of empty,
+      [Except ids] = complement of [ids]);
+    - QOS and UCI lists become int bitmasks keyed by
+      [Qos.index]/[Uci.index];
+    - the hour window becomes a 24-bit mask ([None] = all hours, wrap
+      windows set both end runs);
+    - a whole term list becomes one [cterm array] probed with a
+      while-loop — no closure, no allocation.
+
+    Compiled admits are equivalent to interpreted admits by
+    construction (the qcheck property in [test/test_policy.ml] pins
+    this), so every consumer may switch freely between the two.
+
+    {!specialize} goes one step further for route synthesis: all
+    flow-only conditions (src, dst, qos, uci, hour, auth) are resolved
+    once per flow, leaving only the prev/next bitset probes of the
+    surviving terms in the Dijkstra inner loop. *)
+
+type pred = { bits : Pr_util.Bitset.t; compl : bool }
+(** [probe] semantics: [ad ∈ bits] XOR [compl]. Ids outside the
+    universe [\[0, n)] are treated as not-in-[bits], which matches the
+    interpreted semantics of [Only]/[Except] lists exactly. *)
+
+type t
+
+val compile : n:int -> Policy_term.t list -> t
+(** [compile ~n terms] compiles [terms] for an internet of [n] ADs.
+    Predicate ids outside [\[0, n)] are dropped from the bitsets (they
+    can never match an in-universe AD). *)
+
+val term_count : t -> int
+
+val probe : pred -> Pr_topology.Ad.id -> bool
+
+val allows : t -> Policy_term.transit_ctx -> bool
+(** Equivalent to {!Transit_policy.allows} on the source terms;
+    allocation-free. *)
+
+val admitting_term : t -> Policy_term.transit_ctx -> Policy_term.t option
+(** Equivalent to {!Transit_policy.admitting_term}: the first source
+    term admitting the crossing (what ORWG cites in a route setup). *)
+
+type spec
+(** A compiled policy specialized to one flow: only the prev/next
+    predicates of terms whose flow-only conditions passed. *)
+
+val specialize : t -> Flow.t -> spec
+
+val spec_term_count : spec -> int
+
+val spec_allows :
+  spec -> prev:Pr_topology.Ad.id option -> next:Pr_topology.Ad.id option -> bool
+(** Equivalent to [allows t {flow; prev; next}] for the flow the spec
+    was built from; two bitset probes per live term. *)
+
+val supports_qos : t -> Qos.t -> bool
+(** Does any term admit this QOS class at all? O(1) against the cached
+    union mask. *)
+
+val dest_allowed : t -> Pr_topology.Ad.id -> Qos.t -> bool
+(** Does some term admit this destination for this QOS (ignoring every
+    other condition)? The ECMA advertisement filter. *)
+
+val admitted_sources_into :
+  t ->
+  Pr_util.Bitset.t ->
+  dst:Pr_topology.Ad.id ->
+  qos:Qos.t ->
+  uci:Uci.t ->
+  hour:int ->
+  auth:bool ->
+  prev:Pr_topology.Ad.id option ->
+  next:Pr_topology.Ad.id option ->
+  unit
+(** Union into the accumulator every source AD [s] for which some term
+    admits a flow [s → dst] with the given class/hour/auth between
+    [prev] and [next] — the IDRP per-destination source mask, computed
+    with one bitset union per passing term instead of an [n × terms]
+    interpreted scan. The accumulator capacity must be the compile-time
+    [n]. *)

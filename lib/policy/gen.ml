@@ -33,8 +33,10 @@ let coarse_terms rng r owner =
     (* Drop some QOS classes. *)
     [ Policy_term.make ~owner ~qos:(sublist rng (1.0 -. r) Qos.all) () ]
   else begin
-    (* Off-hours only window whose width shrinks with restrictiveness. *)
-    let width = Stdlib.max 4 (24 - int_of_float (r *. 20.0)) in
+    (* Off-hours only window whose width shrinks with restrictiveness.
+       Clamp to 23 hours: a width of 24 would wrap to the degenerate
+       (start, start) window, which Policy_term.make rejects. *)
+    let width = Stdlib.min 23 (Stdlib.max 4 (24 - int_of_float (r *. 20.0))) in
     let start = Rng.int rng 24 in
     [ Policy_term.make ~owner ~hours:(start, (start + width) mod 24) () ]
   end
@@ -42,7 +44,7 @@ let coarse_terms rng r owner =
 let destination_terms rng r owner hosts =
   let keep = Stdlib.max 0.1 (1.0 -. r) in
   let dests = sublist rng keep hosts in
-  [ Policy_term.make ~owner ~destinations:(Policy_term.Only (List.sort compare dests)) () ]
+  [ Policy_term.make ~owner ~destinations:(Policy_term.Only (Array.of_list dests)) () ]
 
 let source_specific_terms rng r owner hosts =
   let excluded =
@@ -51,7 +53,7 @@ let source_specific_terms rng r owner hosts =
   match excluded with
   | [] -> [ Policy_term.open_term owner ]
   | _ ->
-    [ Policy_term.make ~owner ~sources:(Policy_term.Except (List.sort compare excluded)) () ]
+    [ Policy_term.make ~owner ~sources:(Policy_term.Except (Array.of_list excluded)) () ]
 
 let fine_terms rng r owner hosts =
   (* One PT per UCI, each admitting a different random slice of
@@ -61,7 +63,7 @@ let fine_terms rng r owner hosts =
       let keep = Stdlib.max 0.15 (1.0 -. r) in
       let sources = sublist rng keep hosts in
       Policy_term.make ~owner
-        ~sources:(Policy_term.Only (List.sort compare sources))
+        ~sources:(Policy_term.Only (Array.of_list sources))
         ~qos:(sublist rng (1.0 -. (r *. 0.5)) Qos.all)
         ~ucis:[ uci ] ())
     Uci.all
@@ -86,8 +88,8 @@ let transit_terms rng p g (ad : Ad.t) hosts =
     if List.length cone <= 1 then []
     else
       [
-        Policy_term.make ~owner ~sources:(Policy_term.Only cone) ();
-        Policy_term.make ~owner ~destinations:(Policy_term.Only cone) ();
+        Policy_term.make ~owner ~sources:(Policy_term.Only (Array.of_list cone)) ();
+        Policy_term.make ~owner ~destinations:(Policy_term.Only (Array.of_list cone)) ();
       ]
   in
   match ad.Ad.klass with
@@ -95,7 +97,8 @@ let transit_terms rng p g (ad : Ad.t) hosts =
     (* Hybrids only ever offer limited transit: scope every base term
        to a destination subset; their customers stay fully served. *)
     let scope = sublist rng 0.4 hosts in
-    let dests = Policy_term.Only (List.sort compare scope) in
+    (* Sorted by hand: the record update below bypasses Policy_term.make. *)
+    let dests = Policy_term.sort_pred (Policy_term.Only (Array.of_list scope)) in
     let scoped =
       List.map
         (fun (t : Policy_term.t) ->

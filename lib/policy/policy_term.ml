@@ -1,14 +1,40 @@
-type ad_pred = Any | Only of Pr_topology.Ad.id list | Except of Pr_topology.Ad.id list
+type ad_pred =
+  | Any
+  | Only of Pr_topology.Ad.id array
+  | Except of Pr_topology.Ad.id array
+
+(* Predicate id arrays are kept sorted (by [make] / [sort_pred]) so
+   membership is a binary search, not a linear scan. Duplicates are
+   tolerated — they only cost bytes, never correctness. *)
+let ids_mem ids ad =
+  let lo = ref 0 and hi = ref (Array.length ids) and found = ref false in
+  while (not !found) && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = Array.unsafe_get ids mid in
+    if v = ad then found := true else if v < ad then lo := mid + 1 else hi := mid
+  done;
+  !found
+
+let sort_pred = function
+  | Any -> Any
+  | Only ids ->
+    let ids = Array.copy ids in
+    Array.sort compare ids;
+    Only ids
+  | Except ids ->
+    let ids = Array.copy ids in
+    Array.sort compare ids;
+    Except ids
 
 let pred_admits pred ad =
   match pred with
   | Any -> true
-  | Only ids -> List.mem ad ids
-  | Except ids -> not (List.mem ad ids)
+  | Only ids -> ids_mem ids ad
+  | Except ids -> not (ids_mem ids ad)
 
 let pred_size = function
   | Any -> 0
-  | Only ids | Except ids -> List.length ids
+  | Only ids | Except ids -> Array.length ids
 
 type t = {
   owner : Pr_topology.Ad.id;
@@ -43,8 +69,19 @@ let make ~owner ?(sources = Any) ?(destinations = Any) ?(prev_hops = Any)
   (match hours with
   | Some (h1, h2) when h1 < 0 || h1 >= 24 || h2 < 0 || h2 >= 24 ->
     invalid_arg "Policy_term.make: hour out of range"
+  | Some (h1, h2) when h1 = h2 -> invalid_arg "Policy_term.make: empty hour window"
   | _ -> ());
-  { owner; sources; destinations; prev_hops; next_hops; qos; ucis; hours; auth_required }
+  {
+    owner;
+    sources = sort_pred sources;
+    destinations = sort_pred destinations;
+    prev_hops = sort_pred prev_hops;
+    next_hops = sort_pred next_hops;
+    qos;
+    ucis;
+    hours;
+    auth_required;
+  }
 
 type transit_ctx = {
   flow : Flow.t;
@@ -79,20 +116,15 @@ let advertisement_bytes t =
   + (2 * (pred_size t.sources + pred_size t.destinations + pred_size t.prev_hops
          + pred_size t.next_hops))
 
+let pp_ids ppf ids =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+    Format.pp_print_int ppf (Array.to_list ids)
+
 let pp_pred ppf = function
   | Any -> Format.pp_print_string ppf "any"
-  | Only ids ->
-    Format.fprintf ppf "only{%a}"
-      (Format.pp_print_list
-         ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
-         Format.pp_print_int)
-      ids
-  | Except ids ->
-    Format.fprintf ppf "except{%a}"
-      (Format.pp_print_list
-         ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
-         Format.pp_print_int)
-      ids
+  | Only ids -> Format.fprintf ppf "only{%a}" pp_ids ids
+  | Except ids -> Format.fprintf ppf "except{%a}" pp_ids ids
 
 let pp ppf t =
   Format.fprintf ppf "PT[ad %d: src=%a dst=%a prev=%a next=%a qos=%d uci=%d%s%s]" t.owner

@@ -10,13 +10,22 @@
 
 type ad_pred =
   | Any
-  | Only of Pr_topology.Ad.id list  (** sorted; admits only listed ADs *)
-  | Except of Pr_topology.Ad.id list  (** sorted; admits all but listed ADs *)
+  | Only of Pr_topology.Ad.id array
+      (** sorted ascending; admits only listed ADs *)
+  | Except of Pr_topology.Ad.id array
+      (** sorted ascending; admits all but listed ADs *)
 
 val pred_admits : ad_pred -> Pr_topology.Ad.id -> bool
+(** Binary search over the sorted id array — O(log n) per probe. The
+    array must be sorted; predicates built by {!make} always are. *)
 
 val pred_size : ad_pred -> int
 (** Number of AD ids carried, for advertisement byte accounting. *)
+
+val sort_pred : ad_pred -> ad_pred
+(** Sorted copy of the predicate (identity for [Any]). Callers that
+    build terms by record update instead of {!make} must sort their
+    payloads — unsorted arrays break {!pred_admits}. *)
 
 type t = {
   owner : Pr_topology.Ad.id;  (** the advertising transit AD *)
@@ -27,8 +36,8 @@ type t = {
   qos : Qos.t list;  (** admitted service classes (non-empty) *)
   ucis : Uci.t list;  (** admitted user classes (non-empty) *)
   hours : (int * int) option;
-      (** admitted half-open hour window [(h1, h2)]; wraps past
-          midnight when [h1 > h2]; [None] = always *)
+      (** admitted half-open hour window [(h1, h2)] with [h1 <> h2];
+          wraps past midnight when [h1 > h2]; [None] = always *)
   auth_required : bool;
 }
 
@@ -48,7 +57,11 @@ val make :
   unit ->
   t
 (** Unspecified fields default to the open term's. [qos]/[ucis] must be
-    non-empty. *)
+    non-empty. Predicate id arrays are sorted here so every later
+    membership test can binary-search. A degenerate hour window
+    [Some (h, h)] would admit nothing at any hour — a PT that can never
+    fire — so it is rejected ([Invalid_argument]); callers wanting
+    "always" pass [None], callers wanting "never" advertise no PT. *)
 
 type transit_ctx = {
   flow : Flow.t;
@@ -64,6 +77,10 @@ val admits : t -> transit_ctx -> bool
     predicate (there is no hop to constrain). *)
 
 val hour_in_window : (int * int) option -> int -> bool
+(** [None] admits every hour; [Some (h1, h2)] admits the half-open
+    window [\[h1, h2)], wrapping past midnight when [h1 > h2]. The
+    degenerate [Some (h, h)] is the empty window (admits no hour);
+    {!make} refuses to build such a term. *)
 
 val advertisement_bytes : t -> int
 (** Size of this PT in a link-state advertisement under the byte model

@@ -1,4 +1,7 @@
-type t = { owner : Pr_topology.Ad.id; terms : Policy_term.t list }
+type t = { owner : Pr_topology.Ad.id; terms : Policy_term.t list; bytes : int }
+
+let sum_bytes terms =
+  List.fold_left (fun acc term -> acc + Policy_term.advertisement_bytes term) 0 terms
 
 let make owner terms =
   List.iter
@@ -6,11 +9,11 @@ let make owner terms =
       if term.Policy_term.owner <> owner then
         invalid_arg "Transit_policy.make: term owner mismatch")
     terms;
-  { owner; terms }
+  { owner; terms; bytes = sum_bytes terms }
 
-let no_transit owner = { owner; terms = [] }
+let no_transit owner = { owner; terms = []; bytes = 0 }
 
-let open_transit owner = { owner; terms = [ Policy_term.open_term owner ] }
+let open_transit owner = make owner [ Policy_term.open_term owner ]
 
 let allows t ctx = List.exists (fun term -> Policy_term.admits term ctx) t.terms
 
@@ -18,8 +21,7 @@ let admitting_term t ctx = List.find_opt (fun term -> Policy_term.admits term ct
 
 let term_count t = List.length t.terms
 
-let advertisement_bytes t =
-  List.fold_left (fun acc term -> acc + Policy_term.advertisement_bytes term) 0 t.terms
+let advertisement_bytes t = t.bytes
 
 let pp ppf t =
   Format.fprintf ppf "policy(ad %d, %d terms)" t.owner (List.length t.terms)

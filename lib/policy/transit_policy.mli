@@ -6,7 +6,11 @@
     AD with no PTs never carries transit traffic — that is precisely a
     stub (or multihomed stub) AD. *)
 
-type t = { owner : Pr_topology.Ad.id; terms : Policy_term.t list }
+type t = {
+  owner : Pr_topology.Ad.id;
+  terms : Policy_term.t list;
+  bytes : int;  (** cached {!advertisement_bytes}, computed at construction *)
+}
 
 val make : Pr_topology.Ad.id -> Policy_term.t list -> t
 (** @raise Invalid_argument if some term's owner differs. *)
@@ -26,6 +30,8 @@ val admitting_term : t -> Policy_term.transit_ctx -> Policy_term.t option
 val term_count : t -> int
 
 val advertisement_bytes : t -> int
-(** Total bytes to advertise every PT of this AD. *)
+(** Total bytes to advertise every PT of this AD. O(1): the sum is
+    computed once when the policy is built, not re-folded per
+    advertisement. *)
 
 val pp : Format.formatter -> t -> unit

@@ -11,16 +11,32 @@ type verdict =
   | Source_refused
   | Broken of string
 
-(* Check every interior crossing of the path against its AD's PTs. *)
+(* Check every interior crossing of the path against its AD's PTs,
+   through the shared compiled-policy store. *)
 let transit_verdict config flow path =
+  let store = Policy_store.of_config config in
   let rec scan = function
     | prev :: ad :: next :: rest ->
       let ctx = { Policy_term.flow; prev = Some prev; next = Some next } in
-      if Transit_policy.allows (Config.transit config ad) ctx then scan (ad :: next :: rest)
+      if Policy_store.allows store ad ctx then scan (ad :: next :: rest)
       else Transit_refused { ad; prev = Some prev; next = Some next }
     | _ -> Legal
   in
   scan path
+
+(* Per-flow specialized engines, one per AD, built lazily: route
+   search probes the same few transit ADs thousands of times for one
+   flow, so resolve the flow-only conditions once per AD. *)
+let spec_table config flow =
+  let store = Policy_store.of_config config in
+  let specs = Array.make (Policy_store.n store) None in
+  fun ad ->
+    match specs.(ad) with
+    | Some s -> s
+    | None ->
+      let s = Compiled.specialize (Policy_store.compiled store ad) flow in
+      specs.(ad) <- Some s;
+      s
 
 let check g config flow path =
   if not (Path.is_valid g path) then Broken "not a simple path in the graph"
@@ -44,6 +60,7 @@ let legal g config flow path = check g config flow path = Legal
 
 let legal_paths g config flow ~max_hops ?(limit = 10_000) () =
   let src = flow.Flow.src and dst = flow.Flow.dst in
+  let spec_for = spec_table config flow in
   let results = ref [] in
   let count = ref 0 in
   let on_path = Array.make (Graph.n g) false in
@@ -59,9 +76,7 @@ let legal_paths g config flow ~max_hops ?(limit = 10_000) () =
         Graph.iter_neighbor_ids g u ~f:(fun v ->
             if not on_path.(v) then begin
               let u_ok =
-                u = src
-                || Transit_policy.allows (Config.transit config u)
-                     { Policy_term.flow; prev; next = Some v }
+                u = src || Compiled.spec_allows (spec_for u) ~prev ~next:(Some v)
               in
               if u_ok then begin
                 on_path.(v) <- true;
@@ -87,6 +102,7 @@ let shortest_legal_dijkstra g config flow ~avoid =
   if src = dst then Some [ src ]
   else begin
     let module Pqueue = Pr_util.Pqueue in
+    let spec_for = spec_table config flow in
     let size = n * n in
     let dist = Array.make size infinity in
     let parent = Array.make size (-1) in
@@ -116,9 +132,7 @@ let shortest_legal_dijkstra g config flow ~avoid =
             Graph.iter_neighbors g v ~f:(fun w lid ->
                 if w <> src then begin
                   let interior_ok =
-                    v = src
-                    || Transit_policy.allows (Config.transit config v)
-                         { Policy_term.flow; prev; next = Some w }
+                    v = src || Compiled.spec_allows (spec_for v) ~prev ~next:(Some w)
                   in
                   let avoid_ok = w = dst || not avoid_arr.(w) in
                   if interior_ok && avoid_ok then begin

@@ -63,12 +63,8 @@ let changed t ad =
 let originate t ad =
   t.seqs.(ad) <- t.seqs.(ad) + 1;
   let lsa =
-    {
-      Lsdb.origin = ad;
-      seq = t.seqs.(ad);
-      adjacencies = current_adjacencies t ad;
-      terms = t.terms_for ad;
-    }
+    Lsdb.make_lsa ~origin:ad ~seq:t.seqs.(ad)
+      ~adjacencies:(current_adjacencies t ad) ~terms:(t.terms_for ad)
   in
   if Lsdb.insert t.dbs.(ad) lsa then changed t ad;
   flood_from t ad lsa

@@ -5,21 +5,28 @@ type lsa = {
   seq : int;
   adjacencies : adjacency list;
   terms : Pr_policy.Policy_term.t list;
+  bytes : int;
+  mutable compiled : Pr_policy.Compiled.t option;
 }
 
-let lsa_bytes lsa =
+let make_lsa ~origin ~seq ~adjacencies ~terms =
   let pt_bytes =
     List.fold_left
       (fun acc t -> acc + Pr_policy.Policy_term.advertisement_bytes t)
-      0 lsa.terms
+      0 terms
   in
   (* 2 extra bytes per adjacency for the delay metric. *)
-  Cost_model.lsa_bytes ~link_count:(List.length lsa.adjacencies) ~pt_bytes
-  + (2 * List.length lsa.adjacencies)
+  let bytes =
+    Cost_model.lsa_bytes ~link_count:(List.length adjacencies) ~pt_bytes
+    + (2 * List.length adjacencies)
+  in
+  { origin; seq; adjacencies; terms; bytes; compiled = None }
 
-type t = { store : lsa option array }
+let lsa_bytes lsa = lsa.bytes
 
-let create ~n = { store = Array.make n None }
+type t = { store : lsa option array; empty_terms : Pr_policy.Compiled.t }
+
+let create ~n = { store = Array.make n None; empty_terms = Pr_policy.Compiled.compile ~n [] }
 
 let seq_of t origin =
   match t.store.(origin) with
@@ -77,6 +84,17 @@ let terms_of t origin =
   match t.store.(origin) with
   | None -> []
   | Some lsa -> lsa.terms
+
+let compiled_of t origin =
+  match t.store.(origin) with
+  | None -> t.empty_terms
+  | Some lsa -> (
+    match lsa.compiled with
+    | Some c -> c
+    | None ->
+      let c = Pr_policy.Compiled.compile ~n:(Array.length t.store) lsa.terms in
+      lsa.compiled <- Some c;
+      c)
 
 let entry_count t =
   Array.fold_left (fun acc slot -> if slot = None then acc else acc + 1) 0 t.store

@@ -18,10 +18,25 @@ type lsa = {
   seq : int;
   adjacencies : adjacency list;  (** up links only *)
   terms : Pr_policy.Policy_term.t list;  (** empty in non-policy protocols *)
+  bytes : int;  (** cached {!lsa_bytes}, computed at construction *)
+  mutable compiled : Pr_policy.Compiled.t option;
+      (** lazily compiled [terms]; LSA values are physically shared
+          across every AD's database copy by flooding, so one
+          origination compiles at most once per internet *)
 }
 
+val make_lsa :
+  origin:Pr_topology.Ad.id ->
+  seq:int ->
+  adjacencies:adjacency list ->
+  terms:Pr_policy.Policy_term.t list ->
+  lsa
+(** The only way to build an LSA: computes the byte size once and
+    leaves compilation lazy. *)
+
 val lsa_bytes : lsa -> int
-(** Advertisement size under {!Cost_model}. *)
+(** Advertisement size under {!Cost_model}. O(1): cached by
+    {!make_lsa}. *)
 
 type t
 (** One AD's copy of the database. *)
@@ -59,6 +74,11 @@ val bidirectional_metric :
 
 val terms_of : t -> Pr_topology.Ad.id -> Pr_policy.Policy_term.t list
 (** Stored policy terms for the AD ([] when unknown). *)
+
+val compiled_of : t -> Pr_topology.Ad.id -> Pr_policy.Compiled.t
+(** Compiled form of [terms_of] (an empty compilation when unknown).
+    Compiles on first use and caches in the LSA itself, so the cost is
+    paid once per origination, not once per database copy. *)
 
 val entry_count : t -> int
 (** Number of stored LSAs — the database footprint gauge. *)

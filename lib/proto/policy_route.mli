@@ -9,39 +9,61 @@
 
     Because admission of an interior AD depends on both its
     predecessor and successor, shortest-path search runs over
-    (node, arrived-from) states rather than nodes. *)
+    (node, arrived-from) states rather than nodes.
+
+    All searches run through an {!engine}: a per-flow view of the
+    database that resolves each AD's flow-only policy conditions once
+    ({!Pr_policy.Compiled.specialize}) and leaves only prev/next
+    bitset probes in the relaxation inner loop. *)
+
+type engine
+(** A flow-specialized admission engine over one database snapshot.
+    Cheap to build (one small array); per-AD specializations are
+    compiled lazily on first probe. Build a fresh engine per (flow,
+    database-version) — callers already keyed on
+    {!Ls_flood.db_version} for their route caches get this for free. *)
+
+val engine : Lsdb.t -> n:int -> Pr_policy.Flow.t -> engine
+
+val engine_flow : engine -> Pr_policy.Flow.t
 
 val admits :
-  Lsdb.t ->
+  engine ->
   Pr_topology.Ad.id ->
-  Pr_policy.Flow.t ->
   prev:Pr_topology.Ad.id option ->
   next:Pr_topology.Ad.id option ->
   bool
 (** Does some advertised PT of the AD admit this crossing, according
-    to the database. *)
+    to the database the engine wraps. *)
+
+val path_admitted : engine -> Pr_topology.Path.t -> bool
+(** Every interior crossing of the path is admitted — what ORWG checks
+    before re-using a cached source route. *)
+
+val force_interpreted : bool ref
+(** When true, {!admits} (and so every search) re-interprets the raw
+    [Policy_term.t] lists with [List.exists] instead of probing the
+    compiled specialization — the pre-compilation code path, kept
+    alive so the policy-admit microbenchmark can compare both in one
+    binary. Defaults to false; do not set outside [bench]. *)
 
 val shortest :
-  Lsdb.t ->
-  n:int ->
-  Pr_policy.Flow.t ->
+  engine ->
   ?avoid:Pr_topology.Ad.id list ->
   unit ->
-  (Pr_topology.Path.t option * int)
-(** Minimum-cost policy-legal path for the flow (links must be
-    advertised in both directions). [avoid] excludes interior ADs
+  Pr_topology.Path.t option * int
+(** Minimum-cost policy-legal path for the engine's flow (links must
+    be advertised in both directions). [avoid] excludes interior ADs
     (the source's own criteria). Returns the path and the search work
     (states settled), the unit charged to {!Pr_sim.Metrics} as
     computation. *)
 
 val shortest_pruned :
-  Lsdb.t ->
-  n:int ->
+  engine ->
   ranks:int array ->
-  Pr_policy.Flow.t ->
   ?avoid:Pr_topology.Ad.id list ->
   unit ->
-  (Pr_topology.Path.t option * int)
+  Pr_topology.Path.t option * int
 (** Synthesis pruning heuristic (paper §6: "heuristics for pruning
     precomputations and for focusing on-demand computations"): an
     {e optimistic} node-level Dijkstra that checks admission per AD
@@ -54,9 +76,7 @@ val shortest_pruned :
     route and the combined search work. *)
 
 val enumerate :
-  Lsdb.t ->
-  n:int ->
-  Pr_policy.Flow.t ->
+  engine ->
   max_hops:int ->
   ?limit:int ->
   unit ->

@@ -78,6 +78,21 @@ let union_into dst src =
     Bytes.set dst.words i (Char.chr b)
   done
 
+let union_compl_into dst src =
+  same_capacity dst src;
+  let bytes = Bytes.length dst.words in
+  for i = 0 to bytes - 1 do
+    let b = Char.code (Bytes.get dst.words i) lor (lnot (Char.code (Bytes.get src.words i)) land 0xff) in
+    Bytes.set dst.words i (Char.chr b)
+  done;
+  (* Mask off the spare high bits of the final byte: members past
+     [capacity] must never appear, or cardinal/equal would lie. *)
+  if bytes > 0 && dst.capacity land 7 <> 0 then begin
+    let mask = (1 lsl (dst.capacity land 7)) - 1 in
+    let b = Char.code (Bytes.get dst.words (bytes - 1)) land mask in
+    Bytes.set dst.words (bytes - 1) (Char.chr b)
+  end
+
 let inter_into dst src =
   same_capacity dst src;
   for i = 0 to Bytes.length dst.words - 1 do

@@ -38,6 +38,12 @@ val union_into : t -> t -> unit
 (** [union_into dst src] adds every member of [src] to [dst]. The two
     sets must have equal capacity. *)
 
+val union_compl_into : t -> t -> unit
+(** [union_compl_into dst src] adds to [dst] every member of the
+    universe that is {e not} in [src] (i.e. [dst := dst ∪ ¬src]). The
+    two sets must have equal capacity. Used when folding complemented
+    ([Except]-style) predicates into an accumulator set. *)
+
 val inter_into : t -> t -> unit
 (** [inter_into dst src] removes from [dst] everything not in [src]. *)
 

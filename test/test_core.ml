@@ -158,10 +158,10 @@ let codec_term_fields_roundtrip () =
      admission behaviour. *)
   let term =
     Pr_policy.Policy_term.make ~owner:3
-      ~sources:(Pr_policy.Policy_term.Only [ 1; 2; 7 ])
-      ~destinations:(Pr_policy.Policy_term.Except [ 4 ])
-      ~prev_hops:(Pr_policy.Policy_term.Only [ 0 ])
-      ~next_hops:(Pr_policy.Policy_term.Except [ 5; 6 ])
+      ~sources:(Pr_policy.Policy_term.Only [| 1; 2; 7 |])
+      ~destinations:(Pr_policy.Policy_term.Except [| 4 |])
+      ~prev_hops:(Pr_policy.Policy_term.Only [| 0 |])
+      ~next_hops:(Pr_policy.Policy_term.Except [| 5; 6 |])
       ~qos:[ Pr_policy.Qos.Low_delay; Pr_policy.Qos.Default ]
       ~ucis:[ Pr_policy.Uci.Commercial ]
       ~hours:(22, 6) ~auth_required:true ()

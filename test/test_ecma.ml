@@ -174,7 +174,7 @@ let ecma_cannot_express_source_policy () =
           Pr_policy.Transit_policy.make 0
             [
               Pr_policy.Policy_term.make ~owner:0
-                ~sources:(Pr_policy.Policy_term.Except [ 7 ]) ();
+                ~sources:(Pr_policy.Policy_term.Except [| 7 |]) ();
             ]
         else if Ad.is_transit_capable a then Pr_policy.Transit_policy.open_transit a.Ad.id
         else Pr_policy.Transit_policy.no_transit a.Ad.id)
@@ -252,9 +252,9 @@ let intent_config g =
           Pr_policy.Transit_policy.make 2
             [
               Pr_policy.Policy_term.make ~owner:2
-                ~sources:(Pr_policy.Policy_term.Only [ 4 ]) ();
+                ~sources:(Pr_policy.Policy_term.Only [| 4 |]) ();
               Pr_policy.Policy_term.make ~owner:2
-                ~destinations:(Pr_policy.Policy_term.Only [ 4 ]) ();
+                ~destinations:(Pr_policy.Policy_term.Only [| 4 |]) ();
             ]
         else if Ad.is_transit_capable a then Pr_policy.Transit_policy.open_transit a.Ad.id
         else Pr_policy.Transit_policy.no_transit a.Ad.id)

@@ -94,7 +94,7 @@ let refusing_config g ~refuser ~refused_source =
       (fun (a : Ad.t) ->
         if a.Ad.id = refuser then
           Transit_policy.make refuser
-            [ Policy_term.make ~owner:refuser ~sources:(Policy_term.Except [ refused_source ]) () ]
+            [ Policy_term.make ~owner:refuser ~sources:(Policy_term.Except [| refused_source |]) () ]
         else if Ad.is_transit_capable a then Transit_policy.open_transit a.Ad.id
         else Transit_policy.no_transit a.Ad.id)
       (Graph.ads g)

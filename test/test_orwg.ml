@@ -119,7 +119,7 @@ let orwg_gateway_validates_setup () =
       (fun (a : Ad.t) ->
         if a.Ad.id = 0 then
           Transit_policy.make 0
-            [ Policy_term.make ~owner:0 ~sources:(Policy_term.Except [ 7 ]) () ]
+            [ Policy_term.make ~owner:0 ~sources:(Policy_term.Except [| 7 |]) () ]
         else if Ad.is_transit_capable a then Transit_policy.open_transit a.Ad.id
         else Transit_policy.no_transit a.Ad.id)
       (Graph.ads g)
@@ -260,7 +260,7 @@ let orwg_policy_change_stale_retry () =
      rest of the internet is stale until the LSA flood completes. *)
   Orwg.Orwg.set_policy (R.protocol r)
     (Transit_policy.make 1
-       [ Policy_term.make ~owner:1 ~sources:(Policy_term.Except [ 7 ]) () ]);
+       [ Policy_term.make ~owner:1 ~sources:(Policy_term.Except [| 7 |]) () ]);
   (* Do NOT converge: 7's route server still believes BB2 is open. Its
      preferred route for 7->10 crosses BB2; the setup is refused and the
      retry synthesizes around it via the R2-R3 lateral. *)

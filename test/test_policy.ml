@@ -1,6 +1,7 @@
 (* Unit and property tests for pr_policy. *)
 
 module Rng = Pr_util.Rng
+module Bitset = Pr_util.Bitset
 module Ad = Pr_topology.Ad
 module Graph = Pr_topology.Graph
 module Figure1 = Pr_topology.Figure1
@@ -13,6 +14,8 @@ module Source_policy = Pr_policy.Source_policy
 module Config = Pr_policy.Config
 module Gen = Pr_policy.Gen
 module Validate = Pr_policy.Validate
+module Compiled = Pr_policy.Compiled
+module Policy_store = Pr_policy.Policy_store
 
 let check_int = Alcotest.(check int)
 
@@ -80,17 +83,17 @@ let pt_open () =
   check_bool "admits none endpoints" true (Policy_term.admits t (ctx ()))
 
 let pt_source_pred () =
-  let t = Policy_term.make ~owner:5 ~sources:(Policy_term.Only [ 1; 2 ]) () in
+  let t = Policy_term.make ~owner:5 ~sources:(Policy_term.Only [| 1; 2 |]) () in
   check_bool "admits listed source" true (Policy_term.admits t (ctx ~src:1 ()));
   check_bool "rejects other source" false (Policy_term.admits t (ctx ~src:3 ()));
-  let e = Policy_term.make ~owner:5 ~sources:(Policy_term.Except [ 1 ]) () in
+  let e = Policy_term.make ~owner:5 ~sources:(Policy_term.Except [| 1 |]) () in
   check_bool "except rejects listed" false (Policy_term.admits e (ctx ~src:1 ()));
   check_bool "except admits others" true (Policy_term.admits e (ctx ~src:3 ()))
 
 let pt_hop_preds () =
   let t =
-    Policy_term.make ~owner:5 ~prev_hops:(Policy_term.Only [ 7 ])
-      ~next_hops:(Policy_term.Except [ 8 ]) ()
+    Policy_term.make ~owner:5 ~prev_hops:(Policy_term.Only [| 7 |])
+      ~next_hops:(Policy_term.Except [| 8 |]) ()
   in
   check_bool "good hops" true (Policy_term.admits t (ctx ~prev:7 ~next:9 ()));
   check_bool "bad prev" false (Policy_term.admits t (ctx ~prev:6 ~next:9 ()));
@@ -125,7 +128,7 @@ let pt_bytes () =
   let open_bytes = Policy_term.advertisement_bytes (Policy_term.open_term 1) in
   let listed =
     Policy_term.advertisement_bytes
-      (Policy_term.make ~owner:1 ~sources:(Policy_term.Only [ 1; 2; 3 ]) ())
+      (Policy_term.make ~owner:1 ~sources:(Policy_term.Only [| 1; 2; 3 |]) ())
   in
   check_bool "listing sources costs bytes" true (listed = open_bytes + 6)
 
@@ -343,9 +346,9 @@ let gen_pred =
     frequency
       [
         (2, return Policy_term.Any);
-        (1, map (fun l -> Policy_term.Only (List.sort_uniq compare l))
+        (1, map (fun l -> Policy_term.Only (Array.of_list (List.sort_uniq compare l)))
              (list_size (int_range 1 5) (int_range 0 13)));
-        (1, map (fun l -> Policy_term.Except (List.sort_uniq compare l))
+        (1, map (fun l -> Policy_term.Except (Array.of_list (List.sort_uniq compare l)))
              (list_size (int_range 1 5) (int_range 0 13)));
       ])
 
@@ -375,8 +378,8 @@ let pt_only_except_complement =
     (QCheck.make QCheck.Gen.(pair (list_size (int_range 0 6) (int_range 0 13)) gen_ctx))
     (fun (ids, ctx) ->
       let ids = List.sort_uniq compare ids in
-      let only = Policy_term.make ~owner:5 ~sources:(Policy_term.Only ids) () in
-      let except = Policy_term.make ~owner:5 ~sources:(Policy_term.Except ids) () in
+      let only = Policy_term.make ~owner:5 ~sources:(Policy_term.Only (Array.of_list ids)) () in
+      let except = Policy_term.make ~owner:5 ~sources:(Policy_term.Except (Array.of_list ids)) () in
       Policy_term.admits only ctx <> Policy_term.admits except ctx)
 
 let pt_restriction_monotone =
@@ -429,6 +432,165 @@ let oracle_dijkstra_matches_enumeration =
         Validate.transit_legal g c flow p
         && Pr_topology.Path.cost g p = Some best_enumerated)
 
+(* --- Compiled engine ------------------------------------------------ *)
+
+(* The compiled engine's whole contract is observational equivalence
+   with the interpreted term walk, so these properties generate term
+   lists that hit every compilation edge: empty Only/Except arrays,
+   out-of-universe ids (dropped from the bitsets), unsorted duplicate
+   id lists (sorted by [make], duplicates kept for byte accounting),
+   wrap-around hour windows, and auth-required terms. *)
+
+let universe = 14
+
+let gen_pred_full =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, return Policy_term.Any);
+        (1, return (Policy_term.Only [||]));
+        (1, return (Policy_term.Except [||]));
+        ( 3,
+          map
+            (fun l -> Policy_term.Only (Array.of_list l))
+            (list_size (int_range 1 6) (int_range 0 20)) );
+        ( 3,
+          map
+            (fun l -> Policy_term.Except (Array.of_list l))
+            (list_size (int_range 1 6) (int_range 0 20)) );
+      ])
+
+let gen_subset all =
+  QCheck.Gen.(
+    map
+      (fun mask ->
+        match List.filteri (fun i _ -> (mask lsr i) land 1 = 1) all with
+        | [] -> all
+        | l -> l)
+      (int_range 0 ((1 lsl List.length all) - 1)))
+
+let gen_hours =
+  QCheck.Gen.(
+    frequency
+      [
+        (2, return None);
+        ( 3,
+          map2
+            (fun a b -> if a = b then None else Some (a, b))
+            (int_range 0 23) (int_range 0 23) );
+      ])
+
+let gen_term =
+  QCheck.Gen.(
+    map
+      (fun ((src, dst, prev, next), qos, ucis, (hours, auth)) ->
+        Policy_term.make ~owner:5 ~sources:src ~destinations:dst ~prev_hops:prev
+          ~next_hops:next ~qos ~ucis ?hours ~auth_required:auth ())
+      (tup4
+         (tup4 gen_pred_full gen_pred_full gen_pred_full gen_pred_full)
+         (gen_subset Qos.all) (gen_subset Uci.all)
+         (tup2 gen_hours bool)))
+
+let gen_terms = QCheck.Gen.(list_size (int_range 0 5) gen_term)
+
+let compiled_allows_matches_interpreted =
+  QCheck.Test.make ~name:"Compiled.allows agrees with Transit_policy.allows" ~count:500
+    (QCheck.make QCheck.Gen.(pair gen_terms gen_ctx))
+    (fun (terms, ctx) ->
+      let policy = Transit_policy.make 5 terms in
+      let compiled = Compiled.compile ~n:universe terms in
+      Compiled.allows compiled ctx = Transit_policy.allows policy ctx)
+
+let compiled_admitting_term_matches =
+  QCheck.Test.make ~name:"Compiled.admitting_term picks the same term" ~count:300
+    (QCheck.make QCheck.Gen.(pair gen_terms gen_ctx))
+    (fun (terms, ctx) ->
+      let policy = Transit_policy.make 5 terms in
+      let compiled = Compiled.compile ~n:universe terms in
+      Compiled.admitting_term compiled ctx = Transit_policy.admitting_term policy ctx)
+
+let spec_matches_full_probe =
+  QCheck.Test.make ~name:"flow-specialized probe agrees with the full compiled probe"
+    ~count:500
+    (QCheck.make QCheck.Gen.(pair gen_terms gen_ctx))
+    (fun (terms, ctx) ->
+      let compiled = Compiled.compile ~n:universe terms in
+      let spec = Compiled.specialize compiled ctx.Policy_term.flow in
+      Compiled.spec_allows spec ~prev:ctx.Policy_term.prev ~next:ctx.Policy_term.next
+      = Compiled.allows compiled ctx)
+
+let admitted_sources_matches_scan =
+  QCheck.Test.make
+    ~name:"admitted_sources_into equals the per-source interpreted scan" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         tup5 gen_terms (int_range 0 13)
+           (tup2 (int_range 0 (Qos.count - 1)) (int_range 0 (Uci.count - 1)))
+           (int_range (-1) 13) (int_range (-1) 13)))
+    (fun (terms, dst, (qi, ui), prev, next) ->
+      let qos = Qos.of_index qi and uci = Uci.of_index ui in
+      let prev = if prev < 0 then None else Some prev in
+      let next = if next < 0 then None else Some next in
+      let compiled = Compiled.compile ~n:universe terms in
+      let acc = Bitset.create universe in
+      Compiled.admitted_sources_into compiled acc ~dst ~qos ~uci ~hour:12 ~auth:false
+        ~prev ~next;
+      let policy = Transit_policy.make 5 terms in
+      List.for_all
+        (fun src ->
+          let flow = Flow.make ~src ~dst ~qos ~uci () in
+          Bitset.mem acc src
+          = Transit_policy.allows policy { Policy_term.flow; prev; next })
+        (List.init universe Fun.id))
+
+let pt_hours_degenerate () =
+  Alcotest.check_raises "empty window rejected"
+    (Invalid_argument "Policy_term.make: empty hour window") (fun () ->
+      ignore (Policy_term.make ~owner:5 ~hours:(7, 7) ()));
+  for h = 0 to 23 do
+    check_bool "degenerate window admits no hour" false
+      (Policy_term.hour_in_window (Some (3, 3)) h)
+  done;
+  (* Wrap-around window: inside on both sides of midnight, outside
+     in the middle of the day. *)
+  check_bool "wrap before midnight" true (Policy_term.hour_in_window (Some (22, 6)) 23);
+  check_bool "wrap after midnight" true (Policy_term.hour_in_window (Some (22, 6)) 5);
+  check_bool "wrap end exclusive" false (Policy_term.hour_in_window (Some (22, 6)) 6);
+  check_bool "wrap midday outside" false (Policy_term.hour_in_window (Some (22, 6)) 12)
+
+let transit_bytes_cached () =
+  let t1 = Policy_term.make ~owner:3 ~sources:(Policy_term.Only [| 4; 1; 2 |]) () in
+  let t2 = Policy_term.make ~owner:3 ~destinations:(Policy_term.Except [| 9 |]) () in
+  (* Pinned PT sizes: 8-byte fixed part + 2 bytes per listed id. *)
+  check_int "3-id predicate" (8 + (2 * 3)) (Policy_term.advertisement_bytes t1);
+  check_int "1-id predicate" (8 + (2 * 1)) (Policy_term.advertisement_bytes t2);
+  let p = Transit_policy.make 3 [ t1; t2 ] in
+  check_int "cached policy bytes are the term sum"
+    (Policy_term.advertisement_bytes t1 + Policy_term.advertisement_bytes t2)
+    (Transit_policy.advertisement_bytes p);
+  check_int "no_transit advertises nothing" 0
+    (Transit_policy.advertisement_bytes (Transit_policy.no_transit 1))
+
+let store_memo_and_version () =
+  let g = Figure1.graph () in
+  let c = Config.defaults g in
+  check_bool "of_config memoized" true
+    (Policy_store.of_config c == Policy_store.of_config c);
+  let store = Policy_store.create c in
+  check_bool "create is private" true (store != Policy_store.of_config c);
+  check_int "n" 14 (Policy_store.n store);
+  check_int "fresh version" 0 (Policy_store.version store);
+  (* Backbone 0 is open transit under the class-implied defaults. *)
+  let crossing = ctx ~src:7 ~dst:8 ~prev:2 ~next:3 () in
+  check_bool "open transit admits" true (Policy_store.allows store 0 crossing);
+  check_bool "admitting term cited" true
+    (Policy_store.admitting_term store 0 crossing <> None);
+  Policy_store.set_transit store 0 (Transit_policy.no_transit 0);
+  check_int "version bumped" 1 (Policy_store.version store);
+  check_bool "recompiled after mutation" false (Policy_store.allows store 0 crossing);
+  check_bool "shared store unaffected" true
+    (Policy_store.allows (Policy_store.of_config c) 0 crossing)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -452,6 +614,7 @@ let () =
           Alcotest.test_case "hop predicates" `Quick pt_hop_preds;
           Alcotest.test_case "qos/uci" `Quick pt_qos_uci;
           Alcotest.test_case "hour windows" `Quick pt_hours;
+          Alcotest.test_case "degenerate hour windows" `Quick pt_hours_degenerate;
           Alcotest.test_case "authentication" `Quick pt_auth;
           Alcotest.test_case "byte accounting" `Quick pt_bytes;
         ] );
@@ -459,7 +622,17 @@ let () =
         [
           Alcotest.test_case "semantics" `Quick transit_policy_semantics;
           Alcotest.test_case "any-term disjunction" `Quick transit_policy_any_term;
+          Alcotest.test_case "advertisement bytes cached" `Quick transit_bytes_cached;
         ] );
+      ( "compiled",
+        [ Alcotest.test_case "store memo and versioning" `Quick store_memo_and_version ]
+        @ qsuite
+            [
+              compiled_allows_matches_interpreted;
+              compiled_admitting_term_matches;
+              spec_matches_full_probe;
+              admitted_sources_matches_scan;
+            ] );
       ( "source-policy",
         [
           Alcotest.test_case "permits" `Quick source_policy_permits;

@@ -59,7 +59,7 @@ let cost_model_shapes () =
 
 let adj nbr cost = { Lsdb.nbr; cost; delay = 1.0 }
 
-let lsa origin seq adjacencies = { Lsdb.origin; seq; adjacencies; terms = [] }
+let lsa origin seq adjacencies = Lsdb.make_lsa ~origin ~seq ~adjacencies ~terms:[]
 
 let lsdb_sequencing () =
   let db = Lsdb.create ~n:4 in
@@ -85,6 +85,29 @@ let lsdb_known_and_fold () =
   ignore (Lsdb.insert db (lsa 3 1 []));
   Alcotest.(check (list int)) "known" [ 0; 3 ] (Lsdb.known_ads db);
   check_int "fold" 2 (Lsdb.fold db ~init:0 ~f:(fun acc _ -> acc + 1))
+
+let lsdb_bytes_pinned () =
+  (* The cached LSA size must stay pinned to the cost model: a 12-byte
+     header, 4 bytes per adjacency plus 2 for its delay metric, and
+     each PT at its 8 + 2·ids advertisement size. *)
+  check_int "bare LSA" 12 (Lsdb.lsa_bytes (lsa 1 1 []));
+  check_int "two adjacencies" (12 + (2 * (4 + 2))) (Lsdb.lsa_bytes (lsa 1 1 [ adj 2 1; adj 3 1 ]));
+  let terms =
+    [
+      Pr_policy.Policy_term.make ~owner:1
+        ~sources:(Pr_policy.Policy_term.Only [| 2; 3; 4 |]) ();
+      Pr_policy.Policy_term.make ~owner:1 ();
+    ]
+  in
+  let with_terms = Lsdb.make_lsa ~origin:1 ~seq:1 ~adjacencies:[ adj 2 1 ] ~terms in
+  check_int "adjacency + two PTs" (12 + 4 + 2 + (8 + (2 * 3)) + 8) (Lsdb.lsa_bytes with_terms);
+  (* And the compiled form is cached in the LSA itself: repeated
+     lookups return the same compilation. *)
+  let db = Lsdb.create ~n:5 in
+  ignore (Lsdb.insert db with_terms);
+  check_bool "compiled once" true (Lsdb.compiled_of db 1 == Lsdb.compiled_of db 1);
+  check_int "empty compilation for unknown ADs" 0
+    (Pr_policy.Compiled.term_count (Lsdb.compiled_of db 4))
 
 (* --- Ls_flood -------------------------------------------------------- *)
 
@@ -161,7 +184,7 @@ let policy_route_matches_oracle () =
   let n = Graph.n g in
   let db = Ls_flood.db flood 7 in
   let flow = Flow.make ~src:7 ~dst:12 () in
-  let path, work = Policy_route.shortest db ~n flow () in
+  let path, work = Policy_route.shortest (Policy_route.engine db ~n flow) () in
   check_bool "found" true (path <> None);
   check_bool "work recorded" true (work > 0);
   let p = Option.get path in
@@ -180,7 +203,7 @@ let policy_route_respects_avoid () =
   (* C2a(8) -> C3a(10): the route via the regional lateral R2--R3
      avoids BB1; a route through BB1 also exists. *)
   let flow = Flow.make ~src:8 ~dst:10 () in
-  let path, _ = Policy_route.shortest db ~n flow ~avoid:[ 0 ] () in
+  let path, _ = Policy_route.shortest (Policy_route.engine db ~n flow) ~avoid:[ 0 ] () in
   match path with
   | None -> Alcotest.fail "a route avoiding BB1 exists (via the R2-R3 lateral)"
   | Some p -> check_bool "avoids BB1" true (not (List.mem 0 (Path.transit_ads p)))
@@ -198,7 +221,7 @@ let policy_route_respects_policy =
       ||
       let flow = Flow.make ~src ~dst () in
       let db = Ls_flood.db flood src in
-      match Policy_route.shortest db ~n:(Graph.n g) flow () with
+      match Policy_route.shortest (Policy_route.engine db ~n:(Graph.n g) flow) () with
       | None, _ -> true
       | Some p, _ -> Validate.transit_legal g config flow p)
 
@@ -208,7 +231,7 @@ let policy_route_enumerate_legal () =
   let g, flood = converged_policy_db config in
   let db = Ls_flood.db flood 7 in
   let flow = Flow.make ~src:7 ~dst:8 () in
-  let paths = Policy_route.enumerate db ~n:(Graph.n g) flow ~max_hops:7 () in
+  let paths = Policy_route.enumerate (Policy_route.engine db ~n:(Graph.n g) flow) ~max_hops:7 () in
   check_bool "nonempty" true (paths <> []);
   check_bool "all legal" true
     (List.for_all (fun p -> Validate.transit_legal g config flow p) paths)
@@ -364,6 +387,7 @@ let () =
           Alcotest.test_case "sequencing" `Quick lsdb_sequencing;
           Alcotest.test_case "bidirectional" `Quick lsdb_bidirectional;
           Alcotest.test_case "known/fold" `Quick lsdb_known_and_fold;
+          Alcotest.test_case "bytes pinned" `Quick lsdb_bytes_pinned;
         ] );
       ( "ls-flood",
         [

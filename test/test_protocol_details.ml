@@ -109,7 +109,7 @@ let ecma_destination_filter_gates_advertisement () =
       (fun (a : Ad.t) ->
         if a.Ad.id = 0 then
           Transit_policy.make 0
-            [ Policy_term.make ~owner:0 ~destinations:(Policy_term.Only [ 8 ]) () ]
+            [ Policy_term.make ~owner:0 ~destinations:(Policy_term.Only [| 8 |]) () ]
         else if Ad.is_transit_capable a then Transit_policy.open_transit a.Ad.id
         else Transit_policy.no_transit a.Ad.id)
       (Graph.ads g)
@@ -205,9 +205,9 @@ let idrp_withdraw_removes_route () =
 let lsdb_stale_does_not_regress () =
   let db = Lsdb.create ~n:3 in
   let adj nbr cost = { Lsdb.nbr; cost; delay = 1.0 } in
-  ignore (Lsdb.insert db { Lsdb.origin = 1; seq = 5; adjacencies = [ adj 2 1 ]; terms = [] });
+  ignore (Lsdb.insert db (Lsdb.make_lsa ~origin:1 ~seq:5 ~adjacencies:[ adj 2 1 ] ~terms:[]));
   check_bool "stale rejected" false
-    (Lsdb.insert db { Lsdb.origin = 1; seq = 4; adjacencies = [ adj 0 9 ]; terms = [] });
+    (Lsdb.insert db (Lsdb.make_lsa ~origin:1 ~seq:4 ~adjacencies:[ adj 0 9 ] ~terms:[]));
   Alcotest.(check (option int)) "new adjacency not installed" None
     (Lsdb.adjacency_cost db 1 0);
   Alcotest.(check (option int)) "old adjacency kept" (Some 1) (Lsdb.adjacency_cost db 1 2)
