@@ -1,8 +1,9 @@
 (* Well-formedness check for synthesis benchmark JSON (the files
    bench/main.exe synth --json emits): parses with the in-repo JSON
    reader and validates the schema the tracking tooling relies on —
-   top-level identity fields, a non-empty Spf scaling table, and the
-   restrictive-policy synthesis section with positive timings on every
+   top-level identity fields, a non-empty Spf scaling table, the
+   restrictive-policy synthesis section, and the delta-SPF /
+   hierarchical-synthesis section, each with positive timings on every
    row. Run from dune's runtest alias over both the smoke output and
    the committed BENCH_synthesis.json baseline. *)
 
@@ -75,7 +76,34 @@ let check_file file =
         "compiled_ns_per_route";
         "speedup";
       ]
-    (rows_of file ~section:"policy_synthesis" policy "results")
+    (rows_of file ~section:"policy_synthesis" policy "results");
+  let delta =
+    match J.member "delta" doc with
+    | Some d -> d
+    | None -> fail "%s: missing \"delta\" section" file
+  in
+  (match J.member "kernel" delta with
+  | Some (J.String _) -> ()
+  | _ -> fail "%s: delta: missing \"kernel\"" file);
+  check_rows file ~section:"delta.results"
+    ~fields:
+      [
+        "target_ads";
+        "ads";
+        "links";
+        "sources";
+        "events";
+        "full_ns_per_event";
+        "incremental_ns_per_event";
+        "speedup";
+        "clusters";
+        "hier_stretch_mean";
+        "hier_stretch_max";
+        "hier_table_mean";
+        "hier_route_ns";
+        "pairs";
+      ]
+    (rows_of file ~section:"delta" delta "results")
 
 let () =
   let files = List.tl (Array.to_list Sys.argv) in

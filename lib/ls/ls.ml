@@ -23,6 +23,7 @@ type t = {
   flood : Ls_flood.t;
   nodes : node array;
   mutable spf_count : int;
+  mutable spf_skips : int;
 }
 
 let name = "link-state"
@@ -40,6 +41,7 @@ let create graph _config net =
     flood;
     nodes = Array.init n (fun _ -> { next_hops = Array.make n (-1); computed_version = -1 });
     spf_count = 0;
+    spf_skips = 0;
   }
 
 let start t = Ls_flood.start t.flood
@@ -99,9 +101,49 @@ let run_spf t ad ~version =
   t.nodes.(ad).next_hops <- first_hop;
   t.nodes.(ad).computed_version <- version
 
+(* Scoped invalidation: the version moved, but if every changed origin
+   is provably outside the region this AD's tree spans — not reachable
+   in the cached tree and not newly attached to it — the cached next
+   hops are still exact and the recompute is skipped. The reachability
+   proxy is the cached tree itself: [next_hops.(o) >= 0] iff [o] was
+   reachable when the tree was computed. Trees are always rebuilt by
+   the one full-SPF code path, never repaired in place: per-AD
+   incremental repairs could break equal-cost ties differently at
+   different ADs, and hop-by-hop forwarding over disagreeing trees can
+   loop. *)
+let delta_out_of_scope t ad = function
+  | Ls_flood.Unchanged -> true
+  | Ls_flood.Full -> false
+  | Ls_flood.Origins os ->
+    let node = t.nodes.(ad) in
+    node.computed_version >= 0
+    &&
+    let db = Ls_flood.db t.flood ad in
+    let in_tree v = v = ad || (v >= 0 && v < Array.length node.next_hops && node.next_hops.(v) >= 0) in
+    not
+      (List.exists
+         (fun o ->
+           in_tree o
+           ||
+           match Lsdb.get db o with
+           | None -> false
+           | Some lsa ->
+             List.exists
+               (fun (a : Lsdb.adjacency) ->
+                 in_tree a.Lsdb.nbr && Lsdb.bidirectional db o a.Lsdb.nbr <> None)
+               lsa.Lsdb.adjacencies)
+         os)
+
 let ensure_fresh t ad =
   let version = Ls_flood.db_version t.flood ad in
-  if t.nodes.(ad).computed_version <> version then run_spf t ad ~version
+  if t.nodes.(ad).computed_version <> version then begin
+    let delta = Ls_flood.take_delta t.flood ad in
+    if delta_out_of_scope t ad delta then begin
+      t.spf_skips <- t.spf_skips + 1;
+      t.nodes.(ad).computed_version <- version
+    end
+    else run_spf t ad ~version
+  end
 
 let prepare_flow _t _flow = Packet.no_prep
 
@@ -126,3 +168,5 @@ let next_hop_of t ~at ~dst =
   if nh < 0 then None else Some nh
 
 let spf_runs t = t.spf_count
+
+let spf_skips t = t.spf_skips

@@ -13,11 +13,18 @@ module Design_point = Pr_proto.Design_point
 type message = Lsdb.lsa
 
 type node = {
-  (* (src, dst, class) -> (db version, computed policy route). Entries
-     are tagged with the database version they were computed at and
-     discarded lazily on lookup — a database change makes every tagged
-     entry stale at once without an eager cache flush. *)
+  (* (src, dst, class) -> (region version, computed policy route).
+     Entries are tagged with the region version they were computed at
+     and discarded lazily on lookup — an invalidating database change
+     makes every tagged entry stale at once without an eager flush. *)
   route_cache : (int * int * int, int * Pr_topology.Path.t option) Hashtbl.t;
+  (* Delta-scoped invalidation: [region_version] advances to the
+     database version only when a drained delta can actually touch
+     routes over this AD's reachable region; changes confined to
+     disconnected parts of the internet leave the cache valid. [reach]
+     memoizes the region between out-of-scope deltas. *)
+  mutable region_version : int;
+  mutable reach : Pr_util.Bitset.t option;
 }
 
 type t = {
@@ -37,7 +44,14 @@ let create graph config net =
   let n = Graph.n graph in
   let terms_for ad = (Config.transit config ad).Transit_policy.terms in
   let flood = Ls_flood.create net ~terms_for () in
-  { graph; net; flood; nodes = Array.init n (fun _ -> { route_cache = Hashtbl.create 32 }) }
+  {
+    graph;
+    net;
+    flood;
+    nodes =
+      Array.init n (fun _ ->
+          { route_cache = Hashtbl.create 32; region_version = 0; reach = None });
+  }
 
 let start t = Ls_flood.start t.flood
 
@@ -46,8 +60,34 @@ let handle_message t ~at ~from lsa = Ls_flood.handle_message t.flood ~at ~from l
 let handle_link t ~at ~link:_ ~up = Ls_flood.handle_link t.flood ~at ~up
 
 let reset_node t ~at =
-  Hashtbl.reset t.nodes.(at).route_cache;
+  let node = t.nodes.(at) in
+  Hashtbl.reset node.route_cache;
+  node.reach <- None;
   Ls_flood.reset_node t.flood at
+
+(* Drain the AD's pending delta and advance its region version iff the
+   delta is in scope: some changed origin lies inside (or newly
+   attaches to) the region the AD's routes are computed over. *)
+let sync_region t at =
+  let node = t.nodes.(at) in
+  match Ls_flood.take_delta t.flood at with
+  | Ls_flood.Unchanged -> ()
+  | Ls_flood.Full ->
+    node.region_version <- Ls_flood.db_version t.flood at;
+    node.reach <- None
+  | Ls_flood.Origins os ->
+    let reach =
+      match node.reach with
+      | Some r -> r
+      | None ->
+        let r = Ls_flood.reachable_set t.flood at in
+        node.reach <- Some r;
+        r
+    in
+    if Ls_flood.delta_in_scope t.flood at ~reach os then begin
+      node.region_version <- Ls_flood.db_version t.flood at;
+      node.reach <- None
+    end
 
 (* The uniform computation every AD replicates: the policy-constrained
    shortest route for the flow, from the flow's *source*, over this
@@ -58,7 +98,8 @@ let compute_route t at (flow : Flow.t) =
   let n = Graph.n t.graph in
   let key = (flow.Flow.src, flow.Flow.dst, Flow.class_key flow) in
   let node = t.nodes.(at) in
-  let version = Ls_flood.db_version t.flood at in
+  sync_region t at;
+  let version = node.region_version in
   match Hashtbl.find_opt node.route_cache key with
   | Some (v, cached) when v = version -> cached
   | _ ->
@@ -90,11 +131,12 @@ let forward t ~at ~from:_ packet =
       | Some next -> Packet.Forward next
       | None -> Packet.Drop "not on my computed route (inconsistent databases)")
 
-(* Only entries computed at the current database version count as
+(* Only entries computed at the current region version count as
    routing state — stale tagged entries are garbage awaiting reuse of
    their key, exactly as the eager-flush scheme would have dropped. *)
 let cache_entries t ad =
-  let version = Ls_flood.db_version t.flood ad in
+  sync_region t ad;
+  let version = t.nodes.(ad).region_version in
   Hashtbl.fold
     (fun _ (v, _) acc -> if v = version then acc + 1 else acc)
     t.nodes.(ad).route_cache 0

@@ -182,19 +182,30 @@ module Make (V : VARIANT) = struct
         next_handle = 1;
       }
     in
-    Ls_flood.set_on_change flood (fun ad ->
+    Ls_flood.set_on_change flood (fun ad ~origin ->
         (* Route servers adapt: drop cached routes the new database no
            longer supports. PG setup state is NOT flushed — stale
-           gateway state is a real cost of the architecture (§6). *)
+           gateway state is a real cost of the architecture (§6).
+           The revalidation is delta-scoped: a change to one origin's
+           LSA can only invalidate routes that origin sits on —
+           adjacency support and transit admission are both decided by
+           the LSAs of the path's own members — so only those entries
+           are rechecked ([None] = database reset, recheck all). *)
         let node = t.nodes.(ad) in
+        let touches entry =
+          match origin with None -> true | Some o -> List.mem o entry.path
+        in
         let stale =
           Hashtbl.fold
             (fun ((dst, class_idx) as key) entry acc ->
-              let qos = Pr_policy.Qos.of_index (class_idx / Pr_policy.Uci.count) in
-              let uci = Pr_policy.Uci.of_index (class_idx mod Pr_policy.Uci.count) in
-              let flow = Flow.make ~src:ad ~dst ~qos ~uci () in
-              if path_supported (Ls_flood.db t.flood ad) ~n flow entry.path then acc
-              else key :: acc)
+              if not (touches entry) then acc
+              else begin
+                let qos = Pr_policy.Qos.of_index (class_idx / Pr_policy.Uci.count) in
+                let uci = Pr_policy.Uci.of_index (class_idx mod Pr_policy.Uci.count) in
+                let flow = Flow.make ~src:ad ~dst ~qos ~uci () in
+                if path_supported (Ls_flood.db t.flood ad) ~n flow entry.path then acc
+                else key :: acc
+              end)
             node.pr_cache []
         in
         List.iter (Hashtbl.remove node.pr_cache) stale);

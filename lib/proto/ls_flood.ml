@@ -1,8 +1,12 @@
 module Graph = Pr_topology.Graph
 module Network = Pr_sim.Network
+module Bitset = Pr_util.Bitset
+
+type delta = Unchanged | Full | Origins of Pr_topology.Ad.id list
 
 type t = {
   net : Lsdb.lsa Network.t;
+  n : int;
   dbs : Lsdb.t array;
   seqs : int array;
   (* Per-AD database version: bumped on every accepted LSA. Protocols
@@ -10,21 +14,35 @@ type t = {
      the AD's view of the topology is unchanged, so cached SPF trees
      and policy routes are still valid. *)
   versions : int array;
+  (* Per-AD dirty set since the AD's consumer last drained it: which
+     origins' LSAs changed. The scoped-invalidation machinery — a
+     consumer whose cached region provably does not meet the delta
+     skips its recompute entirely. [dirty_full] swallows the origin
+     list (database reset); [dirty_mem] is allocated lazily so
+     protocols that never drain pay one list cell per change, not a
+     bitset per AD. *)
+  dirty : Pr_topology.Ad.id list array;  (* newest first *)
+  dirty_mem : Bitset.t option array;
+  dirty_full : bool array;
   terms_for : Pr_topology.Ad.id -> Pr_policy.Policy_term.t list;
   flood_to : Pr_topology.Ad.id -> bool;
-  mutable on_change : Pr_topology.Ad.id -> unit;
+  mutable on_change : Pr_topology.Ad.id -> origin:Pr_topology.Ad.id option -> unit;
 }
 
 let create net ~terms_for ?(flood_to = fun _ -> true) () =
   let n = Graph.n (Network.graph net) in
   {
     net;
+    n;
     dbs = Array.init n (fun _ -> Lsdb.create ~n);
     seqs = Array.make n 0;
     versions = Array.make n 0;
+    dirty = Array.make n [];
+    dirty_mem = Array.make n None;
+    dirty_full = Array.make n false;
     terms_for;
     flood_to;
-    on_change = (fun _ -> ());
+    on_change = (fun _ ~origin:_ -> ());
   }
 
 let set_on_change t f = t.on_change <- f
@@ -56,9 +74,98 @@ let flood_from t ad ?except lsa =
   Network.iter_up_neighbors t.net ad ~f:(fun nbr ->
       if nbr <> except && t.flood_to nbr then Network.send t.net ~src:ad ~dst:nbr ~bytes lsa)
 
-let changed t ad =
+let mark_dirty t ad origin =
+  match origin with
+  | None ->
+    t.dirty_full.(ad) <- true;
+    t.dirty.(ad) <- [];
+    (match t.dirty_mem.(ad) with Some m -> Bitset.clear m | None -> ())
+  | Some o ->
+    if not t.dirty_full.(ad) then begin
+      let m =
+        match t.dirty_mem.(ad) with
+        | Some m -> m
+        | None ->
+          let m = Bitset.create t.n in
+          t.dirty_mem.(ad) <- Some m;
+          m
+      in
+      if not (Bitset.mem m o) then begin
+        Bitset.add m o;
+        t.dirty.(ad) <- o :: t.dirty.(ad)
+      end
+    end
+
+let changed t ad ~origin =
   t.versions.(ad) <- t.versions.(ad) + 1;
-  t.on_change ad
+  mark_dirty t ad origin;
+  t.on_change ad ~origin
+
+let take_delta t ad =
+  if t.dirty_full.(ad) then begin
+    t.dirty_full.(ad) <- false;
+    t.dirty.(ad) <- [];
+    (match t.dirty_mem.(ad) with Some m -> Bitset.clear m | None -> ());
+    Full
+  end
+  else
+    match t.dirty.(ad) with
+    | [] -> Unchanged
+    | os ->
+      t.dirty.(ad) <- [];
+      (match t.dirty_mem.(ad) with Some m -> Bitset.clear m | None -> ());
+      Origins (List.rev os)
+
+(* The region an AD's cached routes can depend on: everything reachable
+   from it through bidirectionally-confirmed adjacencies of its own
+   database. *)
+let reachable_set t ad =
+  let db = t.dbs.(ad) in
+  let reach = Bitset.create t.n in
+  Bitset.add reach ad;
+  let queue = Queue.create () in
+  Queue.add ad queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    match Lsdb.get db u with
+    | None -> ()
+    | Some lsa ->
+      List.iter
+        (fun (a : Lsdb.adjacency) ->
+          let v = a.Lsdb.nbr in
+          if v >= 0 && v < t.n && (not (Bitset.mem reach v))
+             && Lsdb.bidirectional db u v <> None
+          then begin
+            Bitset.add reach v;
+            Queue.add v queue
+          end)
+        lsa.Lsdb.adjacencies
+  done;
+  reach
+
+(* Can a change to [o]'s LSA affect routes computed over [reach]?
+   Only if [o] is inside the region, or its LSA advertises a
+   bidirectionally-confirmed adjacency attaching it to the region (a
+   new attachment grows the region; anything further away cannot alter
+   any shortest or policy route among region members, because every
+   edge such routes use is advertised by two region members whose LSAs
+   did not change). *)
+let delta_in_scope t ad ~reach origins =
+  let db = t.dbs.(ad) in
+  List.exists
+    (fun o ->
+      o = ad
+      || Bitset.mem reach o
+      ||
+      match Lsdb.get db o with
+      | None -> false
+      | Some lsa ->
+        List.exists
+          (fun (a : Lsdb.adjacency) ->
+            let v = a.Lsdb.nbr in
+            v >= 0 && v < t.n && Bitset.mem reach v && Lsdb.bidirectional db o v <> None)
+          lsa.Lsdb.adjacencies)
+    origins
 
 let originate t ad =
   t.seqs.(ad) <- t.seqs.(ad) + 1;
@@ -66,7 +173,7 @@ let originate t ad =
     Lsdb.make_lsa ~origin:ad ~seq:t.seqs.(ad)
       ~adjacencies:(current_adjacencies t ad) ~terms:(t.terms_for ad)
   in
-  if Lsdb.insert t.dbs.(ad) lsa then changed t ad;
+  if Lsdb.insert t.dbs.(ad) lsa then changed t ad ~origin:(Some ad);
   flood_from t ad lsa
 
 let start t =
@@ -77,7 +184,7 @@ let start t =
 
 let handle_message t ~at ~from lsa =
   if Lsdb.insert t.dbs.(at) lsa then begin
-    changed t at;
+    changed t at ~origin:(Some lsa.Lsdb.origin);
     flood_from t at ~except:from lsa
   end
 
@@ -89,7 +196,7 @@ let reset_node t ad =
      rest of the internet reject the fresh LSAs as stale). *)
   let n = Graph.n (Network.graph t.net) in
   t.dbs.(ad) <- Lsdb.create ~n;
-  changed t ad;
+  changed t ad ~origin:None;
   originate t ad;
   (* Adjacency bring-up database exchange (the OSPF-style sync real
      link-state protocols perform): each up in-scope neighbor pushes

@@ -9,6 +9,13 @@
 
 type t
 
+type delta =
+  | Unchanged  (** nothing accepted since the last drain *)
+  | Full  (** database reset — everything may have changed *)
+  | Origins of Pr_topology.Ad.id list
+      (** exactly these origins' LSAs changed, deduplicated, oldest
+          first *)
+
 val create :
   Lsdb.lsa Pr_sim.Network.t ->
   terms_for:(Pr_topology.Ad.id -> Pr_policy.Policy_term.t list) ->
@@ -53,9 +60,34 @@ val db_version : t -> Pr_topology.Ad.id -> int
     while [db_version] still returns [v] — protocols key their SPF and
     policy-route caches on it instead of eagerly flushing on change. *)
 
-val set_on_change : t -> (Pr_topology.Ad.id -> unit) -> unit
+val set_on_change :
+  t -> (Pr_topology.Ad.id -> origin:Pr_topology.Ad.id option -> unit) -> unit
 (** Callback invoked at an AD whenever its database changes — used by
     protocols that must eagerly revalidate state ({!db_version} covers
-    the common lazy-invalidation case). *)
+    the common lazy-invalidation case). [origin] identifies whose LSA
+    changed, [None] on a database reset, so eager consumers can scope
+    their revalidation with {!delta_in_scope} just like lazy ones. *)
+
+val take_delta : t -> Pr_topology.Ad.id -> delta
+(** Drain the AD's accumulated dirty set: which origins' LSAs changed
+    since this AD's consumer last drained. One drain point per AD —
+    each protocol instance owns its flood, so its per-AD node state is
+    that single consumer. Together with {!reachable_set} and
+    {!delta_in_scope} this replaces "db_version moved, recompute" with
+    "recompute only if the delta can touch my region". *)
+
+val reachable_set : t -> Pr_topology.Ad.id -> Pr_util.Bitset.t
+(** The region the AD's routes depend on: every AD reachable from it
+    through bidirectionally-confirmed adjacencies of its own database
+    (the same edge-validity rule the protocols' SPFs apply). *)
+
+val delta_in_scope :
+  t -> Pr_topology.Ad.id -> reach:Pr_util.Bitset.t -> Pr_topology.Ad.id list -> bool
+(** Can changes to these origins' LSAs affect routes computed over
+    [reach]? True iff some origin is inside the region or advertises a
+    confirmed adjacency attaching it to the region. Any origin further
+    away cannot alter routes among region members: every edge such
+    routes use is advertised by two region members whose LSAs did not
+    change. *)
 
 val db_entries : t -> Pr_topology.Ad.id -> int

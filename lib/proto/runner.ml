@@ -108,6 +108,17 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
 
   let restore_link t lid = Network.set_link_state t.net lid ~up:true
 
+  (* Batched link patch applied with the patched AD muted: the single
+     code path crash and restart both flow through, the runner-side
+     mirror of the [Spf_delta.node_down]/[node_up] patch pair. Only
+     the neighbors observe the transitions (their link handlers drive
+     re-origination and delta-scoped invalidation); the patched router
+     itself reacts to nothing. *)
+  let apply_link_patch t ad ~up links =
+    t.muted <- ad;
+    List.iter (fun lid -> Network.set_link_state t.net lid ~up) links;
+    t.muted <- -1
+
   let crash_ad t ad =
     if Network.node_is_up t.net ad then begin
       (* Take the gateway's up links down first: neighbors observe the
@@ -117,9 +128,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
       Graph.iter_neighbors t.graph ad ~f:(fun _nbr lid ->
           if Network.link_is_up t.net lid then mine := lid :: !mine);
       let mine = List.sort_uniq compare !mine in
-      t.muted <- ad;
-      List.iter (fun lid -> Network.set_link_state t.net lid ~up:false) mine;
-      t.muted <- -1;
+      apply_link_patch t ad ~up:false mine;
       Hashtbl.replace t.crash_links ad mine;
       Network.set_node_state t.net ad ~up:false
     end
@@ -132,9 +141,7 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
          still muted — does not advertise its stale pre-crash state. *)
       let mine = Option.value (Hashtbl.find_opt t.crash_links ad) ~default:[] in
       Hashtbl.remove t.crash_links ad;
-      t.muted <- ad;
-      List.iter (fun lid -> Network.set_link_state t.net lid ~up:true) mine;
-      t.muted <- -1;
+      apply_link_patch t ad ~up:true mine;
       (* Then reboot it with total state loss; its re-announcements go
          out over the restored links, and the neighbors' link-up
          advertisements are already in flight toward it. *)

@@ -43,29 +43,78 @@ let scaled ~target_ads =
   in
   { default with backbones = b; campuses_per_metro = Stdlib.max 1 c }
 
-(* Mutable builder used by all generators. *)
+(* Mutable builder used by all generators. Streams at 10^5 ADs:
+   flat preallocated-from-a-hint arrays (doubled when the hint was
+   short) instead of intermediate lists, and an O(1) hashed
+   endpoint-pair set instead of scanning the accumulated link list on
+   every insertion — link dedup was the quadratic term that dominated
+   scenario construction at scale. *)
 type builder = {
-  mutable ads_rev : (string * Ad.level) list;  (* klass decided later *)
-  mutable links_rev : (Ad.id * Ad.id * Link.kind * int * float) list;
+  mutable names : string array;
+  mutable levels : Ad.level array;
   mutable next_ad : int;
+  mutable link_a : int array;
+  mutable link_b : int array;
+  mutable link_kind : Link.kind array;
+  mutable link_cost : int array;
+  mutable link_delay : float array;
   mutable next_link : int;
+  seen : (int, unit) Hashtbl.t;  (* packed endpoint pairs *)
 }
 
-let new_builder () = { ads_rev = []; links_rev = []; next_ad = 0; next_link = 0 }
+let new_builder ?(expect_ads = 16) ?(expect_links = 16) () =
+  let na = Stdlib.max expect_ads 1 and nl = Stdlib.max expect_links 1 in
+  {
+    names = Array.make na "";
+    levels = Array.make na Ad.Campus;
+    next_ad = 0;
+    link_a = Array.make nl 0;
+    link_b = Array.make nl 0;
+    link_kind = Array.make nl Link.Hierarchical;
+    link_cost = Array.make nl 0;
+    link_delay = Array.make nl 0.0;
+    next_link = 0;
+    seen = Hashtbl.create (2 * nl);
+  }
+
+let grow a fill = Array.append a (Array.make (Array.length a) fill)
 
 let add_ad b name level =
   let id = b.next_ad in
+  if id >= Array.length b.names then begin
+    b.names <- grow b.names "";
+    b.levels <- grow b.levels Ad.Campus
+  end;
+  b.names.(id) <- name;
+  b.levels.(id) <- level;
   b.next_ad <- id + 1;
-  b.ads_rev <- (name, level) :: b.ads_rev;
   id
 
-let link_exists b x y =
-  List.exists (fun (a, b', _, _, _) -> (a = x && b' = y) || (a = y && b' = x)) b.links_rev
+(* Unordered endpoint pair packed into one int: ids stay well under
+   2^30, so [lo * 2^30 + hi] is injective. *)
+let pair_key x y =
+  let lo = Stdlib.min x y and hi = Stdlib.max x y in
+  (lo lsl 30) lor hi
+
+let link_exists b x y = Hashtbl.mem b.seen (pair_key x y)
 
 let add_link ?(delay = 1.0) b a b' kind cost =
   if a <> b' && not (link_exists b a b') then begin
-    b.next_link <- b.next_link + 1;
-    b.links_rev <- (a, b', kind, cost, delay) :: b.links_rev
+    let id = b.next_link in
+    if id >= Array.length b.link_a then begin
+      b.link_a <- grow b.link_a 0;
+      b.link_b <- grow b.link_b 0;
+      b.link_kind <- grow b.link_kind Link.Hierarchical;
+      b.link_cost <- grow b.link_cost 0;
+      b.link_delay <- grow b.link_delay 0.0
+    end;
+    b.link_a.(id) <- a;
+    b.link_b.(id) <- b';
+    b.link_kind.(id) <- kind;
+    b.link_cost.(id) <- cost;
+    b.link_delay.(id) <- delay;
+    b.next_link <- id + 1;
+    Hashtbl.add b.seen (pair_key a b') ()
   end
 
 let rand_cost rng max_cost = if max_cost <= 1 then 1 else Rng.int_in_range rng ~min:1 ~max:max_cost
@@ -77,32 +126,39 @@ let rand_delay rng max_delay =
 let finalize ?(hybrid : Ad.id -> bool = fun _ -> false) b =
   let n = b.next_ad in
   let degree = Array.make n 0 in
-  List.iter
-    (fun (a, b', _, _, _) ->
-      degree.(a) <- degree.(a) + 1;
-      degree.(b') <- degree.(b') + 1)
-    b.links_rev;
+  for id = 0 to b.next_link - 1 do
+    degree.(b.link_a.(id)) <- degree.(b.link_a.(id)) + 1;
+    degree.(b.link_b.(id)) <- degree.(b.link_b.(id)) + 1
+  done;
   let ads =
-    Array.of_list (List.rev b.ads_rev)
-    |> Array.mapi (fun id (name, level) ->
-           let klass =
-             match (level : Ad.level) with
-             | Ad.Backbone | Ad.Regional -> Ad.Transit
-             | Ad.Metro -> if hybrid id then Ad.Hybrid else Ad.Transit
-             | Ad.Campus -> if degree.(id) > 1 then Ad.Multihomed else Ad.Stub
-           in
-           Ad.make ~id ~name ~klass ~level)
+    Array.init n (fun id ->
+        let level = b.levels.(id) in
+        let klass =
+          match (level : Ad.level) with
+          | Ad.Backbone | Ad.Regional -> Ad.Transit
+          | Ad.Metro -> if hybrid id then Ad.Hybrid else Ad.Transit
+          | Ad.Campus -> if degree.(id) > 1 then Ad.Multihomed else Ad.Stub
+        in
+        Ad.make ~id ~name:b.names.(id) ~klass ~level)
   in
   let links =
-    Array.of_list (List.rev b.links_rev)
-    |> Array.mapi (fun id (a, bb, kind, cost, delay) ->
-           Link.make ~id ~a ~b:bb ~cost ~delay kind)
+    Array.init b.next_link (fun id ->
+        Link.make ~id ~a:b.link_a.(id) ~b:b.link_b.(id) ~cost:b.link_cost.(id)
+          ~delay:b.link_delay.(id) b.link_kind.(id))
   in
   Graph.create ads links
 
 let generate rng p =
   if p.backbones < 1 then invalid_arg "Generator.generate: need at least one backbone";
-  let b = new_builder () in
+  let expect_ads =
+    p.backbones
+    * (1
+      + p.regionals_per_backbone
+        * (1 + (p.metros_per_regional * (1 + p.campuses_per_metro))))
+  in
+  (* hierarchy tree + backbone mesh + worst-case laterals/bypass/multihoming *)
+  let expect_links = (2 * expect_ads) + (p.backbones * p.backbones / 2) + 8 in
+  let b = new_builder ~expect_ads ~expect_links () in
   let add_link bld x y kind cost =
     add_link ~delay:(rand_delay rng p.max_delay) bld x y kind cost
   in
@@ -182,7 +238,7 @@ let generate rng p =
 
 let random_mesh rng ~n ~extra_links =
   if n < 1 then invalid_arg "Generator.random_mesh: n < 1";
-  let b = new_builder () in
+  let b = new_builder ~expect_ads:n ~expect_links:(n + extra_links) () in
   let ids = List.init n (fun i -> add_ad b (Printf.sprintf "N%d" i) Ad.Metro) in
   let arr = Array.of_list ids in
   (* Random recursive tree keeps the graph connected. *)
@@ -204,7 +260,7 @@ let random_mesh rng ~n ~extra_links =
 
 let ring ~n =
   if n < 3 then invalid_arg "Generator.ring: n < 3";
-  let b = new_builder () in
+  let b = new_builder ~expect_ads:n ~expect_links:n () in
   let ids = List.init n (fun i -> add_ad b (Printf.sprintf "N%d" i) Ad.Metro) in
   let arr = Array.of_list ids in
   for i = 0 to n - 1 do
@@ -214,7 +270,7 @@ let ring ~n =
 
 let line ~n =
   if n < 1 then invalid_arg "Generator.line: n < 1";
-  let b = new_builder () in
+  let b = new_builder ~expect_ads:n ~expect_links:n () in
   let ids = List.init n (fun i -> add_ad b (Printf.sprintf "N%d" i) Ad.Metro) in
   let arr = Array.of_list ids in
   for i = 0 to n - 2 do

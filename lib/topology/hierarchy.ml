@@ -1,0 +1,284 @@
+(* Hierarchical route synthesis: the compact-routing mode that gets a
+   10^5-AD internet inside the runtest budget.
+
+   The paper's two-level structure (§2.1) is turned into an explicit
+   clustering: every backbone is its own cluster, every regional AD
+   anchors a cluster holding its hierarchical descendants, and anything
+   left over (degenerate topologies with no hierarchy) becomes a
+   singleton. Routes are then synthesized as cluster-level shortest
+   paths stitched together with intra-cluster shortest paths through
+   the border ADs — per-AD state drops from O(n) to
+   O(#clusters + cluster size) at the price of measured stretch,
+   exactly the trade compact interdomain routing proposals make. All
+   SPF trees (cluster-level and intra-cluster) are computed lazily and
+   memoized, so synthesizing a handful of routes touches a handful of
+   ~sqrt(n)-sized trees rather than anything O(n). *)
+
+let dummy_tree = { Spf.src = -1; dist = [||]; parent = [||]; first_hop = [||] }
+
+type t = {
+  g : Graph.t;
+  cluster_of : int array;
+  num_clusters : int;
+  members : Ad.id array array;  (* cluster -> member ADs, increasing id *)
+  local_index : int array;  (* ad -> its index within members.(cluster) *)
+  cluster_graph : Graph.t;
+  phys_of_clink : int array;  (* cluster-graph link id -> physical link id *)
+  subgraphs : Graph.t array;  (* induced intra-cluster subgraphs *)
+  cluster_trees : Spf.tree array;  (* lazily filled; dummy_tree = absent *)
+  intra_trees : (int * int, Spf.tree) Hashtbl.t;  (* (cluster, local root) *)
+}
+
+let clusters_of_levels g =
+  let n = Graph.n g in
+  let cl = Array.make n (-1) in
+  let next = ref 0 in
+  for id = 0 to n - 1 do
+    if (Graph.ad g id).Ad.level = Ad.Backbone then begin
+      cl.(id) <- !next;
+      incr next
+    end
+  done;
+  (* Each regional anchors the cluster of its hierarchical cone;
+     multihomed descendants go to whichever cluster reaches them first
+     (increasing anchor id, then BFS order — deterministic). *)
+  let queue = Queue.create () in
+  for id = 0 to n - 1 do
+    if cl.(id) < 0 && (Graph.ad g id).Ad.level = Ad.Regional then begin
+      let c = !next in
+      incr next;
+      cl.(id) <- c;
+      Queue.clear queue;
+      Queue.add id queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        let ru = Ad.level_rank (Graph.ad g u).Ad.level in
+        Graph.iter_neighbors g u ~f:(fun v lid ->
+            if
+              cl.(v) < 0
+              && (Graph.link g lid).Link.kind = Link.Hierarchical
+              && Ad.level_rank (Graph.ad g v).Ad.level > ru
+            then begin
+              cl.(v) <- c;
+              Queue.add v queue
+            end)
+      done
+    end
+  done;
+  for id = 0 to n - 1 do
+    if cl.(id) < 0 then begin
+      cl.(id) <- !next;
+      incr next
+    end
+  done;
+  cl
+
+let build g ~cluster_of =
+  let n = Graph.n g in
+  if Array.length cluster_of <> n then
+    invalid_arg "Hierarchy.build: cluster_of has wrong length";
+  let k = Array.fold_left (fun acc c -> Stdlib.max acc c) (-1) cluster_of + 1 in
+  Array.iter
+    (fun c -> if c < 0 || c >= k then invalid_arg "Hierarchy.build: cluster ids not dense")
+    cluster_of;
+  let sizes = Array.make k 0 in
+  Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) cluster_of;
+  let members = Array.init k (fun c -> Array.make sizes.(c) 0) in
+  let local_index = Array.make n 0 in
+  let fill = Array.make k 0 in
+  for id = 0 to n - 1 do
+    let c = cluster_of.(id) in
+    members.(c).(fill.(c)) <- id;
+    local_index.(id) <- fill.(c);
+    fill.(c) <- fill.(c) + 1
+  done;
+  (* Cluster-level graph: one super-link per adjacent cluster pair,
+     realised by the cheapest inter-cluster physical link joining them
+     (lowest link id among ties). Parallel physical borders are
+     dropped: every consumer — cluster-level Dijkstra, border
+     stitching, the smoke's protocol convergence — only ever uses the
+     cheapest parallel link, so the multigraph would change nothing
+     but the flooding bill. *)
+  let cluster_ads =
+    Array.init k (fun id ->
+        Ad.make ~id ~name:(Printf.sprintf "K%d" id) ~klass:Ad.Transit ~level:Ad.Backbone)
+  in
+  (* A border is transit-grade when both endpoint ADs may carry
+     transit traffic; a stub/multihomed border AD would have to relay
+     other people's packets into the next cluster, which its class
+     forbids (paper §2.1). Stub-grade borders are kept only for
+     cluster pairs with no transit-grade border at all, so cluster
+     connectivity matches the multigraph's while the flooding bill for
+     cluster-level convergence stays proportional to the transit core. *)
+  let transit_border l =
+    Ad.is_transit_capable (Graph.ad g l.Link.a) && Ad.is_transit_capable (Graph.ad g l.Link.b)
+  in
+  let best_transit = Hashtbl.create 256 in
+  let best_any = Hashtbl.create 256 in
+  for lid = Graph.num_links g - 1 downto 0 do
+    let l = Graph.link g lid in
+    let ca = cluster_of.(l.Link.a) and cb = cluster_of.(l.Link.b) in
+    if ca <> cb then begin
+      let key = (Stdlib.min ca cb * k) + Stdlib.max ca cb in
+      (* scanning ids downward, so on equal cost the current (lower)
+         id wins — replace unless strictly worse *)
+      let keep tbl =
+        match Hashtbl.find_opt tbl key with
+        | None -> true
+        | Some prev -> l.Link.cost <= (Graph.link g prev).Link.cost
+      in
+      if keep best_any then Hashtbl.replace best_any key lid;
+      if transit_border l && keep best_transit then Hashtbl.replace best_transit key lid
+    end
+  done;
+  let transit_degree = Array.make k 0 in
+  Hashtbl.iter
+    (fun key _ ->
+      transit_degree.(key / k) <- transit_degree.(key / k) + 1;
+      transit_degree.(key mod k) <- transit_degree.(key mod k) + 1)
+    best_transit;
+  let inter =
+    Hashtbl.fold
+      (fun key lid acc ->
+        match Hashtbl.find_opt best_transit key with
+        | Some tlid -> tlid :: acc
+        | None ->
+          (* stub-grade border: kept only as a rescue, when one side
+             has no transit-grade attachment to the cluster level *)
+          if transit_degree.(key / k) = 0 || transit_degree.(key mod k) = 0 then lid :: acc
+          else acc)
+      best_any []
+  in
+  let phys_of_clink = Array.of_list (List.sort_uniq compare inter) in
+  let cluster_links =
+    Array.mapi
+      (fun i plid ->
+        let l = Graph.link g plid in
+        Link.make ~id:i ~a:cluster_of.(l.Link.a) ~b:cluster_of.(l.Link.b) ~cost:l.Link.cost
+          ~delay:l.Link.delay l.Link.kind)
+      phys_of_clink
+  in
+  let cluster_graph = Graph.create cluster_ads cluster_links in
+  (* Induced subgraphs: bucket the intra-cluster links in one pass. *)
+  let intra = Array.make k [] in
+  for lid = Graph.num_links g - 1 downto 0 do
+    let l = Graph.link g lid in
+    let c = cluster_of.(l.Link.a) in
+    if c = cluster_of.(l.Link.b) then intra.(c) <- l :: intra.(c)
+  done;
+  let subgraphs =
+    Array.init k (fun c ->
+        let ads =
+          Array.map
+            (fun gid ->
+              let a = Graph.ad g gid in
+              Ad.make ~id:local_index.(gid) ~name:a.Ad.name ~klass:a.Ad.klass
+                ~level:a.Ad.level)
+            members.(c)
+        in
+        let links =
+          Array.of_list intra.(c)
+          |> Array.mapi (fun i (l : Link.t) ->
+                 Link.make ~id:i ~a:local_index.(l.Link.a) ~b:local_index.(l.Link.b)
+                   ~cost:l.Link.cost ~delay:l.Link.delay l.Link.kind)
+        in
+        Graph.create ads links)
+  in
+  {
+    g;
+    cluster_of;
+    num_clusters = k;
+    members;
+    local_index;
+    cluster_graph;
+    phys_of_clink;
+    subgraphs;
+    cluster_trees = Array.make k dummy_tree;
+    intra_trees = Hashtbl.create 64;
+  }
+
+let num_clusters t = t.num_clusters
+let cluster_of t ad = t.cluster_of.(ad)
+let cluster_graph t = t.cluster_graph
+let members t c = t.members.(c)
+
+let cluster_tree t c =
+  let tr = t.cluster_trees.(c) in
+  if tr.Spf.src >= 0 then tr
+  else begin
+    let tr = Spf.tree t.cluster_graph ~src:c in
+    t.cluster_trees.(c) <- tr;
+    tr
+  end
+
+let intra_tree t c local_root =
+  match Hashtbl.find_opt t.intra_trees (c, local_root) with
+  | Some tr -> tr
+  | None ->
+    let tr = Spf.tree t.subgraphs.(c) ~src:local_root in
+    Hashtbl.add t.intra_trees (c, local_root) tr;
+    tr
+
+(* Intra-cluster segment between two member ADs, in global ids. *)
+let segment t c from_ad to_ad =
+  let tr = intra_tree t c t.local_index.(from_ad) in
+  match Spf.path tr t.local_index.(to_ad) with
+  | None -> None
+  | Some p -> Some (List.map (fun l -> t.members.(c).(l)) p)
+
+exception Unreachable
+
+let route t ~src ~dst =
+  if src = dst then Some [ src ]
+  else begin
+    let cs = t.cluster_of.(src) and cd = t.cluster_of.(dst) in
+    try
+      if cs = cd then
+        match segment t cs src dst with Some p -> Some p | None -> raise Unreachable
+      else begin
+        let ct = cluster_tree t cs in
+        match Spf.path ct cd with
+        | None -> raise Unreachable
+        | Some cpath ->
+          let acc = ref [] in
+          let push v = match !acc with h :: _ when h = v -> () | _ -> acc := v :: !acc in
+          let cur = ref src in
+          let rec stitch = function
+            | c1 :: (c2 :: _ as rest) ->
+              let clid =
+                match Graph.find_link t.cluster_graph c1 c2 with
+                | Some l -> l
+                | None -> raise Unreachable
+              in
+              let l = Graph.link t.g t.phys_of_clink.(clid) in
+              let exit_ad, entry_ad =
+                if t.cluster_of.(l.Link.a) = c1 then (l.Link.a, l.Link.b)
+                else (l.Link.b, l.Link.a)
+              in
+              (match segment t c1 !cur exit_ad with
+              | None -> raise Unreachable
+              | Some p -> List.iter push p);
+              push entry_ad;
+              cur := entry_ad;
+              stitch rest
+            | _ -> ()
+          in
+          stitch cpath;
+          (match segment t cd !cur dst with
+          | None -> raise Unreachable
+          | Some p -> List.iter push p);
+          Some (List.rev !acc)
+      end
+    with Unreachable -> None
+  end
+
+let route_cost t path =
+  let rec go acc = function
+    | u :: (v :: _ as rest) ->
+      let c = Graph.link_cost t.g u v in
+      if c < 0 then -1 else go (acc + c) rest
+    | _ -> acc
+  in
+  go 0 path
+
+let table_entries t ad = t.num_clusters + Array.length t.members.(t.cluster_of.(ad))

@@ -1,0 +1,63 @@
+(** Hierarchical (compact) route synthesis over an explicit clustering
+    of the AD internet.
+
+    Backbones are singleton clusters, each regional AD anchors the
+    cluster of its hierarchical cone (multihomed descendants go to the
+    first cluster that reaches them), and anything untouched by the
+    hierarchy becomes a singleton. A route is a cluster-level shortest
+    path stitched with intra-cluster shortest paths through border ADs:
+    per-AD routing state shrinks from O(n) to
+    O(#clusters + own cluster size) — about 2*sqrt(n) on the paper's
+    topology class — in exchange for bounded, measured stretch. Since
+    clusters partition the ADs and every stitched sub-path is simple,
+    synthesized routes are loop-free by construction.
+
+    All SPF trees involved are lazy and memoized: synthesizing one
+    route computes at most one cluster-level tree plus one intra-cluster
+    tree per cluster traversed. *)
+
+type t
+
+val clusters_of_levels : Graph.t -> int array
+(** The level-derived clustering described above: a dense cluster id
+    per AD. Deterministic for a given graph. *)
+
+val build : Graph.t -> cluster_of:int array -> t
+(** Precompute cluster memberships, the cluster-level graph and the
+    induced intra-cluster subgraphs. The cluster level keeps one
+    super-link per adjacent cluster pair — the cheapest inter-cluster
+    physical link whose two border ADs are both transit-capable. A
+    stub/multihomed border would have to relay foreign traffic into
+    the next cluster, which its class forbids (paper §2.1), so
+    stub-grade borders survive only as a rescue for clusters with no
+    transit-grade attachment at all. [cluster_of] must assign every AD
+    a dense id in [0, k).
+    @raise Invalid_argument otherwise. *)
+
+val num_clusters : t -> int
+
+val cluster_of : t -> Ad.id -> int
+
+val cluster_graph : t -> Graph.t
+(** The cluster-level graph (cluster ids are its AD ids). This is
+    what the 10^5-AD smoke actually converges a link-state protocol
+    over: ~sqrt(n) nodes stand in for the full internet, as in the
+    paper's two-level synthesis argument. *)
+
+val members : t -> int -> Ad.id array
+(** Member ADs of a cluster, in increasing id order. Not a copy — do
+    not mutate. *)
+
+val route : t -> src:Ad.id -> dst:Ad.id -> Path.t option
+(** The stitched hierarchical route, as global AD ids. [None] only when
+    the destination's cluster is unreachable at the cluster level. *)
+
+val route_cost : t -> Path.t -> int
+(** Cost of a synthesized route under the same metric as {!Spf}
+    (cheapest parallel link per hop); -1 if adjacent route members are
+    not actually adjacent in the graph. Divide by [Spf.tree] distance
+    to get the stretch. *)
+
+val table_entries : t -> Ad.id -> int
+(** Routing-table size for one AD in hierarchical mode: one entry per
+    cluster plus one per member of its own cluster. *)

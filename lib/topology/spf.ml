@@ -46,6 +46,32 @@ let tree g ~src =
   drain ();
   { src; dist; parent; first_hop }
 
+let tree_state g ~up ~cost ~src =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  let first_hop = Array.make n (-1) in
+  let cand_parent = Array.make n (-1) in
+  let q = Pqueue.Keyed.create ~capacity:n in
+  ignore (Pqueue.Keyed.insert_or_decrease q src ~priority:0);
+  let rec drain () =
+    match Pqueue.Keyed.pop q with
+    | None -> ()
+    | Some (d, u) ->
+      dist.(u) <- d;
+      parent.(u) <- cand_parent.(u);
+      if u <> src then
+        first_hop.(u) <- (if parent.(u) = src then u else first_hop.(parent.(u)));
+      Graph.iter_neighbors g u ~f:(fun v lid ->
+          if up.(lid) && dist.(v) < 0 then begin
+            let c = d + cost.(lid) in
+            if Pqueue.Keyed.insert_or_decrease q v ~priority:c then cand_parent.(v) <- u
+          end);
+      drain ()
+  in
+  drain ();
+  { src; dist; parent; first_hop }
+
 let reachable t =
   Array.fold_left (fun acc d -> if d >= 0 then acc + 1 else acc) (-1) t.dist
 

@@ -16,6 +16,17 @@ val tree : Graph.t -> src:Ad.id -> tree
 (** The shortest-path tree rooted at [src], over static link costs
     (cheapest parallel link wins, as everywhere else). *)
 
+val tree_state : Graph.t -> up:bool array -> cost:int array -> src:Ad.id -> tree
+(** From-scratch shortest-path tree under explicit dynamic link state:
+    [up.(lid)] gates each link, [cost.(lid)] overrides its static cost.
+    Iterates the full parallel-link adjacency (the precomputed
+    cheapest-parallel-link index assumes static costs, so it cannot be
+    used here). This is the reference the incremental kernel in
+    {!Spf_delta} is checked against, and the full-recompute arm of the
+    delta benchmark. Distances are uniquely determined; among
+    equal-cost predecessors the recorded parent is the first to reach
+    the best distance, so only [dist] is comparable across kernels. *)
+
 val reachable : tree -> int
 (** Destinations with a route, excluding the source itself. *)
 

@@ -96,3 +96,97 @@ let fold t ~init ~f =
     acc := f !acc e.priority e.value
   done;
   !acc
+
+(* Indexed heap with decrease-key over a dense integer key space. Keys
+   double as identities: at most one live entry per key, its heap slot
+   tracked in [pos] so a priority improvement is an O(log n) sift-up
+   instead of a duplicate insertion. Ties break on the smaller key, so
+   pop order is a pure function of the (key, priority) multiset — no
+   insertion-order state to keep deterministic across repairs. *)
+module Keyed = struct
+  type t = {
+    heap : int array;  (* heap slot -> key *)
+    pos : int array;  (* key -> heap slot; -1 when absent *)
+    prio : int array;  (* key -> priority, meaningful while pos.(key) >= 0 *)
+    mutable size : int;
+  }
+
+  let create ~capacity =
+    if capacity < 0 then invalid_arg "Pqueue.Keyed.create: negative capacity";
+    let cap = Stdlib.max capacity 1 in
+    { heap = Array.make cap 0; pos = Array.make cap (-1); prio = Array.make cap 0; size = 0 }
+
+  let is_empty t = t.size = 0
+
+  let length t = t.size
+
+  let mem t key = t.pos.(key) >= 0
+
+  let priority t key = if t.pos.(key) >= 0 then Some t.prio.(key) else None
+
+  let less t a b = t.prio.(a) < t.prio.(b) || (t.prio.(a) = t.prio.(b) && a < b)
+
+  let swap t i j =
+    let a = t.heap.(i) and b = t.heap.(j) in
+    t.heap.(i) <- b;
+    t.heap.(j) <- a;
+    t.pos.(b) <- i;
+    t.pos.(a) <- j
+
+  let rec sift_up t i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if less t t.heap.(i) t.heap.(parent) then begin
+        swap t i parent;
+        sift_up t parent
+      end
+    end
+
+  let rec sift_down t i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < t.size && less t t.heap.(l) t.heap.(!smallest) then smallest := l;
+    if r < t.size && less t t.heap.(r) t.heap.(!smallest) then smallest := r;
+    if !smallest <> i then begin
+      swap t i !smallest;
+      sift_down t !smallest
+    end
+
+  let insert_or_decrease t key ~priority =
+    let slot = t.pos.(key) in
+    if slot < 0 then begin
+      t.prio.(key) <- priority;
+      t.heap.(t.size) <- key;
+      t.pos.(key) <- t.size;
+      t.size <- t.size + 1;
+      sift_up t (t.size - 1);
+      true
+    end
+    else if priority < t.prio.(key) then begin
+      t.prio.(key) <- priority;
+      sift_up t slot;
+      true
+    end
+    else false
+
+  let pop t =
+    if t.size = 0 then None
+    else begin
+      let top = t.heap.(0) in
+      t.size <- t.size - 1;
+      t.pos.(top) <- -1;
+      if t.size > 0 then begin
+        let last = t.heap.(t.size) in
+        t.heap.(0) <- last;
+        t.pos.(last) <- 0;
+        sift_down t 0
+      end;
+      Some (t.prio.(top), top)
+    end
+
+  let clear t =
+    for i = 0 to t.size - 1 do
+      t.pos.(t.heap.(i)) <- -1
+    done;
+    t.size <- 0
+end

@@ -155,7 +155,7 @@ let flood_reacts_to_failure () =
 let flood_change_callback () =
   let _, e, _, flood = flood_setup () in
   let changes = ref 0 in
-  Ls_flood.set_on_change flood (fun _ -> incr changes);
+  Ls_flood.set_on_change flood (fun _ ~origin:_ -> incr changes);
   Ls_flood.start flood;
   ignore (Engine.run e);
   check_bool "callbacks fired" true (!changes > 0)

@@ -8,6 +8,9 @@ module Path = Pr_topology.Path
 module Generator = Pr_topology.Generator
 module Figure1 = Pr_topology.Figure1
 module Partial_order = Pr_topology.Partial_order
+module Spf = Pr_topology.Spf
+module Spf_delta = Pr_topology.Spf_delta
+module Hierarchy = Pr_topology.Hierarchy
 
 let check_int = Alcotest.(check int)
 
@@ -488,6 +491,195 @@ let dot_highlight () =
   let plain = Pr_topology.Dot.to_dot g in
   check_bool "no highlight by default" false (contains_substring plain "color=red")
 
+(* --- Spf_delta ------------------------------------------------------ *)
+
+(* Apply one random patch both to the retained tree and to the mirror
+   up/cost arrays the from-scratch oracle reads. [crashed] records the
+   links each crashed AD took down, as the simulation runner does. *)
+let delta_apply_op g d up cost crashed (kind, x, y) =
+  let n = Graph.n g and m = Graph.num_links g in
+  match kind mod 4 with
+  | 0 ->
+    let lid = x mod m in
+    let to_up = not (Spf_delta.link_up d lid) in
+    Spf_delta.set_link d lid ~up:to_up;
+    up.(lid) <- to_up
+  | 1 ->
+    let lid = x mod m in
+    let c = 1 + (y mod 9) in
+    Spf_delta.set_cost d lid ~cost:c;
+    cost.(lid) <- c
+  | 2 ->
+    let v = x mod n in
+    if not (Hashtbl.mem crashed v) then begin
+      let links = Spf_delta.node_down d v in
+      List.iter (fun lid -> up.(lid) <- false) links;
+      Hashtbl.add crashed v links
+    end
+  | _ -> (
+    match Hashtbl.fold (fun v links _ -> Some (v, links)) crashed None with
+    | None -> ()
+    | Some (v, links) ->
+      Spf_delta.node_up d ~links;
+      List.iter (fun lid -> up.(lid) <- true) links;
+      Hashtbl.remove crashed v)
+
+let delta_graph seed =
+  let rng = Rng.create seed in
+  match seed mod 4 with
+  | 0 -> Generator.generate rng Generator.default
+  | 1 -> Generator.generate rng (Generator.scaled ~target_ads:150)
+  | 2 -> Generator.random_mesh rng ~n:40 ~extra_links:25
+  | _ -> Generator.ring ~n:24
+
+(* The ISSUE's core property: after an arbitrary sequence of link
+   up/down, weight-change and crash/restart deltas, the retained tree's
+   distances equal a from-scratch SPF under the same link state — after
+   every single repair, not just at the end — and the structural audit
+   passes. Restoring everything must bring it back to [Spf.tree]. *)
+let delta_vs_scratch_prop =
+  QCheck.Test.make ~name:"Spf_delta repairs match from-scratch SPF" ~count:40
+    QCheck.(pair small_nat (small_list (triple small_nat small_nat small_nat)))
+    (fun (seed, ops) ->
+      let g = delta_graph seed in
+      let n = Graph.n g and m = Graph.num_links g in
+      let src = seed * 7 mod n in
+      let d = Spf_delta.create g ~src in
+      let up = Array.make m true in
+      let cost = Array.init m (fun lid -> (Graph.link g lid).Link.cost) in
+      let crashed = Hashtbl.create 8 in
+      let agrees () =
+        let scratch = Spf.tree_state g ~up ~cost ~src in
+        (Spf_delta.to_tree d).Spf.dist = scratch.Spf.dist
+        && Spf_delta.self_check d = Ok ()
+      in
+      agrees ()
+      && List.for_all
+           (fun op ->
+             delta_apply_op g d up cost crashed op;
+             agrees ())
+           ops
+      &&
+      (* restore everything and compare against the static-cost tree *)
+      (Hashtbl.iter (fun _ links -> Spf_delta.node_up d ~links) crashed;
+       for lid = 0 to m - 1 do
+         Spf_delta.set_link d lid ~up:true;
+         Spf_delta.set_cost d lid ~cost:(Graph.link g lid).Link.cost
+       done;
+       (Spf_delta.to_tree d).Spf.dist = (Spf.tree g ~src).Spf.dist
+       && Spf_delta.self_check d = Ok ()))
+
+let delta_basics () =
+  let g = Figure1.graph () in
+  let src = 0 in
+  let d = Spf_delta.create g ~src in
+  let t0 = Spf.tree g ~src in
+  check_bool "fresh tree = Spf.tree" true ((Spf_delta.to_tree d).Spf.dist = t0.Spf.dist);
+  check_int "no events yet" 0 (Spf_delta.events d);
+  (* take down every link on the source's shortest-path tree edge to a
+     chosen far node, one at a time, and verify against scratch *)
+  let up = Array.make (Graph.num_links g) true in
+  let cost = Array.init (Graph.num_links g) (fun lid -> (Graph.link g lid).Link.cost) in
+  for lid = 0 to Stdlib.min 3 (Graph.num_links g - 1) do
+    Spf_delta.set_link d lid ~up:false;
+    up.(lid) <- false;
+    let scratch = Spf.tree_state g ~up ~cost ~src in
+    check_bool
+      (Printf.sprintf "dist after link %d down" lid)
+      true
+      ((Spf_delta.to_tree d).Spf.dist = scratch.Spf.dist)
+  done;
+  check_int "events counted" 4 (Spf_delta.events d);
+  check_bool "self check" true (Spf_delta.self_check d = Ok ());
+  (* crash the source: everything else must become unreachable *)
+  let links = Spf_delta.node_down d src in
+  check_bool "source still at 0" true (Spf_delta.dist d src = 0);
+  let others_unreachable = ref true in
+  for v = 1 to Graph.n g - 1 do
+    if Spf_delta.dist d v >= 0 then others_unreachable := false
+  done;
+  check_bool "others unreachable after src crash" true !others_unreachable;
+  Spf_delta.node_up d ~links;
+  List.iter (fun lid -> up.(lid) <- true) links;
+  check_bool "restored matches scratch" true
+    ((Spf_delta.to_tree d).Spf.dist = (Spf.tree_state g ~up ~cost ~src).Spf.dist);
+  check_bool "repaired fewer nodes than full recompute" true
+    (Spf_delta.nodes_repaired d <= Spf_delta.events d * Graph.n g)
+
+let delta_cost_guard () =
+  let g = Figure1.graph () in
+  let d = Spf_delta.create g ~src:0 in
+  Alcotest.check_raises "cost below 1 rejected"
+    (Invalid_argument "Spf_delta.set_cost: cost must be >= 1") (fun () ->
+      Spf_delta.set_cost d 0 ~cost:0)
+
+(* --- Hierarchy ------------------------------------------------------ *)
+
+let hierarchy_partition h n =
+  let seen = Array.make n 0 in
+  for c = 0 to Hierarchy.num_clusters h - 1 do
+    Array.iter
+      (fun ad ->
+        seen.(ad) <- seen.(ad) + 1;
+        if Hierarchy.cluster_of h ad <> c then seen.(ad) <- 99)
+      (Hierarchy.members h c)
+  done;
+  Array.for_all (fun x -> x = 1) seen
+
+let hierarchy_figure1 () =
+  let g = Figure1.graph () in
+  let h = Hierarchy.build g ~cluster_of:(Hierarchy.clusters_of_levels g) in
+  let n = Graph.n g in
+  check_bool "clusters partition the ADs" true (hierarchy_partition h n);
+  check_bool "more than one cluster" true (Hierarchy.num_clusters h > 1);
+  let exact = Array.init n (fun src -> Spf.tree g ~src) in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      match Hierarchy.route h ~src ~dst with
+      | None -> Alcotest.failf "no hierarchical route %d -> %d" src dst
+      | Some p ->
+        check_bool "valid path" true (src = dst || Path.is_valid g p);
+        check_int "starts at src" src (Path.source p);
+        check_int "ends at dst" dst (Path.destination p);
+        check_bool "loop free" true (Path.is_loop_free p);
+        let c = Hierarchy.route_cost h p in
+        check_bool "stretch >= 1" true (c >= exact.(src).Spf.dist.(dst))
+    done
+  done
+
+let hierarchy_routes_prop =
+  QCheck.Test.make ~name:"hierarchical routes deliver, loop-free, stretch >= 1" ~count:25
+    QCheck.small_nat (fun seed ->
+      let rng = Rng.create seed in
+      let g = Generator.generate rng Generator.default in
+      let n = Graph.n g in
+      let h = Hierarchy.build g ~cluster_of:(Hierarchy.clusters_of_levels g) in
+      hierarchy_partition h n
+      && List.for_all
+           (fun _ ->
+             let src = Rng.int rng n and dst = Rng.int rng n in
+             match Hierarchy.route h ~src ~dst with
+             | None -> false
+             | Some p ->
+               (src = dst || Path.is_valid g p)
+               && Path.source p = src && Path.destination p = dst
+               && Path.is_loop_free p
+               && Hierarchy.route_cost h p >= (Spf.tree g ~src).Spf.dist.(dst))
+           (List.init 20 (fun i -> i)))
+
+let hierarchy_compact () =
+  let rng = Rng.create 17 in
+  let g = Generator.generate rng (Generator.scaled ~target_ads:400) in
+  let n = Graph.n g in
+  let h = Hierarchy.build g ~cluster_of:(Hierarchy.clusters_of_levels g) in
+  check_bool "cluster graph much smaller than internet" true
+    (Graph.n (Hierarchy.cluster_graph h) < n / 2);
+  let all_compact = ref true in
+  for ad = 0 to n - 1 do
+    if Hierarchy.table_entries h ad >= n then all_compact := false
+  done;
+  check_bool "every table smaller than flat O(n)" true !all_compact
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -535,6 +727,18 @@ let () =
               generator_no_duplicate_links;
             ] );
       ("figure1", [ Alcotest.test_case "shape" `Quick figure1_shape ]);
+      ( "spf-delta",
+        [
+          Alcotest.test_case "basics" `Quick delta_basics;
+          Alcotest.test_case "cost guard" `Quick delta_cost_guard;
+        ]
+        @ qsuite [ delta_vs_scratch_prop ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "figure1 routes" `Quick hierarchy_figure1;
+          Alcotest.test_case "compact tables" `Quick hierarchy_compact;
+        ]
+        @ qsuite [ hierarchy_routes_prop ] );
       ( "dot",
         [
           Alcotest.test_case "well formed" `Quick dot_well_formed;

@@ -156,6 +156,93 @@ let pqueue_fold () =
   let total = Pqueue.fold q ~init:0 ~f:(fun acc _ v -> acc + v) in
   check_int "fold sums all" 6 total
 
+(* --- Pqueue.Keyed --------------------------------------------------- *)
+
+let keyed_basic () =
+  let q = Pqueue.Keyed.create ~capacity:8 in
+  check_bool "empty" true (Pqueue.Keyed.is_empty q);
+  check_bool "insert 3" true (Pqueue.Keyed.insert_or_decrease q 3 ~priority:30);
+  check_bool "insert 1" true (Pqueue.Keyed.insert_or_decrease q 1 ~priority:10);
+  check_bool "insert 5" true (Pqueue.Keyed.insert_or_decrease q 5 ~priority:20);
+  check_int "length" 3 (Pqueue.Keyed.length q);
+  check_bool "mem 3" true (Pqueue.Keyed.mem q 3);
+  check_bool "not mem 0" false (Pqueue.Keyed.mem q 0);
+  Alcotest.(check (option int)) "priority of 3" (Some 30) (Pqueue.Keyed.priority q 3);
+  check_bool "worse priority ignored" false (Pqueue.Keyed.insert_or_decrease q 3 ~priority:40);
+  Alcotest.(check (option int)) "still 30" (Some 30) (Pqueue.Keyed.priority q 3);
+  check_bool "decrease 3" true (Pqueue.Keyed.insert_or_decrease q 3 ~priority:5);
+  Alcotest.(check (option (pair int int))) "pop 3 first after decrease" (Some (5, 3))
+    (Pqueue.Keyed.pop q);
+  check_bool "popped not mem" false (Pqueue.Keyed.mem q 3);
+  Alcotest.(check (option (pair int int))) "pop 1" (Some (10, 1)) (Pqueue.Keyed.pop q);
+  Alcotest.(check (option (pair int int))) "pop 5" (Some (20, 5)) (Pqueue.Keyed.pop q);
+  Alcotest.(check (option (pair int int))) "pop none" None (Pqueue.Keyed.pop q)
+
+let keyed_key_ties () =
+  let q = Pqueue.Keyed.create ~capacity:8 in
+  List.iter
+    (fun k -> ignore (Pqueue.Keyed.insert_or_decrease q k ~priority:7))
+    [ 6; 2; 4; 0 ];
+  let popped = ref [] in
+  let rec drain () =
+    match Pqueue.Keyed.pop q with
+    | None -> ()
+    | Some (_, k) ->
+      popped := k :: !popped;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "equal priorities pop by key" [ 0; 2; 4; 6 ] (List.rev !popped)
+
+(* The decrease-key analog of the vacated-slot path: popping moves the
+   last heap entry into the root, so the pos bookkeeping must stay
+   exact through pop/reinsert cycles that reuse freed keys. *)
+let keyed_vacated_reuse () =
+  let q = Pqueue.Keyed.create ~capacity:4 in
+  for k = 0 to 3 do
+    ignore (Pqueue.Keyed.insert_or_decrease q k ~priority:(10 + k))
+  done;
+  Alcotest.(check (option (pair int int))) "pop 0" (Some (10, 0)) (Pqueue.Keyed.pop q);
+  (* key 0 reinserted after its slot was vacated and backfilled *)
+  check_bool "reinsert popped key" true (Pqueue.Keyed.insert_or_decrease q 0 ~priority:25);
+  check_bool "decrease reinserted" true (Pqueue.Keyed.insert_or_decrease q 0 ~priority:9);
+  Alcotest.(check (option (pair int int))) "reinserted pops first" (Some (9, 0))
+    (Pqueue.Keyed.pop q);
+  Pqueue.Keyed.clear q;
+  check_bool "cleared" true (Pqueue.Keyed.is_empty q);
+  check_bool "cleared keys absent" false (Pqueue.Keyed.mem q 2);
+  check_bool "usable after clear" true (Pqueue.Keyed.insert_or_decrease q 2 ~priority:1);
+  Alcotest.(check (option (pair int int))) "pop after clear" (Some (1, 2)) (Pqueue.Keyed.pop q)
+
+(* Model check: a sequence of insert_or_decrease operations against a
+   reference map, then drain — pops must come out exactly in
+   (priority, key) order of the final model state. *)
+let keyed_vs_model =
+  QCheck.Test.make ~name:"keyed heap drains in (priority, key) order of the model"
+    ~count:300
+    QCheck.(list (pair (int_range 0 31) (int_range 0 50)))
+    (fun ops ->
+      let q = Pqueue.Keyed.create ~capacity:32 in
+      let model = Hashtbl.create 32 in
+      List.iter
+        (fun (k, p) ->
+          let changed = Pqueue.Keyed.insert_or_decrease q k ~priority:p in
+          (match Hashtbl.find_opt model k with
+          | None ->
+            if not changed then raise Exit;
+            Hashtbl.replace model k p
+          | Some old ->
+            if changed <> (p < old) then raise Exit;
+            if p < old then Hashtbl.replace model k p))
+        ops;
+      let expect =
+        Hashtbl.fold (fun k p acc -> (p, k) :: acc) model [] |> List.sort compare
+      in
+      let rec drain acc =
+        match Pqueue.Keyed.pop q with None -> List.rev acc | Some pk -> drain (pk :: acc)
+      in
+      drain [] = expect)
+
 (* --- Bitset -------------------------------------------------------- *)
 
 let bitset_basic () =
@@ -385,6 +472,13 @@ let () =
           Alcotest.test_case "fold" `Quick pqueue_fold;
         ]
         @ qsuite [ pqueue_sorted_output ] );
+      ( "pqueue-keyed",
+        [
+          Alcotest.test_case "basic + decrease-key" `Quick keyed_basic;
+          Alcotest.test_case "key ties" `Quick keyed_key_ties;
+          Alcotest.test_case "vacated slot reuse + clear" `Quick keyed_vacated_reuse;
+        ]
+        @ qsuite [ keyed_vs_model ] );
       ( "bitset",
         [
           Alcotest.test_case "basic" `Quick bitset_basic;
