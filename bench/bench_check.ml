@@ -1,11 +1,17 @@
-(* Well-formedness check for synthesis benchmark JSON (the files
-   bench/main.exe synth --json emits): parses with the in-repo JSON
-   reader and validates the schema the tracking tooling relies on —
-   top-level identity fields, a non-empty Spf scaling table, the
-   restrictive-policy synthesis section, and the delta-SPF /
-   hierarchical-synthesis section, each with positive timings on every
-   row. Run from dune's runtest alias over both the smoke output and
-   the committed BENCH_synthesis.json baseline. *)
+(* Well-formedness check for benchmark JSON documents: parses with the
+   in-repo JSON reader, dispatches on the top-level "benchmark"
+   identity, and validates the schema the tracking tooling relies on.
+
+   - "route_synthesis_scaling" (bench/main.exe synth --json): identity
+     fields, a non-empty Spf scaling table, the restrictive-policy
+     synthesis section, and the delta-SPF / hierarchical-synthesis
+     section, each with positive timings on every row.
+   - "route_server_serving" (prx serve --out): per-size serving rows
+     with positive load/latency/diagram figures and zero
+     admission-agreement failures.
+
+   Run from dune's runtest alias over both the smoke outputs and the
+   committed BENCH_synthesis.json / BENCH_serve.json baselines. *)
 
 module J = Pr_util.Json
 
@@ -41,15 +47,7 @@ let rows_of file ~section doc name =
   | Some l -> l
   | None -> fail "%s: %s: missing %S list" file section name
 
-let check_file file =
-  let doc =
-    match J.parse (read_file file) with
-    | Ok doc -> doc
-    | Error e -> fail "%s: parse error: %s" file e
-  in
-  (match J.member "benchmark" doc with
-  | Some (J.String "route_synthesis_scaling") -> ()
-  | _ -> fail "%s: missing or unexpected \"benchmark\" identity" file);
+let check_synthesis_file file doc =
   (match J.member "kernel" doc with
   | Some (J.String _) -> ()
   | _ -> fail "%s: missing \"kernel\"" file);
@@ -104,6 +102,65 @@ let check_file file =
         "pairs";
       ]
     (rows_of file ~section:"delta" delta "results")
+
+(* prx serve --out documents: every row must carry positive sizing,
+   throughput, latency and diagram-shape figures (counters that can
+   legitimately be zero — hits, evictions, no-routes — are not
+   required positive), and the in-run health checks must be clean:
+   agreement checks ran and none failed. *)
+let check_serve_file file doc =
+  (match J.member "kernel" doc with
+  | Some (J.String _) -> ()
+  | _ -> fail "%s: missing \"kernel\"" file);
+  (match J.member "plan" doc with
+  | Some (J.String _) -> ()
+  | _ -> fail "%s: missing \"plan\"" file);
+  let rows = rows_of file ~section:"top" doc "results" in
+  check_rows file ~section:"results"
+    ~fields:
+      [
+        "target_ads";
+        "ads";
+        "links";
+        "queries";
+        "answered";
+        "qps";
+        "p50_ns";
+        "p99_ns";
+        "admit_ns";
+        "spec_admit_ns";
+        "admit_probes";
+        "build_ns";
+        "rebuilds";
+        "rebuilt_ads";
+        "diagram_nodes";
+        "diagram_preds";
+        "agreement_checks";
+      ]
+    rows;
+  List.iteri
+    (fun i row ->
+      (match Option.bind (J.member "agreement_failures" row) number with
+      | Some 0.0 -> ()
+      | Some v -> fail "%s: results[%d]: %g admission disagreements" file i v
+      | None -> fail "%s: results[%d]: missing \"agreement_failures\"" file i);
+      match Option.bind (J.member "handle_hit_rate" row) number with
+      | Some v when v >= 0.0 && v <= 1.0 -> ()
+      | Some v -> fail "%s: results[%d]: handle_hit_rate %g outside [0,1]" file i v
+      | None -> fail "%s: results[%d]: missing \"handle_hit_rate\"" file i)
+    rows
+
+let check_file file =
+  let doc =
+    match J.parse (read_file file) with
+    | Ok doc -> doc
+    | Error e -> fail "%s: parse error: %s" file e
+  in
+  match J.member "benchmark" doc with
+  | Some (J.String "route_synthesis_scaling") -> check_synthesis_file file doc
+  | Some (J.String "route_server_serving") -> check_serve_file file doc
+  | Some (J.String other) -> fail "%s: unknown \"benchmark\" identity %S" file other
+  | _ -> fail "%s: missing \"benchmark\" identity" file
 
 let () =
   let files = List.tl (Array.to_list Sys.argv) in

@@ -1929,13 +1929,46 @@ let padmit () =
       ~finally:(fun () -> Pr_proto.Policy_route.force_interpreted := false)
       f
   in
-  (* All three variants must agree before any of them is timed. *)
+  let pdd_store = Pr_serve.Pdd.store_create () in
+  let roots =
+    Array.init n (fun ad -> Pr_serve.Pdd.compile pdd_store (Pr_proto.Lsdb.compiled_of db ad))
+  in
+  let count_diagram () =
+    let c = ref 0 in
+    List.iter
+      (fun flow ->
+        List.iter
+          (fun (ad, p, q) ->
+            if Pr_serve.Pdd.admit_node roots.(ad) flow ~prev:(Some p) ~next:(Some q)
+            then incr c)
+          probes)
+      flows;
+    !c
+  in
+  let count_diagram_entry () =
+    let c = ref 0 in
+    List.iter
+      (fun flow ->
+        let entries = Array.map (fun r -> Pr_serve.Pdd.flow_entry r flow) roots in
+        List.iter
+          (fun (ad, p, q) ->
+            if Pr_serve.Pdd.entry_admit entries.(ad) ~prev:(Some p) ~next:(Some q) then
+              incr c)
+          probes)
+      flows;
+    !c
+  in
+  (* All variants must agree before any of them is timed. *)
   let admitted = count_engine () in
   if count_compiled () <> admitted || with_interpreted count_engine <> admitted then
     failwith "padmit: admission variants disagree";
+  if count_diagram () <> admitted || count_diagram_entry () <> admitted then
+    failwith "padmit: decision diagram disagrees with the term engines";
   let interp_ns = with_interpreted (fun () -> time_ns_per ~ops (fun () -> ignore (count_engine ()))) in
   let compiled_ns = time_ns_per ~ops (fun () -> ignore (count_compiled ())) in
   let spec_ns = time_ns_per ~ops (fun () -> ignore (count_engine ())) in
+  let diagram_ns = time_ns_per ~ops (fun () -> ignore (count_diagram ())) in
+  let diagram_entry_ns = time_ns_per ~ops (fun () -> ignore (count_diagram_entry ())) in
   let t =
     Texttable.create
       ~columns:
@@ -1956,13 +1989,20 @@ let padmit () =
   row "interpreted (List.exists over PTs)" interp_ns;
   row "compiled (masks + bitset probes)" compiled_ns;
   row "specialized (per-flow engine)" spec_ns;
+  row "diagram (PDD root-to-leaf walk)" diagram_ns;
+  row "diagram specialized (flow_entry)" diagram_entry_ns;
   Texttable.print t;
   note
     "\n%d of %d checks admitted. Expected shape: compiled beats interpreted\n\
      by resolving QOS/UCI/hour to int-mask tests and source/dest/prev/next\n\
      to one bitset probe each; specialization wins again on top by hoisting\n\
-     the flow-only conditions out of the per-crossing loop.\n"
+     the flow-only conditions out of the per-crossing loop. The decision\n\
+     diagram (%d nodes, %d preds across the whole database) walks only the\n\
+     conditions that can still matter, and its flow_entry form hoists the\n\
+     flow-only prefix the same way the serving layer's synthesis does.\n"
     admitted ops
+    (Pr_serve.Pdd.store_nodes pdd_store)
+    (Pr_serve.Pdd.store_preds pdd_store)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one kernel per exhibit                   *)

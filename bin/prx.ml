@@ -647,6 +647,143 @@ let chaos_cmd =
       $ restrictiveness_arg $ granularity_arg $ churn_flag $ max_events_arg $ plan_arg
       $ report_arg)
 
+(* --- serve ---------------------------------------------------------- *)
+
+(* The route-server serving layer under load: run the deterministic
+   Daemon request loop (skewed workload + fault churn + policy flips)
+   at each requested size, print the per-size report, optionally write
+   the BENCH_serve.json document, and exit non-zero when any session is
+   unhealthy (admission disagreement, handle leak, hash-cons
+   violation, or zero answered queries). *)
+
+let serve_cmd =
+  let sizes_arg =
+    let doc = "Comma-separated internet sizes (AD counts) to serve at." in
+    Arg.(value & opt (list int) [ 56 ] & info [ "sizes" ] ~docv:"SIZES" ~doc)
+  in
+  let duration_arg =
+    let doc = "Simulated time to run each session for." in
+    Arg.(
+      value
+      & opt float Pr_serve.Daemon.default_config.Pr_serve.Daemon.duration
+      & info [ "duration" ] ~docv:"T" ~doc)
+  in
+  let batch_arg =
+    let doc = "Operations per batch event." in
+    Arg.(
+      value
+      & opt int Pr_serve.Daemon.default_config.Pr_serve.Daemon.batch
+      & info [ "batch" ] ~docv:"N" ~doc)
+  in
+  let interval_arg =
+    let doc = "Simulated time between operation batches." in
+    Arg.(
+      value
+      & opt float Pr_serve.Daemon.default_config.Pr_serve.Daemon.interval
+      & info [ "interval" ] ~docv:"T" ~doc)
+  in
+  let plan_arg =
+    let doc =
+      "Fault plan: a profile name (none, default, crash, partition, storm, lossy) or a \
+       spec like \"delay:p=0.25,max=2,until=40;crash:at=14,down=8\"."
+    in
+    Arg.(value & opt string "default" & info [ "plan" ] ~docv:"PLAN" ~doc)
+  in
+  let flip_every_arg =
+    let doc = "Simulated time between transit-policy flips (0 disables them)." in
+    Arg.(
+      value
+      & opt float Pr_serve.Daemon.default_config.Pr_serve.Daemon.flip_every
+      & info [ "flip-every" ] ~docv:"T" ~doc)
+  in
+  let route_capacity_arg =
+    let doc = "Route-cache capacity (LRU entries)." in
+    Arg.(
+      value
+      & opt int Pr_serve.Daemon.default_config.Pr_serve.Daemon.route_capacity
+      & info [ "route-capacity" ] ~docv:"N" ~doc)
+  in
+  let handle_capacity_arg =
+    let doc = "Handle-table capacity (LRU entries)." in
+    Arg.(
+      value
+      & opt int Pr_serve.Daemon.default_config.Pr_serve.Daemon.handle_capacity
+      & info [ "handle-capacity" ] ~docv:"N" ~doc)
+  in
+  let check_every_arg =
+    let doc = "Cross-check every Nth answered query three ways (0 disables)." in
+    Arg.(
+      value
+      & opt int Pr_serve.Daemon.default_config.Pr_serve.Daemon.check_every
+      & info [ "check-every" ] ~docv:"N" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the BENCH_serve.json document here (\"none\" disables)." in
+    Arg.(value & opt string "none" & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let run () seed sizes restrictiveness granularity duration batch interval plan_str
+      flip_every route_capacity handle_capacity check_every out =
+    let plan =
+      match Pr_faults.Plan.profile plan_str with
+      | Some p -> p
+      | None -> (
+        match Pr_faults.Plan.of_string plan_str with
+        | Ok p -> p
+        | Error e ->
+          Printf.eprintf "prx: bad --plan %S: %s\n" plan_str e;
+          exit 2)
+    in
+    if sizes = [] then begin
+      Printf.eprintf "prx: --sizes must name at least one size\n";
+      exit 2
+    end;
+    let reports =
+      List.map
+        (fun target_ads ->
+          let cfg =
+            {
+              Pr_serve.Daemon.seed;
+              target_ads;
+              duration;
+              batch;
+              interval;
+              plan;
+              plan_name = plan_str;
+              flip_every;
+              route_capacity;
+              handle_capacity;
+              check_every;
+              policy =
+                { Pr_policy.Gen.default with restrictiveness; granularity };
+            }
+          in
+          let r = Pr_serve.Daemon.run cfg in
+          Format.printf "%a@." Pr_serve.Daemon.pp_report r;
+          r)
+        sizes
+    in
+    (if out <> "none" then begin
+       let oc = open_out out in
+       output_string oc
+         (Pr_util.Json.to_string_pretty (Pr_serve.Daemon.doc_json ~reports));
+       output_char oc '\n';
+       close_out oc;
+       Printf.printf "results: %s\n" out
+     end);
+    if not (List.for_all Pr_serve.Daemon.healthy reports) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the route-server query daemon on a simulated request stream concurrent \
+          with fault-plan churn and policy flips; measures qps, query latency, diagram \
+          rebuild latency and cache hit rates, and exits 1 on any health-check failure.")
+    Term.(
+      const run $ logs_term $ seed_arg $ sizes_arg $ restrictiveness_arg
+      $ granularity_arg $ duration_arg $ batch_arg $ interval_arg $ plan_arg
+      $ flip_every_arg $ route_capacity_arg $ handle_capacity_arg $ check_every_arg
+      $ out_arg)
+
 let () =
   let info = Cmd.info "prx" ~doc:"Inter-AD policy routing explorer (Breslau & Estrin, SIGCOMM 1990)." in
   exit
@@ -661,6 +798,7 @@ let () =
             impact_cmd;
             conformance_cmd;
             sweep_cmd;
+            serve_cmd;
             trace_cmd;
             chaos_cmd;
           ]))

@@ -8,6 +8,7 @@ module Policy_term = Pr_policy.Policy_term
 module Transit_policy = Pr_policy.Transit_policy
 module Source_policy = Pr_policy.Source_policy
 module Policy_store = Pr_policy.Policy_store
+module Lru = Pr_util.Lru
 module Packet = Pr_proto.Packet
 module Cost_model = Pr_proto.Cost_model
 module Lsdb = Pr_proto.Lsdb
@@ -28,6 +29,13 @@ module type VARIANT = sig
       handle, later packets on that handle are dropped at the gateway,
       which notifies the source to re-set-up (the state-management
       limitation of paper §6). *)
+
+  val pr_capacity : int option
+  (** Bound on policy routes cached per route server; [None] =
+      unbounded. Same LRU policy as the gateway handle tables: under
+      sustained churn an unbounded route cache grows without limit, so
+      the deployable variants bound it and count evictions in
+      {!Pr_sim.Metrics}. *)
 
   val setup_retries : int
   (** How many times the route server re-synthesizes around an AD that
@@ -63,6 +71,8 @@ module type S = sig
 
   val evictions : t -> Pr_topology.Ad.id -> int
 
+  val route_evictions : t -> Pr_topology.Ad.id -> int
+
   val set_policy : t -> Transit_policy.t -> unit
 
   val current_policy : t -> Pr_topology.Ad.id -> Transit_policy.t
@@ -80,19 +90,22 @@ module Make (V : VARIANT) = struct
   type pg_entry = {
     prev : Pr_topology.Ad.id option;  (* AD the packet must arrive from *)
     next : Pr_topology.Ad.id option;  (* AD to hand the packet to; None = deliver *)
-    mutable last_used : int;  (* LRU stamp under a bounded cache *)
   }
 
   type pr_entry = { path : Path.t; handle : int }
 
+  (* Both per-node caches are LRU ({!Pr_util.Lru}): the policy
+     gateway's handle table was always evict-least-recently-used when
+     bounded, and the route server's cache now shares the same policy
+     instead of growing without limit under sustained churn. Eviction
+     counts live in the Lru structures (lifetime counters surviving
+     [reset_node]) and are mirrored into {!Pr_sim.Metrics}. *)
   type node = {
     (* Route server: (dst, class) -> installed policy route. *)
-    pr_cache : (int * int, pr_entry) Hashtbl.t;
+    pr_cache : (int * int, pr_entry) Lru.t;
     (* Policy gateway: handle -> cached setup state. *)
-    pg_cache : (int, pg_entry) Hashtbl.t;
+    pg_cache : (int, pg_entry) Lru.t;
     mutable validations : int;
-    mutable pg_clock : int;  (* advances on every PG cache touch *)
-    mutable evictions : int;
   }
 
   type t = {
@@ -173,11 +186,9 @@ module Make (V : VARIANT) = struct
         nodes =
           Array.init n (fun _ ->
               {
-                pr_cache = Hashtbl.create 16;
-                pg_cache = Hashtbl.create 16;
+                pr_cache = Lru.create ~capacity:V.pr_capacity ();
+                pg_cache = Lru.create ~capacity:V.pg_capacity ();
                 validations = 0;
-                pg_clock = 0;
-                evictions = 0;
               });
         next_handle = 1;
       }
@@ -196,8 +207,8 @@ module Make (V : VARIANT) = struct
           match origin with None -> true | Some o -> List.mem o entry.path
         in
         let stale =
-          Hashtbl.fold
-            (fun ((dst, class_idx) as key) entry acc ->
+          Lru.fold node.pr_cache ~init:[]
+            ~f:(fun acc ((dst, class_idx) as key) entry ->
               if not (touches entry) then acc
               else begin
                 let qos = Pr_policy.Qos.of_index (class_idx / Pr_policy.Uci.count) in
@@ -206,9 +217,8 @@ module Make (V : VARIANT) = struct
                 if path_supported (Ls_flood.db t.flood ad) ~n flow entry.path then acc
                 else key :: acc
               end)
-            node.pr_cache []
         in
-        List.iter (Hashtbl.remove node.pr_cache) stale);
+        List.iter (Lru.remove node.pr_cache) stale);
     t
 
   (* The AD's live transit policy: whatever the private store holds
@@ -240,8 +250,8 @@ module Make (V : VARIANT) = struct
        on a vanished handle are notified and re-set-up — the
        data-driven repair of §5.4. Counters survive (they are
        lifetime gauges, not routing state). *)
-    Hashtbl.reset node.pr_cache;
-    Hashtbl.reset node.pg_cache;
+    Lru.clear node.pr_cache;
+    Lru.clear node.pg_cache;
     Ls_flood.reset_node t.flood at
 
   (* Route synthesis at the source's route server. The source applies
@@ -304,28 +314,12 @@ module Make (V : VARIANT) = struct
       | None -> shortest ()
     end
 
-  (* Install setup state at a gateway, evicting the least recently
-     used handle when the cache is bounded and full. *)
+  (* Install setup state at a gateway; a bounded full cache evicts its
+     least recently used handle, counted in Metrics. *)
   let pg_install t ad handle entry =
-    let node = t.nodes.(ad) in
-    (match V.pg_capacity with
-    | Some cap when Hashtbl.length node.pg_cache >= cap ->
-      let victim =
-        Hashtbl.fold
-          (fun h (e : pg_entry) acc ->
-            match acc with
-            | Some (_, stamp) when stamp <= e.last_used -> acc
-            | _ -> Some (h, e.last_used))
-          node.pg_cache None
-      in
-      (match victim with
-      | Some (h, _) ->
-        Hashtbl.remove node.pg_cache h;
-        node.evictions <- node.evictions + 1
-      | None -> ())
-    | _ -> ());
-    node.pg_clock <- node.pg_clock + 1;
-    Hashtbl.replace node.pg_cache handle { entry with last_used = node.pg_clock }
+    match Lru.put t.nodes.(ad).pg_cache handle entry with
+    | Some _victim -> Metrics.record_eviction (Network.metrics t.net) ad ()
+    | None -> ()
 
   (* The setup packet walks the route; each policy gateway validates
      against its LOCAL policy terms and caches the state under the
@@ -350,7 +344,7 @@ module Make (V : VARIANT) = struct
           Metrics.record_computation (Network.metrics t.net) ad ();
           Pr_proto.Probe.computation t.net ~at:ad "orwg.validate";
           if next <> None || ad = flow.Flow.dst then
-            pg_install t ad handle { prev; next; last_used = 0 };
+            pg_install t ad handle { prev; next };
           validate (Some ad) rest
         end
     in
@@ -358,7 +352,7 @@ module Make (V : VARIANT) = struct
     | Ok () -> Ok handle
     | Error ad ->
       (* Roll back state installed before the refusal. *)
-      List.iter (fun a -> Hashtbl.remove t.nodes.(a).pg_cache handle) path;
+      List.iter (fun a -> Lru.remove t.nodes.(a).pg_cache handle) path;
       Error ad
 
   let setup_costs path =
@@ -377,7 +371,10 @@ module Make (V : VARIANT) = struct
         match setup t flow path with
         | Ok handle ->
           let key = (flow.Flow.dst, Flow.class_key flow) in
-          Hashtbl.replace t.nodes.(flow.Flow.src).pr_cache key { path; handle };
+          (match Lru.put t.nodes.(flow.Flow.src).pr_cache key { path; handle } with
+          | Some _victim ->
+            Metrics.record_eviction (Network.metrics t.net) flow.Flow.src ()
+          | None -> ());
           Ok path
         | Error ad ->
           if tries > 0 then attempt (ad :: refusers) (tries - 1)
@@ -390,7 +387,7 @@ module Make (V : VARIANT) = struct
     else begin
       let key = (flow.Flow.dst, Flow.class_key flow) in
       let cached =
-        match Hashtbl.find_opt t.nodes.(flow.Flow.src).pr_cache key with
+        match Lru.find t.nodes.(flow.Flow.src).pr_cache key with
         | Some entry
           when V.delegate_stub_route_servers
                && not
@@ -400,7 +397,7 @@ module Make (V : VARIANT) = struct
           (* A delegated stub's own (empty) database never triggers the
              on_change revalidation, so it checks against its server's
              database on use. *)
-          Hashtbl.remove t.nodes.(flow.Flow.src).pr_cache key;
+          Lru.remove t.nodes.(flow.Flow.src).pr_cache key;
           None
         | c -> c
       in
@@ -420,7 +417,7 @@ module Make (V : VARIANT) = struct
         if flow.Flow.src = flow.Flow.dst then acc
         else begin
           let key = (flow.Flow.dst, Flow.class_key flow) in
-          if Hashtbl.mem t.nodes.(flow.Flow.src).pr_cache key then acc
+          if Lru.mem t.nodes.(flow.Flow.src).pr_cache key then acc
           else
             match install t flow with
             | Ok _ -> acc + 1
@@ -432,7 +429,7 @@ module Make (V : VARIANT) = struct
     let flow = packet.Packet.flow in
     if flow.Flow.src <> flow.Flow.dst then begin
       let key = (flow.Flow.dst, Flow.class_key flow) in
-      match Hashtbl.find_opt t.nodes.(flow.Flow.src).pr_cache key with
+      match Lru.find t.nodes.(flow.Flow.src).pr_cache key with
       | None -> ()
       | Some entry ->
         if V.use_handles then begin
@@ -460,22 +457,20 @@ module Make (V : VARIANT) = struct
       match packet.Packet.handle with
       | None -> Packet.Drop "no policy-route handle"
       | Some handle -> (
-        match Hashtbl.find_opt t.nodes.(at).pg_cache handle with
+        match Lru.find t.nodes.(at).pg_cache handle with
         | None ->
           (* Evicted (or never installed): drop, and notify the source
              so its next packet re-sets-up — modelling the gateway's
              error report back to the route server. *)
           let key = (flow.Flow.dst, Flow.class_key flow) in
-          (match Hashtbl.find_opt t.nodes.(flow.Flow.src).pr_cache key with
+          (match Lru.peek t.nodes.(flow.Flow.src).pr_cache key with
           | Some entry when entry.handle = handle ->
-            Hashtbl.remove t.nodes.(flow.Flow.src).pr_cache key
+            Lru.remove t.nodes.(flow.Flow.src).pr_cache key
           | _ -> ());
           Packet.Drop "no setup state for handle (evicted)"
         | Some entry ->
           let node = t.nodes.(at) in
           node.validations <- node.validations + 1;
-          node.pg_clock <- node.pg_clock + 1;
-          entry.last_used <- node.pg_clock;
           if entry.prev <> from then Packet.Drop "PG validation failed (wrong previous AD)"
           else (
             match entry.next with
@@ -501,21 +496,23 @@ module Make (V : VARIANT) = struct
 
   let table_entries t ad =
     Ls_flood.db_entries t.flood ad
-    + Hashtbl.length t.nodes.(ad).pr_cache
-    + Hashtbl.length t.nodes.(ad).pg_cache
+    + Lru.length t.nodes.(ad).pr_cache
+    + Lru.length t.nodes.(ad).pg_cache
 
   let cached_route t ~src ~dst flow =
-    match Hashtbl.find_opt t.nodes.(src).pr_cache (dst, Flow.class_key flow) with
+    match Lru.peek t.nodes.(src).pr_cache (dst, Flow.class_key flow) with
     | None -> None
     | Some entry -> Some entry.path
 
-  let pg_entries t ad = Hashtbl.length t.nodes.(ad).pg_cache
+  let pg_entries t ad = Lru.length t.nodes.(ad).pg_cache
 
-  let route_cache_entries t ad = Hashtbl.length t.nodes.(ad).pr_cache
+  let route_cache_entries t ad = Lru.length t.nodes.(ad).pr_cache
 
   let validations t ad = t.nodes.(ad).validations
 
-  let evictions t ad = t.nodes.(ad).evictions
+  let evictions t ad = Lru.evictions t.nodes.(ad).pg_cache
+
+  let route_evictions t ad = Lru.evictions t.nodes.(ad).pr_cache
 
   let current_policy t ad = local_policy t ad
 
@@ -531,6 +528,8 @@ module Orwg = Make (struct
 
   let pg_capacity = None
 
+  let pr_capacity = Some 512
+
   let setup_retries = 2
 
   let delegate_stub_route_servers = false
@@ -544,6 +543,8 @@ module No_handles = Make (struct
   let use_handles = false
 
   let pg_capacity = None
+
+  let pr_capacity = Some 512
 
   let setup_retries = 2
 
@@ -559,6 +560,8 @@ module Delegated = Make (struct
 
   let pg_capacity = None
 
+  let pr_capacity = Some 512
+
   let setup_retries = 2
 
   let delegate_stub_route_servers = true
@@ -572,6 +575,8 @@ module Pruned = Make (struct
   let use_handles = true
 
   let pg_capacity = None
+
+  let pr_capacity = Some 512
 
   let setup_retries = 2
 
@@ -589,6 +594,8 @@ Make (struct
   let use_handles = true
 
   let pg_capacity = Some C.capacity
+
+  let pr_capacity = Some 512
 
   let setup_retries = 2
 

@@ -39,6 +39,12 @@ module type VARIANT = sig
       management limitation of paper section 6, measured in experiment
       E11. *)
 
+  val pr_capacity : int option
+  (** Bound on policy routes cached per route server; [None] =
+      unbounded. Bounded caches use the same LRU eviction policy as the
+      gateway handle tables, and evictions are mirrored into
+      {!Pr_sim.Metrics} eviction counts. *)
+
   val setup_retries : int
   (** How many times the route server re-synthesizes around an AD that
       refused a setup (stale databases make refusals possible). *)
@@ -85,6 +91,10 @@ module type S = sig
 
   val evictions : t -> Pr_topology.Ad.id -> int
   (** Setup-state entries evicted at the AD (bounded gateways only). *)
+
+  val route_evictions : t -> Pr_topology.Ad.id -> int
+  (** Policy routes evicted from the AD's route-server cache (bounded
+      route caches only). *)
 
   val set_policy : t -> Pr_policy.Transit_policy.t -> unit
   (** Replace an AD's transit policy at runtime (paper section 2.3:

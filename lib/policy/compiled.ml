@@ -67,6 +67,32 @@ let compile ~n terms =
 
 let term_count t = Array.length t.cterms
 
+type term_view = {
+  v_src : pred;
+  v_dst : pred;
+  v_prev : pred;
+  v_next : pred;
+  v_qos_mask : int;
+  v_uci_mask : int;
+  v_hour_mask : int;
+  v_auth_required : bool;
+}
+
+let term_views t =
+  Array.map
+    (fun ct ->
+      {
+        v_src = ct.src;
+        v_dst = ct.dst;
+        v_prev = ct.prev;
+        v_next = ct.next;
+        v_qos_mask = ct.qos_mask;
+        v_uci_mask = ct.uci_mask;
+        v_hour_mask = ct.hour_mask;
+        v_auth_required = ct.auth_required;
+      })
+    t.cterms
+
 (* Ids outside [0, n) carry no bit: they are outside every [Only] and
    outside every [Except] list, exactly as the interpreted List.mem. *)
 let probe p ad = (ad >= 0 && ad < Bitset.capacity p.bits && Bitset.mem p.bits ad) <> p.compl

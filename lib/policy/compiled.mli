@@ -39,6 +39,24 @@ val compile : n:int -> Policy_term.t list -> t
 
 val term_count : t -> int
 
+type term_view = {
+  v_src : pred;
+  v_dst : pred;
+  v_prev : pred;
+  v_next : pred;
+  v_qos_mask : int;  (** bit per [Qos.index] *)
+  v_uci_mask : int;  (** bit per [Uci.index] *)
+  v_hour_mask : int;  (** bit per hour of day, 24 bits *)
+  v_auth_required : bool;
+}
+(** Read-only view of one compiled term — what downstream compilers
+    (the serving layer's decision diagrams) consume instead of
+    re-deriving masks from [Policy_term.t]. *)
+
+val term_views : t -> term_view array
+(** Views of every compiled term, in source order.  Fresh array, shared
+    predicates. *)
+
 val probe : pred -> Pr_topology.Ad.id -> bool
 
 val allows : t -> Policy_term.transit_ctx -> bool

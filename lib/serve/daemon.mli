@@ -1,0 +1,89 @@
+(** The `prx serve` request loop: a route server under load and churn.
+
+    Runs one deterministic simulated serving session: a
+    {!Workload}-generated operation stream (query batches on a fixed
+    cadence) against a {!Serve.t}, concurrent with
+
+    - {e fault-plan churn} from [lib/faults] (link flaps, crashes,
+      partitions take topology state up and down under the queries),
+    - {e policy churn}: periodic [Policy_store.set_transit] flips on
+      random transit ADs, bumping the store version and exercising the
+      incremental diagram rebuild path.
+
+    The operation stream, fault schedule and flip schedule draw from
+    independent [Rng.derive] streams of the run seed, so a (seed,
+    config) pair replays the same session; only the measured wall-clock
+    figures vary between hosts.
+
+    Health checks run inside the session: every [check_every]-th
+    answered query, each interior crossing of the returned path is
+    re-admitted three ways (diagram walk vs {!Pr_policy.Compiled}
+    bitsets vs the interpreted {!Pr_policy.Transit_policy.allows}
+    oracle) and disagreements are counted; at the end the handle table
+    is audited for leaks ({!Serve.self_check}) and the hash-cons store
+    for duplicate nodes ({!Pdd.check}). {!healthy} folds these into
+    one exit-code-ready boolean. *)
+
+type config = {
+  seed : int;
+  target_ads : int;
+  duration : float;  (** simulated time to run for *)
+  batch : int;  (** operations per batch event *)
+  interval : float;  (** simulated time between batches *)
+  plan : Pr_faults.Plan.t;
+  plan_name : string;  (** for the report only *)
+  flip_every : float;  (** simulated time between policy flips; 0 = none *)
+  route_capacity : int;
+  handle_capacity : int;
+  check_every : int;  (** cross-check every Nth answered query; 0 = never *)
+  policy : Pr_policy.Gen.params;
+}
+
+val default_config : config
+(** Seed 11, 56 ADs, the default fault plan, duration 40 at interval
+    0.5 with 64-op batches, a policy flip every 4.0, restrictive
+    fine-grained policies (the PADMIT/SYNTH benchmark setting), checks
+    every 16th query. *)
+
+type report = {
+  config : config;
+  ads : int;
+  links : int;
+  queries : int;
+  data_packets : int;
+  answered : int;
+  no_routes : int;
+  qps : float;  (** answered queries per wall-clock second of query work *)
+  p50_ns : float;
+  p99_ns : float;
+  admit_ns : float;  (** one full diagram admit walk, min-of-batches *)
+  spec_admit_ns : float;  (** Compiled.spec_allows on the same probes *)
+  admit_probes : int;
+  handle_hit_rate : float;
+  stats : Serve.stats;
+  rebuild_p50_ns : float;  (** incremental refresh latency (0 if none) *)
+  rebuild_max_ns : float;
+  build_ns : float;  (** initial whole-database compile, wall ns *)
+  diagram_nodes : int;
+  diagram_preds : int;
+  store_version : int;
+  flips : int;
+  faults : int;  (** nemesis incidents fired *)
+  agreement_checks : int;
+  agreement_failures : int;
+  self_check_error : string option;  (** handle-leak / hash-cons audit *)
+}
+
+val run : config -> report
+
+val healthy : report -> bool
+(** No admission disagreements, no leak/audit error, and at least one
+    answered query. *)
+
+val row_json : report -> Pr_util.Json.t
+(** One BENCH_serve.json results row. *)
+
+val doc_json : reports:report list -> Pr_util.Json.t
+(** The full BENCH_serve.json document ("route_server_serving"). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,321 @@
+(* Route-server query engine (see serve.mli). *)
+
+module Graph = Pr_topology.Graph
+module Link = Pr_topology.Link
+module Path = Pr_topology.Path
+module Flow = Pr_policy.Flow
+module Qos = Pr_policy.Qos
+module Uci = Pr_policy.Uci
+module Policy_store = Pr_policy.Policy_store
+module Lru = Pr_util.Lru
+module Pqueue = Pr_util.Pqueue
+module Trace = Pr_obs.Trace
+
+type entry = { e_path : Path.t; e_version : int }
+
+type t = {
+  graph : Graph.t;
+  store : Policy_store.t;
+  pdd : Pdd.db;
+  link_up : Link.id -> bool;
+  node_up : Pr_topology.Ad.id -> bool;
+  trace : Trace.t;
+  routes : (int, entry) Lru.t;  (* key: (src,dst,qos,uci,hour,auth) packed *)
+  handles : (int, Path.t) Lru.t;
+  mutable next_handle : int;
+  mutable queries : int;
+  mutable data_packets : int;
+  mutable route_hits : int;
+  mutable route_misses : int;
+  mutable handle_hits : int;
+  mutable handle_misses : int;
+  mutable no_routes : int;
+}
+
+let create ?(route_capacity = Some 4096) ?(handle_capacity = Some 1024)
+    ?(trace = Trace.disabled) ?(link_up = fun _ -> true) ?(node_up = fun _ -> true)
+    graph store =
+  {
+    graph;
+    store;
+    pdd = Pdd.db_create store;
+    link_up;
+    node_up;
+    trace;
+    routes = Lru.create ~capacity:route_capacity ();
+    handles = Lru.create ~capacity:handle_capacity ();
+    next_handle = 0;
+    queries = 0;
+    data_packets = 0;
+    route_hits = 0;
+    route_misses = 0;
+    handle_hits = 0;
+    handle_misses = 0;
+    no_routes = 0;
+  }
+
+let pdd t = t.pdd
+
+let refresh t ~now =
+  let k = Pdd.refresh t.pdd in
+  if k > 0 then begin
+    Trace.instant t.trace ~ts:now ~tid:0 "serve.rebuild";
+    Trace.counter t.trace ~ts:now ~tid:0 ~value:(float_of_int k) "serve.rebuilt_ads"
+  end;
+  k
+
+let snapshot t = Pdd.snapshot t.pdd
+
+(* The route-cache key packs every flow attribute admission can see.
+   n <= 10^5 and 63-bit ints leave ample headroom. *)
+let route_key t (f : Flow.t) =
+  let n = Graph.n t.graph in
+  let k = (f.Flow.src * n) + f.Flow.dst in
+  let k = (k * Qos.count) + Qos.index f.Flow.qos in
+  let k = (k * Uci.count) + Uci.index f.Flow.uci in
+  let k = (k * 24) + f.Flow.hour in
+  (k * 2) + if f.Flow.authenticated then 1 else 0
+
+(* Is the cached path still usable: every AD up, every consecutive
+   pair joined by an up link? (Policy validity is covered by the
+   version check — same database version, same admissions.) *)
+let path_live t path =
+  let rec go = function
+    | [] -> true
+    | [ last ] -> t.node_up last
+    | a :: (b :: _ as rest) ->
+        t.node_up a
+        && Graph.fold_neighbors t.graph a ~init:false ~f:(fun acc v l ->
+               acc || (v = b && t.link_up l))
+        && go rest
+  in
+  go path
+
+type answer =
+  | Route of { path : Path.t; handle : int; version : int; cache_hit : bool }
+  | No_route of { version : int }
+
+(* Exact (node, arrived-from) policy search — the Policy_route.shortest
+   kernel, re-targeted at the configured graph under dynamic link/node
+   state, with admission resolved through the diagram snapshot: one
+   [Pdd.flow_entry] per touched AD, then at most a few predicate
+   probes per edge relaxation. *)
+let synthesize t snap (f : Flow.t) =
+  let g = t.graph in
+  let n = Graph.n g in
+  let src = f.Flow.src and dst = f.Flow.dst in
+  if src = dst then Some [ src ]
+  else begin
+    let entries : Pdd.node option array = Array.make n None in
+    let entry ad =
+      match entries.(ad) with
+      | Some e -> e
+      | None ->
+          let e = Pdd.flow_entry (Pdd.root snap ad) f in
+          entries.(ad) <- Some e;
+          e
+    in
+    (* Adjacency snapshot: per node, the cheapest up parallel link to
+       each up neighbor under the flow's QOS metric. *)
+    let adj = Array.make n [||] in
+    let offset = Array.make (n + 1) 0 in
+    for u = 0 to n - 1 do
+      (if t.node_up u then begin
+         let acc = ref [] in
+         let cur_nbr = ref (-1) and cur_m = ref max_int in
+         let flush () =
+           if !cur_nbr >= 0 && !cur_m < max_int then acc := (!cur_nbr, !cur_m) :: !acc
+         in
+         Graph.iter_neighbors g u ~f:(fun v l ->
+             if v <> !cur_nbr then begin
+               flush ();
+               cur_nbr := v;
+               cur_m := max_int
+             end;
+             if t.node_up v && t.link_up l then begin
+               let link = Graph.link g l in
+               let m =
+                 Pr_proto.Qos_metric.metric f.Flow.qos ~cost:link.Link.cost
+                   ~delay:link.Link.delay
+               in
+               if m < !cur_m then cur_m := m
+             end);
+         flush ();
+         adj.(u) <- Array.of_list (List.rev !acc)
+       end);
+      offset.(u + 1) <- offset.(u) + Array.length adj.(u)
+    done;
+    let start_slot = offset.(n) in
+    let slot v p =
+      let a = adj.(v) in
+      let i = ref 0 in
+      while fst (Array.unsafe_get a !i) <> p do
+        incr i
+      done;
+      offset.(v) + !i
+    in
+    let size = start_slot + 1 in
+    let dist = Array.make size infinity in
+    let parent = Array.make size (-1) in
+    let settled = Array.make size false in
+    let q = Pqueue.create () in
+    let encode v p = (v * n) + p in
+    dist.(start_slot) <- 0.0;
+    Pqueue.add q ~priority:0.0 (encode src src);
+    let best_final = ref None in
+    let continue_ = ref true in
+    while !continue_ do
+      match Pqueue.pop q with
+      | None -> continue_ := false
+      | Some (d, state) ->
+          let v = state / n and p = state mod n in
+          let state_slot = if v = src then start_slot else slot v p in
+          if not settled.(state_slot) then begin
+            settled.(state_slot) <- true;
+            if v = dst then begin
+              best_final := Some state_slot;
+              continue_ := false
+            end
+            else begin
+              let prev = if v = src then None else Some p in
+              let e = if v = src then Pdd.leaf true else entry v in
+              Array.iter
+                (fun (w, cost) ->
+                  let interior_ok =
+                    v = src || Pdd.entry_admit e ~prev ~next:(Some w)
+                  in
+                  if interior_ok && w <> src then begin
+                    let slot' = slot w v in
+                    let d' = d +. float_of_int cost in
+                    if d' < dist.(slot') then begin
+                      dist.(slot') <- d';
+                      parent.(slot') <- state_slot;
+                      Pqueue.add q ~priority:d' (encode w v)
+                    end
+                  end)
+                adj.(v)
+            end
+          end
+    done;
+    let node_of s =
+      if s = start_slot then src
+      else begin
+        let lo = ref 0 and hi = ref n in
+        while !hi - !lo > 1 do
+          let mid = (!lo + !hi) / 2 in
+          if offset.(mid) <= s then lo := mid else hi := mid
+        done;
+        !lo
+      end
+    in
+    match !best_final with
+    | None -> None
+    | Some state ->
+        let rec build acc state steps =
+          if steps > size then None
+          else begin
+            let v = node_of state in
+            if parent.(state) < 0 then Some (v :: acc)
+            else build (v :: acc) parent.(state) (steps + 1)
+          end
+        in
+        (match build [] state 0 with
+        | Some p when Path.is_loop_free p -> Some p
+        | _ -> None)
+  end
+
+let issue_handle t ~now path =
+  let h = t.next_handle in
+  t.next_handle <- h + 1;
+  (match Lru.put t.handles h path with
+  | Some _evicted -> Trace.instant t.trace ~ts:now ~tid:0 "serve.handle.evict"
+  | None -> ());
+  Trace.counter t.trace ~ts:now ~tid:0
+    ~value:(float_of_int (Lru.length t.handles))
+    "serve.handles";
+  h
+
+let query ?snap t ~now (f : Flow.t) =
+  t.queries <- t.queries + 1;
+  (* Pin one snapshot for every read this query makes: a concurrent
+     set_transit + refresh publishes a new roots array but never
+     mutates this one, so the answer is wholly from one version. *)
+  let snap = match snap with Some s -> s | None -> Pdd.snapshot t.pdd in
+  let version = Pdd.snapshot_version snap in
+  let key = route_key t f in
+  let cached =
+    match Lru.find t.routes key with
+    | Some e when e.e_version = version && path_live t e.e_path -> Some e.e_path
+    | _ -> None
+  in
+  match cached with
+  | Some path ->
+      t.route_hits <- t.route_hits + 1;
+      Trace.instant t.trace ~ts:now ~tid:0 "serve.query.hit";
+      Route { path; handle = issue_handle t ~now path; version; cache_hit = true }
+  | None -> (
+      t.route_misses <- t.route_misses + 1;
+      Trace.instant t.trace ~ts:now ~tid:0 "serve.query.miss";
+      match synthesize t snap f with
+      | Some path ->
+          ignore (Lru.put t.routes key { e_path = path; e_version = version });
+          Route { path; handle = issue_handle t ~now path; version; cache_hit = false }
+      | None ->
+          t.no_routes <- t.no_routes + 1;
+          No_route { version })
+
+let data t ~now ~handle =
+  t.data_packets <- t.data_packets + 1;
+  match Lru.find t.handles handle with
+  | Some path ->
+      t.handle_hits <- t.handle_hits + 1;
+      Some path
+  | None ->
+      t.handle_misses <- t.handle_misses + 1;
+      Trace.instant t.trace ~ts:now ~tid:0 "serve.handle.stale";
+      None
+
+type stats = {
+  queries : int;
+  data_packets : int;
+  route_hits : int;
+  route_misses : int;
+  route_evictions : int;
+  handle_hits : int;
+  handle_misses : int;
+  handle_evictions : int;
+  handles_issued : int;
+  handles_live : int;
+  no_routes : int;
+  rebuilds : int;
+  rebuilt_ads : int;
+}
+
+let stats (t : t) =
+  {
+    queries = t.queries;
+    data_packets = t.data_packets;
+    route_hits = t.route_hits;
+    route_misses = t.route_misses;
+    route_evictions = Lru.evictions t.routes;
+    handle_hits = t.handle_hits;
+    handle_misses = t.handle_misses;
+    handle_evictions = Lru.evictions t.handles;
+    handles_issued = t.next_handle;
+    handles_live = Lru.length t.handles;
+    no_routes = t.no_routes;
+    rebuilds = Pdd.rebuilds t.pdd;
+    rebuilt_ads = Pdd.rebuilt_ads t.pdd;
+  }
+
+let self_check t =
+  let ( let* ) = Result.bind in
+  let label l = Result.map_error (fun e -> l ^ ": " ^ e) in
+  let* () = label "route cache" (Lru.self_check t.routes) in
+  let* () = label "handle table" (Lru.self_check t.handles) in
+  let live = Lru.length t.handles and evicted = Lru.evictions t.handles in
+  if live + evicted <> t.next_handle then
+    Error
+      (Printf.sprintf "handle leak: issued %d but live %d + evicted %d" t.next_handle
+         live evicted)
+  else Ok ()

@@ -1,0 +1,89 @@
+(* Deterministic workload generator (see workload.mli). *)
+
+module Graph = Pr_topology.Graph
+module Flow = Pr_policy.Flow
+module Qos = Pr_policy.Qos
+module Uci = Pr_policy.Uci
+module Rng = Pr_util.Rng
+
+type params = {
+  hot_fraction : float;
+  hot_weight : float;
+  data_fraction : float;
+  hour_scale : float;
+  auth_fraction : float;
+}
+
+let default =
+  {
+    hot_fraction = 0.1;
+    hot_weight = 0.8;
+    data_fraction = 0.7;
+    hour_scale = 2.0;
+    auth_fraction = 0.3;
+  }
+
+type op = Query of Flow.t | Data of int
+
+type t = {
+  params : params;
+  rng : Rng.t;
+  hosts : int array;  (* seed-shuffled: index = popularity rank *)
+  hot : int;  (* size of the hot prefix *)
+  cum : float array;  (* cumulative Zipf weights over the hot prefix *)
+}
+
+let create ?(params = default) ~rng graph =
+  let hosts = Array.of_list (Graph.host_ids graph) in
+  if Array.length hosts = 0 then invalid_arg "Workload.create: no host ADs";
+  Rng.shuffle rng hosts;
+  let hot =
+    max 1
+      (min (Array.length hosts)
+         (int_of_float (ceil (params.hot_fraction *. float_of_int (Array.length hosts)))))
+  in
+  let cum = Array.make hot 0.0 in
+  let total = ref 0.0 in
+  for i = 0 to hot - 1 do
+    total := !total +. (1.0 /. float_of_int (i + 1));
+    cum.(i) <- !total
+  done;
+  { params; rng; hosts; hot; cum }
+
+let pick_hot t =
+  let x = Rng.float t.rng t.cum.(t.hot - 1) in
+  let lo = ref 0 and hi = ref (t.hot - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cum.(mid) <= x then lo := mid + 1 else hi := mid
+  done;
+  t.hosts.(!lo)
+
+let pick_endpoint t =
+  if Rng.chance t.rng t.params.hot_weight then pick_hot t
+  else t.hosts.(Rng.int t.rng (Array.length t.hosts))
+
+let hour_of t ~now =
+  let h = int_of_float (now /. t.params.hour_scale) in
+  ((h mod 24) + 24) mod 24
+
+let next t ~now =
+  if Rng.chance t.rng t.params.data_fraction then
+    (* Recency-skewed rank: newer handles are presented more often,
+       like live conversations re-sending data packets. *)
+    let r = Rng.float t.rng 1.0 in
+    Data (int_of_float (r *. r *. 64.0))
+  else begin
+    let src = pick_endpoint t in
+    let dst = ref (pick_endpoint t) in
+    let guard = ref 0 in
+    while !dst = src && !guard < 8 do
+      dst := pick_endpoint t;
+      incr guard
+    done;
+    let qos = Qos.of_index (Rng.int t.rng Qos.count) in
+    let uci = Uci.of_index (Rng.int t.rng Uci.count) in
+    let authenticated = Rng.chance t.rng t.params.auth_fraction in
+    Query
+      (Flow.make ~src ~dst:!dst ~qos ~uci ~hour:(hour_of t ~now) ~authenticated ())
+  end

@@ -5,6 +5,7 @@ type t = {
   comps : int array;
   tables : int array;
   lost : int array;
+  evicted : int array;
 }
 
 let create ~n =
@@ -15,6 +16,7 @@ let create ~n =
     comps = Array.make n 0;
     tables = Array.make n 0;
     lost = Array.make n 0;
+    evicted = Array.make n 0;
   }
 
 let reset t =
@@ -22,13 +24,16 @@ let reset t =
   Array.fill t.bytes_sent 0 t.n 0;
   Array.fill t.comps 0 t.n 0;
   Array.fill t.tables 0 t.n 0;
-  Array.fill t.lost 0 t.n 0
+  Array.fill t.lost 0 t.n 0;
+  Array.fill t.evicted 0 t.n 0
 
 let record_send t ad ~bytes =
   t.msgs.(ad) <- t.msgs.(ad) + 1;
   t.bytes_sent.(ad) <- t.bytes_sent.(ad) + bytes
 
 let record_loss t ad = t.lost.(ad) <- t.lost.(ad) + 1
+
+let record_eviction t ad ?(count = 1) () = t.evicted.(ad) <- t.evicted.(ad) + count
 
 let record_computation t ad ?(work = 1) () = t.comps.(ad) <- t.comps.(ad) + work
 
@@ -48,6 +53,8 @@ let table_entries t = sum t.tables
 
 let msgs_lost t = sum t.lost
 
+let evictions t = sum t.evicted
+
 let messages_of t ad = t.msgs.(ad)
 
 let bytes_of t ad = t.bytes_sent.(ad)
@@ -57,6 +64,8 @@ let computations_of t ad = t.comps.(ad)
 let table_entries_of t ad = t.tables.(ad)
 
 let msgs_lost_of t ad = t.lost.(ad)
+
+let evictions_of t ad = t.evicted.(ad)
 
 let max_table_entries t = Array.fold_left Stdlib.max 0 t.tables
 
@@ -68,6 +77,7 @@ let snapshot t =
     comps = Array.copy t.comps;
     tables = Array.copy t.tables;
     lost = Array.copy t.lost;
+    evicted = Array.copy t.evicted;
   }
 
 let merge into from =
@@ -77,7 +87,8 @@ let merge into from =
     into.bytes_sent.(i) <- into.bytes_sent.(i) + from.bytes_sent.(i);
     into.comps.(i) <- into.comps.(i) + from.comps.(i);
     into.tables.(i) <- into.tables.(i) + from.tables.(i);
-    into.lost.(i) <- into.lost.(i) + from.lost.(i)
+    into.lost.(i) <- into.lost.(i) + from.lost.(i);
+    into.evicted.(i) <- into.evicted.(i) + from.evicted.(i)
   done
 
 let diff ~after ~before =
@@ -89,6 +100,7 @@ let diff ~after ~before =
     comps = Array.init after.n (fun i -> after.comps.(i) - before.comps.(i));
     tables = Array.copy after.tables;
     lost = Array.init after.n (fun i -> after.lost.(i) - before.lost.(i));
+    evicted = Array.init after.n (fun i -> after.evicted.(i) - before.evicted.(i));
   }
 
 let to_json t =
@@ -101,6 +113,7 @@ let to_json t =
       ("computations", ints t.comps);
       ("tables", ints t.tables);
       ("losses", ints t.lost);
+      ("evictions", ints t.evicted);
     ]
 
 let ( let* ) = Result.bind
@@ -133,11 +146,17 @@ let of_json j =
     | None -> Ok (Array.make n 0)
     | Some _ -> int_array "losses"
   in
+  (* Likewise for pre-serving-layer documents without evictions. *)
+  let* evicted =
+    match J.member "evictions" j with
+    | None -> Ok (Array.make n 0)
+    | Some _ -> int_array "evictions"
+  in
   if
     Array.length msgs <> n || Array.length bytes_sent <> n || Array.length comps <> n
-    || Array.length tables <> n || Array.length lost <> n
+    || Array.length tables <> n || Array.length lost <> n || Array.length evicted <> n
   then Error "per-AD array lengths disagree with n"
-  else Ok { n; msgs; bytes_sent; comps; tables; lost }
+  else Ok { n; msgs; bytes_sent; comps; tables; lost; evicted }
 
 let load_series t =
   let floats a = Array.map float_of_int a in

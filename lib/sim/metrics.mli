@@ -21,6 +21,11 @@ val record_loss : t -> Pr_topology.Ad.id -> unit
     crashed AD, or eaten by a fault-plan drop. Charged to the intended
     {e receiver}: loss is the receiver's missing information. *)
 
+val record_eviction : t -> Pr_topology.Ad.id -> ?count:int -> unit -> unit
+(** One (or [count]) bounded-cache evictions at the AD — setup-handle
+    or route-cache entries displaced under LRU pressure. State the AD
+    chose to forget, the dual of the table-entry gauge. *)
+
 val record_computation : t -> Pr_topology.Ad.id -> ?work:int -> unit -> unit
 (** One route computation at the AD; [work] (default 1) scales it,
     e.g. by the number of nodes visited by a Dijkstra run. *)
@@ -44,6 +49,9 @@ val table_entries : t -> int
 val msgs_lost : t -> int
 (** Total in-flight message losses (see {!record_loss}). *)
 
+val evictions : t -> int
+(** Total bounded-cache evictions (see {!record_eviction}). *)
+
 val messages_of : t -> Pr_topology.Ad.id -> int
 
 val bytes_of : t -> Pr_topology.Ad.id -> int
@@ -53,6 +61,8 @@ val computations_of : t -> Pr_topology.Ad.id -> int
 val table_entries_of : t -> Pr_topology.Ad.id -> int
 
 val msgs_lost_of : t -> Pr_topology.Ad.id -> int
+
+val evictions_of : t -> Pr_topology.Ad.id -> int
 
 val max_table_entries : t -> int
 (** Largest per-AD table gauge — the state burden on the worst-loaded
@@ -75,8 +85,8 @@ val to_json : t -> Pr_util.Json.t
     Round-trips exactly through {!of_json}. *)
 
 val of_json : Pr_util.Json.t -> (t, string) result
-(** Accepts documents without a ["losses"] array (written before the
-    loss counter existed) by reading zeros. *)
+(** Accepts documents without a ["losses"] or ["evictions"] array
+    (written before those counters existed) by reading zeros. *)
 
 val load_series : t -> (string * float array) list
 (** The per-AD counter vectors (["messages"], ["bytes"],
