@@ -1435,20 +1435,9 @@ let synth_measure g =
         incr reps;
         run_once ())
   in
-  (* [Gc.minor_words] reads the allocation pointer directly, so the
-     figure is exact even when the pass is too small to trip a minor
-     collection (quick_stat's counters only move at GC boundaries). *)
-  let s0 = Gc.quick_stat () in
-  let m0 = Gc.minor_words () in
-  run_once ();
-  let m1 = Gc.minor_words () in
-  let s1 = Gc.quick_stat () in
-  let allocated =
-    m1 -. m0 +. s1.Gc.major_words -. s1.Gc.promoted_words
-    -. (s0.Gc.major_words -. s0.Gc.promoted_words)
-  in
+  let per_tree = Pr_telemetry.Alloc.words_per ~ops:k run_once in
   let live = (Gc.stat ()).Gc.live_words in
-  (k, !reps, ns, allocated /. float_of_int k, live)
+  (k, !reps, ns, per_tree, live)
 
 (* The policy mix the paper warns about (§5.2.1): most transit ADs
    restrictive, at per-(source set, UCI, QOS) granularity — the regime

@@ -601,8 +601,15 @@ let chaos_cmd =
     let doc = "Write the full deterministic report as JSON to this file." in
     Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
   in
+  let post_mortem_arg =
+    let doc =
+      "On any invariant violation, dump the flight recorder plus a telemetry snapshot \
+       to this post-mortem JSON file (\"none\" disables)."
+    in
+    Arg.(value & opt string "prx-postmortem.json" & info [ "post-mortem" ] ~docv:"FILE" ~doc)
+  in
   let run () protocol seed size probes restrictiveness granularity churn max_events
-      plan_str report_path =
+      plan_str report_path post_mortem =
     let plan =
       match Pr_faults.Plan.profile plan_str with
       | Some p -> p
@@ -634,7 +641,21 @@ let chaos_cmd =
           close_out oc;
           Printf.printf "report: %s\n" path)
         report_path;
-      if report.Pr_faults.Chaos.violations <> [] then exit 1
+      if report.Pr_faults.Chaos.violations <> [] then begin
+        (if post_mortem <> "none" then begin
+           let module T = Pr_telemetry in
+           let first = List.hd report.Pr_faults.Chaos.violations in
+           T.Alloc.sample ();
+           T.Flight.dump T.Flight.global
+             ~metrics:(T.Registry.snapshot T.Registry.default)
+             ~reason:
+               (Printf.sprintf "chaos invariant violation: [%s] %s"
+                  first.Pr_faults.Chaos.kind first.Pr_faults.Chaos.detail)
+             ~path:post_mortem;
+           Printf.printf "post-mortem: %s\n" post_mortem
+         end);
+        exit 1
+      end
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -645,7 +666,7 @@ let chaos_cmd =
     Term.(
       const run $ logs_term $ protocol_arg $ seed_arg $ size_arg $ probes_arg
       $ restrictiveness_arg $ granularity_arg $ churn_flag $ max_events_arg $ plan_arg
-      $ report_arg)
+      $ report_arg $ post_mortem_arg)
 
 (* --- serve ---------------------------------------------------------- *)
 
@@ -721,8 +742,22 @@ let serve_cmd =
     let doc = "Write the BENCH_serve.json document here (\"none\" disables)." in
     Arg.(value & opt string "none" & info [ "out" ] ~docv:"FILE" ~doc)
   in
+  let metrics_arg =
+    let doc =
+      "Write the final telemetry-registry snapshot (counters, gauges, latency \
+       histograms) as JSON here (\"none\" disables)."
+    in
+    Arg.(value & opt string "none" & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let post_mortem_arg =
+    let doc =
+      "On any health-check failure, dump the flight recorder plus a telemetry snapshot \
+       to this post-mortem JSON file (\"none\" disables)."
+    in
+    Arg.(value & opt string "prx-postmortem.json" & info [ "post-mortem" ] ~docv:"FILE" ~doc)
+  in
   let run () seed sizes restrictiveness granularity duration batch interval plan_str
-      flip_every route_capacity handle_capacity check_every out =
+      flip_every route_capacity handle_capacity check_every out metrics_out post_mortem =
     let plan =
       match Pr_faults.Plan.profile plan_str with
       | Some p -> p
@@ -755,6 +790,7 @@ let serve_cmd =
               check_every;
               policy =
                 { Pr_policy.Gen.default with restrictiveness; granularity };
+              record_exact = false;
             }
           in
           let r = Pr_serve.Daemon.run cfg in
@@ -770,7 +806,44 @@ let serve_cmd =
        close_out oc;
        Printf.printf "results: %s\n" out
      end);
-    if not (List.for_all Pr_serve.Daemon.healthy reports) then exit 1
+    (if metrics_out <> "none" then begin
+       let module T = Pr_telemetry in
+       T.Alloc.sample ();
+       let oc = open_out metrics_out in
+       output_string oc
+         (Pr_util.Json.to_string_pretty
+            (T.Registry.snapshot_to_json (T.Registry.snapshot T.Registry.default)));
+       output_char oc '\n';
+       close_out oc;
+       Printf.printf "metrics: %s\n" metrics_out
+     end);
+    if not (List.for_all Pr_serve.Daemon.healthy reports) then begin
+      (if post_mortem <> "none" then begin
+         let module T = Pr_telemetry in
+         let sick =
+           List.filter (fun r -> not (Pr_serve.Daemon.healthy r)) reports
+         in
+         let describe (r : Pr_serve.Daemon.report) =
+           Printf.sprintf "size %d: %s" r.Pr_serve.Daemon.ads
+             (match r.Pr_serve.Daemon.self_check_error with
+             | Some e -> e
+             | None ->
+               if r.Pr_serve.Daemon.agreement_failures > 0 then
+                 Printf.sprintf "%d admission disagreements"
+                   r.Pr_serve.Daemon.agreement_failures
+               else "no queries answered")
+         in
+         T.Alloc.sample ();
+         T.Flight.dump T.Flight.global
+           ~metrics:(T.Registry.snapshot T.Registry.default)
+           ~reason:
+             ("serve health-check failure: "
+             ^ String.concat "; " (List.map describe sick))
+           ~path:post_mortem;
+         Printf.printf "post-mortem: %s\n" post_mortem
+       end);
+      exit 1
+    end
   in
   Cmd.v
     (Cmd.info "serve"
@@ -782,7 +855,191 @@ let serve_cmd =
       const run $ logs_term $ seed_arg $ sizes_arg $ restrictiveness_arg
       $ granularity_arg $ duration_arg $ batch_arg $ interval_arg $ plan_arg
       $ flip_every_arg $ route_capacity_arg $ handle_capacity_arg $ check_every_arg
-      $ out_arg)
+      $ out_arg $ metrics_arg $ post_mortem_arg)
+
+(* --- stats ---------------------------------------------------------- *)
+
+(* One instrumented run, then the telemetry registry on stdout: converge
+   a protocol on a generated scenario, route a workload through it, and
+   print the process-global registry (engine/net counters, per-driver
+   computation-work histograms, GC gauges) as Prometheus text
+   exposition, optionally also as a JSON snapshot. *)
+
+let stats_cmd =
+  let protocol_arg =
+    let doc = "Protocol (design point) to run; see `prx design-space`." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROTOCOL" ~doc)
+  in
+  let out_arg =
+    let doc = "Also write the snapshot as a telemetry-snapshot JSON document here." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let run () protocol seed size flows restrictiveness granularity out =
+    match Pr_core.Registry.find_opt protocol with
+    | None ->
+      Printf.eprintf "prx: unknown protocol %S (known: %s)\n" protocol
+        (String.concat ", " (Pr_core.Registry.names Pr_core.Registry.all));
+      exit 2
+    | Some packed ->
+      let scenario = scenario_of ~seed ~size ~restrictiveness ~granularity in
+      let rng = Pr_util.Rng.create (seed + 1) in
+      let workload = Pr_core.Scenario.flows scenario ~rng ~count:flows () in
+      ignore (Pr_core.Experiment.evaluate packed scenario ~flows:workload ());
+      let module T = Pr_telemetry in
+      T.Alloc.sample ();
+      let snap = T.Registry.snapshot T.Registry.default in
+      print_string (T.Registry.to_prometheus snap);
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc
+            (Pr_util.Json.to_string_pretty (T.Registry.snapshot_to_json snap));
+          output_char oc '\n';
+          close_out oc;
+          Printf.eprintf "snapshot: %s\n" path)
+        out
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run one protocol with full telemetry and print the metrics registry as \
+          Prometheus text exposition.")
+    Term.(
+      const run $ logs_term $ protocol_arg $ seed_arg $ size_arg $ flows_arg
+      $ restrictiveness_arg $ granularity_arg $ out_arg)
+
+(* --- bench diff ----------------------------------------------------- *)
+
+(* The regression gate: re-run the sessions a committed
+   BENCH_serve.json was generated from (rows are self-describing; older
+   rows fall back to the serve CLI defaults) and compare field by field
+   under the declared tolerance bands — deterministic counters must
+   match exactly, wall-clock figures within the timing band. Exits 1 on
+   any out-of-band field, 2 when nothing could be compared. *)
+
+let bench_cmd =
+  let diff_cmd =
+    let baseline_arg =
+      let doc = "Committed benchmark document to gate against." in
+      Arg.(
+        value & opt string "BENCH_serve.json" & info [ "baseline" ] ~docv:"FILE" ~doc)
+    in
+    let sizes_arg =
+      let doc = "Only re-run baseline rows with these target_ads sizes (default: all)." in
+      Arg.(value & opt (list int) [] & info [ "sizes" ] ~docv:"SIZES" ~doc)
+    in
+    let tolerance_arg =
+      let doc =
+        "Relative tolerance band for wall-clock-derived fields (qps, latencies); \
+         deterministic counters always compare exactly. Generous by default because \
+         baselines cross machines."
+      in
+      Arg.(value & opt float 9.0 & info [ "timing-tolerance" ] ~docv:"TOL" ~doc)
+    in
+    let run () baseline sizes tolerance =
+      let module J = Pr_util.Json in
+      let module T = Pr_telemetry in
+      let read_file path =
+        try
+          let ic = open_in_bin path in
+          let len = in_channel_length ic in
+          let c = really_input_string ic len in
+          close_in ic;
+          Ok c
+        with Sys_error e -> Error e
+      in
+      let doc =
+        match Result.bind (read_file baseline) J.parse with
+        | Ok doc -> doc
+        | Error e ->
+          Printf.eprintf "prx: cannot read baseline %s: %s\n" baseline e;
+          exit 2
+      in
+      (match J.member "benchmark" doc with
+      | Some (J.String "route_server_serving") -> ()
+      | Some (J.String other) ->
+        Printf.eprintf
+          "prx: bench diff only gates \"route_server_serving\" documents (got %S)\n"
+          other;
+        exit 2
+      | _ ->
+        Printf.eprintf "prx: %s: missing \"benchmark\" identity\n" baseline;
+        exit 2);
+      let seed = Result.value (J.int_member "seed" doc) ~default:42 in
+      let plan_str = Result.value (J.string_member "plan" doc) ~default:"default" in
+      let plan =
+        match Pr_faults.Plan.profile plan_str with
+        | Some p -> p
+        | None -> (
+          match Pr_faults.Plan.of_string plan_str with
+          | Ok p -> p
+          | Error e ->
+            Printf.eprintf "prx: baseline has bad plan %S: %s\n" plan_str e;
+            exit 2)
+      in
+      let rows =
+        match Option.map J.to_list (J.member "results" doc) with
+        | Some (Ok l) -> l
+        | _ ->
+          Printf.eprintf "prx: %s: missing \"results\" list\n" baseline;
+          exit 2
+      in
+      let spec = T.Gate.serve_spec ~timing_tolerance:tolerance in
+      let compared = ref 0 in
+      let failed = ref 0 in
+      List.iter
+        (fun row ->
+          let cfg =
+            Pr_serve.Daemon.config_of_row ~seed ~plan ~plan_name:plan_str row
+          in
+          let ads = cfg.Pr_serve.Daemon.target_ads in
+          if ads <= 0 then
+            Printf.printf "skipping row without target_ads\n"
+          else if sizes <> [] && not (List.mem ads sizes) then ()
+          else begin
+            incr compared;
+            Printf.printf "re-running size %d (seed %d, plan %s)...\n%!" ads seed
+              plan_str;
+            let report = Pr_serve.Daemon.run cfg in
+            let current = Pr_serve.Daemon.row_json report in
+            let outcomes = T.Gate.compare_row ~spec ~baseline:row ~current in
+            List.iter
+              (fun o ->
+                if not o.T.Gate.ok then begin
+                  incr failed;
+                  Format.printf "  %a@." T.Gate.pp_outcome o
+                end)
+              outcomes;
+            let bad = List.length (T.Gate.failures outcomes) in
+            if bad = 0 then
+              Printf.printf "  size %d: %d field(s) within tolerance\n" ads
+                (List.length outcomes)
+            else Printf.printf "  size %d: %d field(s) OUT OF TOLERANCE\n" ads bad
+          end)
+        rows;
+      if !compared = 0 then begin
+        Printf.eprintf "prx: no baseline rows matched (checked %d)\n"
+          (List.length rows);
+        exit 2
+      end;
+      if !failed > 0 then begin
+        Printf.printf "bench diff: FAIL (%d field(s) out of tolerance vs %s)\n"
+          !failed baseline;
+        exit 1
+      end;
+      Printf.printf "bench diff: ok (%d row(s) within tolerance of %s)\n" !compared
+        baseline
+    in
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Re-run the sessions behind a committed BENCH_serve.json and compare under \
+            tolerance bands; exits 1 on regression, 2 when nothing was comparable.")
+      Term.(const run $ logs_term $ baseline_arg $ sizes_arg $ tolerance_arg)
+  in
+  Cmd.group
+    (Cmd.info "bench" ~doc:"Benchmark-baseline tooling (see `prx bench diff`).")
+    [ diff_cmd ]
 
 let () =
   let info = Cmd.info "prx" ~doc:"Inter-AD policy routing explorer (Breslau & Estrin, SIGCOMM 1990)." in
@@ -801,4 +1058,6 @@ let () =
             serve_cmd;
             trace_cmd;
             chaos_cmd;
+            stats_cmd;
+            bench_cmd;
           ]))

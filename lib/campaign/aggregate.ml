@@ -1,5 +1,6 @@
 module J = Pr_util.Json
 module Texttable = Pr_util.Texttable
+module Telemetry = Pr_telemetry.Registry
 
 type row = {
   design_point : string;
@@ -26,6 +27,7 @@ type row = {
   flows : int;
   loop_violations : int;
   blackhole_violations : int;
+  trace_dropped : int;
   wall_s : float;
 }
 
@@ -60,6 +62,7 @@ let empty_row protocol =
     flows = 0;
     loop_violations = 0;
     blackhole_violations = 0;
+    trace_dropped = 0;
     wall_s = 0.0;
   }
 
@@ -96,6 +99,7 @@ let add_record row record =
       flows = row.flows + int "flows";
       loop_violations = row.loop_violations + int "loop_violations";
       blackhole_violations = row.blackhole_violations + int "blackhole_violations";
+      trace_dropped = row.trace_dropped + int "trace_dropped";
       wall_s = row.wall_s +. Result.value (J.float_member "wall_s" record) ~default:0.0;
     }
   | Ok "crashed" -> { row with crashed = row.crashed + 1 }
@@ -202,12 +206,30 @@ let row_json r =
       ("flows", J.Int r.flows);
       ("loop_violations", J.Int r.loop_violations);
       ("blackhole_violations", J.Int r.blackhole_violations);
+      ("trace_dropped", J.Int r.trace_dropped);
       ("wall_s", J.Float r.wall_s);
     ]
+
+(* Merge the per-run registry snapshots the (forked) workers recorded:
+   counters and histograms add, gauges keep the max — the telemetry one
+   process running every shard sequentially would have accumulated.
+   Records without a parseable snapshot (older JSONL, failed runs) are
+   skipped. *)
+let merged_telemetry (sink : Sink.t) =
+  List.fold_left
+    (fun acc (_id, record) ->
+      match J.member "telemetry" record with
+      | None -> acc
+      | Some t -> (
+        match Telemetry.snapshot_of_json t with
+        | Error _ -> acc
+        | Ok snap -> Telemetry.merge acc snap))
+    [] sink.Sink.records
 
 let summary_json ?(skipped = 0) sink =
   let rows_list = rows sink in
   let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows_list in
+  let telemetry = merged_telemetry sink in
   J.Obj
     [
       ("benchmark", J.String "campaign");
@@ -223,6 +245,7 @@ let summary_json ?(skipped = 0) sink =
             ("malformed_lines", J.Int sink.Sink.malformed);
           ] );
       ("per_design_point", J.List (List.map row_json rows_list));
+      ("telemetry", Telemetry.snapshot_to_json telemetry);
     ]
 
 let write_summary ~path json =

@@ -34,6 +34,9 @@ type row = {
   flows : int;
   loop_violations : int;
   blackhole_violations : int;
+  trace_dropped : int;
+      (** trace events lost to recorder truncation, summed over ok
+          runs (0 when the campaign did not trace) *)
   wall_s : float;  (** summed worker wall clock over ok runs *)
 }
 
@@ -43,6 +46,11 @@ val rows : Sink.t -> row list
     columns take the max over runs. *)
 
 val table : row list -> Pr_util.Texttable.t
+
+val merged_telemetry : Sink.t -> Pr_telemetry.Registry.snapshot
+(** The per-run ["telemetry"] snapshots merged across every record
+    that carries one: counters and histograms add, gauges keep the
+    max. *)
 
 val summary_json : ?skipped:int -> Sink.t -> Pr_util.Json.t
 (** The [BENCH_campaign.json] document: run-health totals (including

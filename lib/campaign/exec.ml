@@ -9,6 +9,7 @@ module Registry = Pr_core.Registry
 module Scenario = Pr_core.Scenario
 module Trace = Pr_obs.Trace
 module Timeline = Pr_obs.Timeline
+module Telemetry = Pr_telemetry.Registry
 
 type chaos = { crash_id : string option; hang_id : string option }
 
@@ -37,6 +38,7 @@ type t = {
   chaos_fields : (string * J.t) list;
   wall_s : float;
   trace_file : string option;
+  trace_dropped : int;
   time_to_first_route : float option;
 }
 
@@ -121,6 +123,7 @@ let execute_faulted packed (run : Grid.run) plan =
         ];
       wall_s = Unix.gettimeofday () -. started;
       trace_file = None;
+      trace_dropped = 0;
       time_to_first_route = None;
     }
 
@@ -242,6 +245,7 @@ let execute ?(chaos = no_chaos) ?trace_dir (run : Grid.run) =
         chaos_fields = [];
         wall_s = Unix.gettimeofday () -. started;
         trace_file;
+        trace_dropped = Trace.dropped trace;
         time_to_first_route =
           Option.bind timeline (fun tl -> Timeline.first_nonzero tl "table-entries");
       })
@@ -273,7 +277,11 @@ let to_json t =
       ]
     @ t.chaos_fields
     @ (match t.trace_file with
-      | Some f -> [ ("trace_file", J.String f) ]
+      | Some f ->
+        (* Surface truncation: a full recorder silently drops newest
+           events, and a nonzero count here tells the reader the trace
+           under trace_file is a prefix of the run. *)
+        [ ("trace_file", J.String f); ("trace_dropped", J.Int t.trace_dropped) ]
       | None -> [])
     @
     match t.time_to_first_route with
@@ -281,8 +289,20 @@ let to_json t =
     | None -> [])
 
 let run_record ?chaos ?trace_dir run =
+  (* Workers are forked per run, so the process-global registry delta
+     around the run is exactly this run's telemetry; the JSONL record
+     carries the snapshot diff for Aggregate to merge across shards. *)
+  let before = Telemetry.snapshot Telemetry.default in
   match execute ?chaos ?trace_dir run with
-  | Ok t -> to_json t
+  | Ok t ->
+    Pr_telemetry.Alloc.sample ();
+    let telemetry =
+      Telemetry.diff ~after:(Telemetry.snapshot Telemetry.default) ~before
+    in
+    (match to_json t with
+    | J.Obj fields ->
+      J.Obj (fields @ [ ("telemetry", Telemetry.snapshot_to_json telemetry) ])
+    | other -> other)
   | Error msg ->
     J.Obj
       (Grid.params_json run

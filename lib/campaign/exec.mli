@@ -51,6 +51,10 @@ type t = {
   wall_s : float;
   trace_file : string option;
       (** basename of the Chrome trace written under [trace_dir] *)
+  trace_dropped : int;
+      (** events the recorder discarded because its buffer filled (0
+          when not tracing); the written trace is a prefix of the run
+          when nonzero *)
   time_to_first_route : float option;
       (** simulated time the first routing-table entry appeared
           (only measured when tracing, via {!Pr_obs.Timeline}) *)
@@ -76,5 +80,8 @@ val to_json : t -> Pr_util.Json.t
 
 val run_record : ?chaos:chaos -> ?trace_dir:string -> Grid.run -> Pr_util.Json.t
 (** [execute] then [to_json]; an [Error] becomes a record with
-    [status = "failed"] and an [error] field. The function handed to
+    [status = "failed"] and an [error] field. Successful records also
+    carry a ["telemetry"] snapshot — the {!Pr_telemetry.Registry}
+    delta this run produced in its (forked) worker — which
+    {!Aggregate} merges across shards. The function handed to
     {!Pool.run_all} as its [exec]. *)

@@ -7,6 +7,8 @@ module Packet = Pr_proto.Packet
 module Cost_model = Pr_proto.Cost_model
 module Design_point = Pr_proto.Design_point
 
+let probe_update = Pr_proto.Probe.make "dv.update"
+
 let infinity_metric = 64
 
 type message = (Pr_topology.Ad.id * int) list
@@ -117,7 +119,7 @@ module Make (V : VARIANT) = struct
 
   let handle_message t ~at ~from vector =
     Metrics.record_computation (Network.metrics t.net) at ();
-    Pr_proto.Probe.computation t.net ~at "dv.update";
+    Pr_proto.Probe.computation probe_update t.net ~at ();
     let table = heard_table t at from in
     let changed = ref [] in
     List.iter

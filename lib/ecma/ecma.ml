@@ -12,6 +12,8 @@ module Packet = Pr_proto.Packet
 module Cost_model = Pr_proto.Cost_model
 module Design_point = Pr_proto.Design_point
 
+let probe_update = Pr_proto.Probe.make "ecma.update"
+
 (* Unreachability sentinel. Unlike plain DV, ECMA never counts toward
    it (the down_only/mixed dependency graph is acyclic), so it only
    needs to exceed any legitimate per-QOS path metric — the Low_delay
@@ -190,7 +192,7 @@ let heard_table t ad nbr =
 
 let handle_message t ~at ~from entries =
   Metrics.record_computation (Network.metrics t.net) at ();
-  Pr_proto.Probe.computation t.net ~at "ecma.update";
+  Pr_proto.Probe.computation probe_update t.net ~at ();
   let n = Graph.n t.graph in
   let heard = heard_table t at from in
   (* [from] below us feeds down_only; above us feeds mixed. *)

@@ -6,6 +6,8 @@ module Packet = Pr_proto.Packet
 module Cost_model = Pr_proto.Cost_model
 module Design_point = Pr_proto.Design_point
 
+let probe_update = Pr_proto.Probe.make "egp.update"
+
 type message = (Pr_topology.Ad.id * bool) list
 
 type node = {
@@ -102,7 +104,7 @@ let start t =
 
 let handle_message t ~at ~from entries =
   Metrics.record_computation (Network.metrics t.net) at ();
-  Pr_proto.Probe.computation t.net ~at "egp.update";
+  Pr_proto.Probe.computation probe_update t.net ~at ();
   List.iter
     (fun (dst, reachable) ->
       t.nodes.(at).advertisers.(dst).(from) <- reachable;

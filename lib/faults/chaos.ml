@@ -158,11 +158,14 @@ let run ?(plan = Plan.default) ?flows ?(probes = 40) ?churn ?max_events
   let violations = ref [] in
   let violate ~flow kind detail =
     violations := { time = conv.Runner.sim_time; kind; flow; detail } :: !violations;
+    let tid = match flow with Some (src, _) -> src | None -> 0 in
+    Pr_telemetry.Flight.note Pr_telemetry.Flight.global ~ts:conv.Runner.sim_time
+      ~tid
+      ~detail:(kind ^ ": " ^ detail)
+      "invariant.violation";
+    Pr_telemetry.Registry.(inc (counter default "chaos.violations"));
     if Trace.enabled trace then
-      Trace.instant trace
-        ~ts:conv.Runner.sim_time
-        ~tid:(match flow with Some (src, _) -> src | None -> 0)
-        "invariant.violation"
+      Trace.instant trace ~ts:conv.Runner.sim_time ~tid "invariant.violation"
   in
   let baseline_delivered = ref 0 in
   let delivered = ref 0 in

@@ -13,6 +13,8 @@ module Packet = Pr_proto.Packet
 module Cost_model = Pr_proto.Cost_model
 module Design_point = Pr_proto.Design_point
 
+let probe_update = Pr_proto.Probe.make "idrp.update"
+
 type route = {
   dest : Pr_topology.Ad.id;
   class_idx : int;
@@ -245,7 +247,7 @@ module Make (V : VARIANT) = struct
 
   let handle_message t ~at ~from updates =
     Metrics.record_computation (Network.metrics t.net) at ~work:(List.length updates) ();
-    Pr_proto.Probe.computation t.net ~at ~work:(List.length updates) "idrp.update";
+    Pr_proto.Probe.computation probe_update t.net ~at ~work:(List.length updates) ();
     let node = t.nodes.(at) in
     let touched = ref [] in
     List.iter

@@ -8,6 +8,8 @@ module Ls_flood = Pr_proto.Ls_flood
 module Design_point = Pr_proto.Design_point
 module Pqueue = Pr_util.Pqueue
 
+let probe_spf = Pr_proto.Probe.make "ls.spf"
+
 type message = Lsdb.lsa
 
 type node = {
@@ -97,7 +99,7 @@ let run_spf t ad ~version =
   drain ();
   t.spf_count <- t.spf_count + 1;
   Metrics.record_computation (Network.metrics t.net) ad ~work:!work ();
-  Pr_proto.Probe.computation t.net ~at:ad ~work:!work "ls.spf";
+  Pr_proto.Probe.computation probe_spf t.net ~at:ad ~work:!work ();
   t.nodes.(ad).next_hops <- first_hop;
   t.nodes.(ad).computed_version <- version
 

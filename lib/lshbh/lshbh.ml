@@ -10,6 +10,8 @@ module Ls_flood = Pr_proto.Ls_flood
 module Policy_route = Pr_proto.Policy_route
 module Design_point = Pr_proto.Design_point
 
+let probe_synth = Pr_proto.Probe.make "lshbh.synth"
+
 type message = Lsdb.lsa
 
 type node = {
@@ -107,7 +109,7 @@ let compute_route t at (flow : Flow.t) =
     let engine = Policy_route.engine db ~n flow in
     let path, work = Policy_route.shortest engine () in
     Metrics.record_computation (Network.metrics t.net) at ~work ();
-    Pr_proto.Probe.computation t.net ~at ~work "lshbh.synth";
+    Pr_proto.Probe.computation probe_synth t.net ~at ~work ();
     Hashtbl.replace node.route_cache key (version, path);
     path
 

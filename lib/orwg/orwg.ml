@@ -16,6 +16,9 @@ module Ls_flood = Pr_proto.Ls_flood
 module Policy_route = Pr_proto.Policy_route
 module Design_point = Pr_proto.Design_point
 
+let probe_synth = Pr_proto.Probe.make "orwg.synth"
+let probe_validate = Pr_proto.Probe.make "orwg.validate"
+
 type message = Lsdb.lsa
 
 module type VARIANT = sig
@@ -286,7 +289,7 @@ module Make (V : VARIANT) = struct
         else Policy_route.shortest engine ~avoid ()
       in
       Metrics.record_computation (Network.metrics t.net) server ~work ();
-      Pr_proto.Probe.computation t.net ~at:server ~work "orwg.synth";
+      Pr_proto.Probe.computation probe_synth t.net ~at:server ~work ();
       charge_delegation path;
       path
     in
@@ -304,9 +307,9 @@ module Make (V : VARIANT) = struct
       Metrics.record_computation (Network.metrics t.net) server
         ~work:(Stdlib.max 1 (List.length candidates))
         ();
-      Pr_proto.Probe.computation t.net ~at:server
+      Pr_proto.Probe.computation probe_synth t.net ~at:server
         ~work:(Stdlib.max 1 (List.length candidates))
-        "orwg.synth";
+        ();
       match Source_policy.best policy t.graph candidates with
       | Some path ->
         charge_delegation (Some path);
@@ -342,7 +345,7 @@ module Make (V : VARIANT) = struct
         if not admitted then Error ad
         else begin
           Metrics.record_computation (Network.metrics t.net) ad ();
-          Pr_proto.Probe.computation t.net ~at:ad "orwg.validate";
+          Pr_proto.Probe.computation probe_validate t.net ~at:ad ();
           if next <> None || ad = flow.Flow.dst then
             pg_install t ad handle { prev; next };
           validate (Some ad) rest

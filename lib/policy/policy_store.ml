@@ -1,3 +1,11 @@
+module Reg = Pr_telemetry.Registry
+
+(* Store-wide instrumentation: handles resolved once at module init so
+   policy flips and lazy compilations on hot paths never hash names. *)
+let m_flips = Reg.counter Reg.default "policy.set_transit"
+let m_compiles = Reg.counter Reg.default "policy.compilations"
+let m_version = Reg.gauge Reg.default "policy.store_version"
+
 type t = {
   n : int;
   transit : Transit_policy.t array;
@@ -40,6 +48,7 @@ let compiled t ad =
   match t.compiled.(ad) with
   | Some c -> c
   | None ->
+    Reg.inc m_compiles;
     let c = Compiled.compile ~n:t.n (t.transit.(ad)).Transit_policy.terms in
     t.compiled.(ad) <- Some c;
     c
@@ -47,7 +56,9 @@ let compiled t ad =
 let set_transit t ad policy =
   t.transit.(ad) <- policy;
   t.compiled.(ad) <- None;
-  t.version <- t.version + 1
+  t.version <- t.version + 1;
+  Reg.inc m_flips;
+  Reg.set m_version (float_of_int t.version)
 
 let allows t ad ctx = Compiled.allows (compiled t ad) ctx
 

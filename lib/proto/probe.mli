@@ -1,10 +1,22 @@
-(** Trace hooks for protocol drivers.
+(** Computation probes for protocol drivers.
 
-    [computation net ~at ~work name] records a self-contained span on
-    the network's trace: timestamped at the current simulated time, on
-    the AD's track, with the work charge as its duration — so Perfetto
-    renders per-AD computation load directly. A single branch when the
-    trace is disabled; call it right next to
-    [Metrics.record_computation] with the same [at] and [work]. *)
+    A probe is made once per (driver, computation-kind) — [make
+    "dv.update"] — and resolves its registry histogram handle at that
+    point, so the per-event [computation] call never hashes a string.
+    Each call charges the work figure to the
+    [proto.<name>.work] histogram in {!Pr_telemetry.Registry.default}
+    and, when the network's trace is enabled, records the same
+    self-contained span as before: timestamped at the current
+    simulated time, on the AD's track, with the work charge as its
+    duration — so Perfetto renders per-AD computation load directly.
+    Call it right next to [Metrics.record_computation] with the same
+    [at] and [work]. *)
 
-val computation : 'msg Pr_sim.Network.t -> at:Pr_topology.Ad.id -> ?work:int -> string -> unit
+type t
+
+val make : string -> t
+(** Idempotent per name: two probes made with the same name share the
+    same histogram. *)
+
+val computation :
+  t -> 'msg Pr_sim.Network.t -> at:Pr_topology.Ad.id -> ?work:int -> unit -> unit

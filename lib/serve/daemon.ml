@@ -16,6 +16,10 @@ module Metrics = Pr_sim.Metrics
 module Plan = Pr_faults.Plan
 module Nemesis = Pr_faults.Nemesis
 module Scenario = Pr_core.Scenario
+module Hist = Pr_telemetry.Hist
+module Reg = Pr_telemetry.Registry
+module Flight = Pr_telemetry.Flight
+module Alloc = Pr_telemetry.Alloc
 
 type config = {
   seed : int;
@@ -30,6 +34,7 @@ type config = {
   handle_capacity : int;
   check_every : int;
   policy : Gen.params;
+  record_exact : bool;
 }
 
 (* The restrictive fine-grained policy setting the PADMIT/SYNTH
@@ -51,6 +56,7 @@ let default_config =
     handle_capacity = 1024;
     check_every = 16;
     policy = restrictive;
+    record_exact = false;
   }
 
 type report = {
@@ -67,6 +73,7 @@ type report = {
   admit_ns : float;
   spec_admit_ns : float;
   admit_probes : int;
+  admit_alloc_w : float;
   handle_hit_rate : float;
   stats : Serve.stats;
   rebuild_p50_ns : float;
@@ -80,6 +87,9 @@ type report = {
   agreement_checks : int;
   agreement_failures : int;
   self_check_error : string option;
+  latency : Hist.t;
+  rebuild : Hist.t;
+  exact_latencies : float list;
 }
 
 let now_ns () = Int64.to_float (Monotonic_clock.now ())
@@ -167,9 +177,10 @@ let run cfg =
           Policy_store.set_transit store ad flipped
     end
   in
-  let latencies = ref [] in
+  let lat_hist = Hist.create () in
+  let exact_latencies = ref [] in
   let total_query_ns = ref 0.0 in
-  let rebuild_ns = ref [] in
+  let rebuild_hist = Hist.create () in
   let answered = ref 0 in
   let agreement_checks = ref 0 in
   let agreement_failures = ref 0 in
@@ -192,7 +203,14 @@ let run cfg =
             let c = Compiled.allows (Policy_store.compiled store ad) ctx in
             let i = Transit_policy.allows (Policy_store.transit store ad) ctx in
             incr agreement_checks;
-            if not (d = c && c = i && d) then incr agreement_failures;
+            if not (d = c && c = i && d) then begin
+              incr agreement_failures;
+              Flight.note Flight.global ~ts:(Engine.now engine) ~tid:ad
+                ~detail:
+                  (Printf.sprintf "flow %d->%d at AD %d: pdd=%b compiled=%b interpreted=%b"
+                     flow.Flow.src flow.Flow.dst ad d c i)
+                "serve.agreement_failure"
+            end;
             record_probe { p_ad = ad; p_flow = flow; p_prev = prev_o; p_next = next_o };
             scan (ad :: next :: rest)
         | _ -> ()
@@ -204,7 +222,7 @@ let run cfg =
     let now = Engine.now engine in
     let t0 = now_ns () in
     let changed = Serve.refresh serve ~now in
-    if changed > 0 then rebuild_ns := (now_ns () -. t0) :: !rebuild_ns;
+    if changed > 0 then Hist.record rebuild_hist (now_ns () -. t0);
     let snap = Serve.snapshot serve in
     for _op = 1 to cfg.batch do
       match Workload.next workload ~now with
@@ -214,7 +232,8 @@ let run cfg =
           let t0 = now_ns () in
           let answer = Serve.query ~snap serve ~now flow in
           let dt = now_ns () -. t0 in
-          latencies := dt :: !latencies;
+          Hist.record lat_hist dt;
+          if cfg.record_exact then exact_latencies := dt :: !exact_latencies;
           total_query_ns := !total_query_ns +. dt;
           match answer with
           | Serve.Route { path; handle; _ } ->
@@ -248,8 +267,8 @@ let run cfg =
      one full diagram walk vs the specialized-bitset baseline. *)
   let probe_list = Array.to_list probes |> List.filter_map Fun.id in
   let probe_arr = Array.of_list probe_list in
-  let admit_ns, spec_admit_ns =
-    if Array.length probe_arr = 0 then (0.0, 0.0)
+  let admit_ns, spec_admit_ns, admit_alloc_w =
+    if Array.length probe_arr = 0 then (0.0, 0.0, 0.0)
     else begin
       let snap = Serve.snapshot serve in
       let specs =
@@ -264,7 +283,12 @@ let run cfg =
           if
             Pdd.admit snap ~ad:p.p_ad p.p_flow ~prev:p.p_prev ~next:p.p_next
             <> Compiled.spec_allows specs.(i) ~prev:p.p_prev ~next:p.p_next
-          then incr agreement_failures)
+          then begin
+            incr agreement_failures;
+            Flight.note Flight.global ~ts:cfg.duration ~tid:p.p_ad
+              ~detail:"microbench probe: diagram vs specialized bitset disagree"
+              "serve.agreement_failure"
+          end)
         probe_arr;
       let sink = ref 0 in
       let ops = Array.length probe_arr in
@@ -284,8 +308,12 @@ let run cfg =
       in
       let d = time_ns_per ~ops diagram in
       let s = time_ns_per ~ops spec in
+      (* Steady-state allocation of the diagram walk (shared GC
+         accounting with bench/main.ml's synth section): the admit hot
+         path is expected to be allocation-free. *)
+      let alloc_w = Alloc.words_per ~ops diagram in
       ignore !sink;
-      (d, s)
+      (d, s, alloc_w)
     end
   in
   let stats = Serve.stats serve in
@@ -295,9 +323,16 @@ let run cfg =
     | Ok () -> (
         match Pdd.check (Serve.pdd serve) with Error e -> Some e | Ok () -> None)
   in
-  let lat = !latencies in
-  let percentile p = if lat = [] then 0.0 else Stats.percentile lat p in
-  let rebuilds = !rebuild_ns in
+  (match self_check_error with
+  | Some e ->
+      Flight.note Flight.global ~ts:cfg.duration ~detail:e
+        "serve.self_check_failed"
+  | None -> ());
+  (* Publish the session histograms into the process-global registry so
+     `prx serve --metrics` / campaign snapshots see them. *)
+  Hist.merge ~into:(Reg.histogram Reg.default "serve.query_latency_ns") lat_hist;
+  Hist.merge ~into:(Reg.histogram Reg.default "serve.rebuild_batch_ns") rebuild_hist;
+  Alloc.sample ();
   let hc = Pdd.db_store (Serve.pdd serve) in
   {
     config = cfg;
@@ -311,17 +346,18 @@ let run cfg =
       (if !total_query_ns > 0.0 then
          float_of_int stats.Serve.queries /. (!total_query_ns /. 1e9)
        else 0.0);
-    p50_ns = percentile 50.0;
-    p99_ns = percentile 99.0;
+    p50_ns = Hist.quantile lat_hist 50.0;
+    p99_ns = Hist.quantile lat_hist 99.0;
     admit_ns;
     spec_admit_ns;
     admit_probes = Array.length probe_arr;
+    admit_alloc_w;
     handle_hit_rate =
       (let total = stats.Serve.handle_hits + stats.Serve.handle_misses in
        if total = 0 then 0.0 else float_of_int stats.Serve.handle_hits /. float_of_int total);
     stats;
-    rebuild_p50_ns = (if rebuilds = [] then 0.0 else Stats.percentile rebuilds 50.0);
-    rebuild_max_ns = List.fold_left Stdlib.max 0.0 rebuilds;
+    rebuild_p50_ns = Hist.quantile rebuild_hist 50.0;
+    rebuild_max_ns = Hist.max_value rebuild_hist;
     build_ns;
     diagram_nodes = Pdd.store_nodes hc;
     diagram_preds = Pdd.store_preds hc;
@@ -331,6 +367,9 @@ let run cfg =
     agreement_checks = !agreement_checks;
     agreement_failures = !agreement_failures;
     self_check_error;
+    latency = lat_hist;
+    rebuild = rebuild_hist;
+    exact_latencies = List.rev !exact_latencies;
   }
 
 let healthy r =
@@ -373,7 +412,68 @@ let row_json r =
       ("faults", Json.Int r.faults);
       ("agreement_checks", Json.Int r.agreement_checks);
       ("agreement_failures", Json.Int r.agreement_failures);
+      (* Self-describing rows: the session config rides along so `prx
+         bench diff` can re-run a baseline row exactly. *)
+      ("duration", Json.Float r.config.duration);
+      ("batch", Json.Int r.config.batch);
+      ("interval", Json.Float r.config.interval);
+      ("flip_every", Json.Float r.config.flip_every);
+      ("route_capacity", Json.Int r.config.route_capacity);
+      ("handle_capacity", Json.Int r.config.handle_capacity);
+      ("check_every", Json.Int r.config.check_every);
+      ("restrictiveness", Json.Float r.config.policy.Gen.restrictiveness);
+      ( "granularity",
+        Json.String (Gen.granularity_to_string r.config.policy.Gen.granularity) );
+      ("source_policy_prob", Json.Float r.config.policy.Gen.source_policy_prob);
+      ("admit_alloc_w", Json.Float r.admit_alloc_w);
+      ("latency_hist", Hist.to_json r.latency);
     ]
+
+(* Rebuild a session config from a baseline row. Fields absent from
+   older rows fall back to the `prx serve` CLI defaults those baselines
+   were generated with (Gen.default policy: restrictiveness 0.3,
+   source-specific granularity). *)
+let config_of_row ~seed ~plan ~plan_name row =
+  let num name d =
+    match Json.member name row with
+    | Some (Json.Int v) -> float_of_int v
+    | Some (Json.Float v) -> v
+    | _ -> d
+  in
+  let int_f name d = int_of_float (num name (float_of_int d)) in
+  let granularity =
+    match Json.member "granularity" row with
+    | Some (Json.String g) -> (
+        match
+          List.find_opt
+            (fun k -> Gen.granularity_to_string k = g)
+            Gen.all_granularities
+        with
+        | Some k -> k
+        | None -> Gen.default.Gen.granularity)
+    | _ -> Gen.default.Gen.granularity
+  in
+  {
+    seed;
+    target_ads = int_f "target_ads" 0;
+    duration = num "duration" default_config.duration;
+    batch = int_f "batch" default_config.batch;
+    interval = num "interval" default_config.interval;
+    plan;
+    plan_name;
+    flip_every = num "flip_every" default_config.flip_every;
+    route_capacity = int_f "route_capacity" default_config.route_capacity;
+    handle_capacity = int_f "handle_capacity" default_config.handle_capacity;
+    check_every = int_f "check_every" default_config.check_every;
+    policy =
+      {
+        Gen.restrictiveness = num "restrictiveness" Gen.default.Gen.restrictiveness;
+        granularity;
+        source_policy_prob =
+          num "source_policy_prob" Gen.default.Gen.source_policy_prob;
+      };
+    record_exact = false;
+  }
 
 let doc_json ~reports =
   match reports with

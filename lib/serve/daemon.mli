@@ -37,6 +37,10 @@ type config = {
   handle_capacity : int;
   check_every : int;  (** cross-check every Nth answered query; 0 = never *)
   policy : Pr_policy.Gen.params;
+  record_exact : bool;
+      (** keep every raw query latency in [exact_latencies] (test /
+          calibration sessions only; the serving loop itself accounts
+          latency in a log2-bucket histogram) *)
 }
 
 val default_config : config
@@ -59,6 +63,9 @@ type report = {
   admit_ns : float;  (** one full diagram admit walk, min-of-batches *)
   spec_admit_ns : float;  (** Compiled.spec_allows on the same probes *)
   admit_probes : int;
+  admit_alloc_w : float;
+      (** words allocated per diagram admit ({!Pr_telemetry.Alloc});
+          expected 0 *)
   handle_hit_rate : float;
   stats : Serve.stats;
   rebuild_p50_ns : float;  (** incremental refresh latency (0 if none) *)
@@ -72,6 +79,9 @@ type report = {
   agreement_checks : int;
   agreement_failures : int;
   self_check_error : string option;  (** handle-leak / hash-cons audit *)
+  latency : Pr_telemetry.Hist.t;  (** every query latency, log2 buckets *)
+  rebuild : Pr_telemetry.Hist.t;  (** per-batch refresh latency when changed *)
+  exact_latencies : float list;  (** raw latencies; [] unless [record_exact] *)
 }
 
 val run : config -> report
@@ -87,3 +97,10 @@ val doc_json : reports:report list -> Pr_util.Json.t
 (** The full BENCH_serve.json document ("route_server_serving"). *)
 
 val pp_report : Format.formatter -> report -> unit
+
+val config_of_row :
+  seed:int -> plan:Pr_faults.Plan.t -> plan_name:string -> Pr_util.Json.t -> config
+(** Rebuild the session config a BENCH_serve.json results row was
+    generated with, falling back to the `prx serve` CLI defaults for
+    fields older baselines did not record. The `prx bench diff`
+    regression gate re-runs rows through this. *)

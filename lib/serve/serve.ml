@@ -10,6 +10,8 @@ module Policy_store = Pr_policy.Policy_store
 module Lru = Pr_util.Lru
 module Pqueue = Pr_util.Pqueue
 module Trace = Pr_obs.Trace
+module Reg = Pr_telemetry.Registry
+module Hist = Pr_telemetry.Hist
 
 type entry = { e_path : Path.t; e_version : int }
 
@@ -30,6 +32,21 @@ type t = {
   mutable handle_hits : int;
   mutable handle_misses : int;
   mutable no_routes : int;
+  (* Registry handles resolved once at creation; the query path never
+     hashes a metric name. These shadow the per-server counters above
+     into the process-global registry so campaign shards and the
+     daemon can snapshot/merge them. *)
+  m_queries : Reg.counter;
+  m_route_hits : Reg.counter;
+  m_route_misses : Reg.counter;
+  m_handle_hits : Reg.counter;
+  m_handle_misses : Reg.counter;
+  m_no_routes : Reg.counter;
+  m_handles_issued : Reg.counter;
+  m_handle_evictions : Reg.counter;
+  m_rebuild_ns : Hist.t;
+  m_pdd_nodes : Reg.gauge;
+  m_pdd_preds : Reg.gauge;
 }
 
 let create ?(route_capacity = Some 4096) ?(handle_capacity = Some 1024)
@@ -52,13 +69,30 @@ let create ?(route_capacity = Some 4096) ?(handle_capacity = Some 1024)
     handle_hits = 0;
     handle_misses = 0;
     no_routes = 0;
+    m_queries = Reg.counter Reg.default "serve.queries";
+    m_route_hits = Reg.counter Reg.default "serve.route_hits";
+    m_route_misses = Reg.counter Reg.default "serve.route_misses";
+    m_handle_hits = Reg.counter Reg.default "serve.handle_hits";
+    m_handle_misses = Reg.counter Reg.default "serve.handle_misses";
+    m_no_routes = Reg.counter Reg.default "serve.no_routes";
+    m_handles_issued = Reg.counter Reg.default "serve.handles_issued";
+    m_handle_evictions = Reg.counter Reg.default "serve.handle_evictions";
+    m_rebuild_ns = Reg.histogram Reg.default "pdd.rebuild_ns";
+    m_pdd_nodes = Reg.gauge Reg.default "pdd.nodes";
+    m_pdd_preds = Reg.gauge Reg.default "pdd.preds";
   }
 
 let pdd t = t.pdd
 
 let refresh t ~now =
+  let t0 = Monotonic_clock.now () in
   let k = Pdd.refresh t.pdd in
   if k > 0 then begin
+    let dt = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) in
+    Hist.record t.m_rebuild_ns dt;
+    let store = Pdd.db_store t.pdd in
+    Reg.set t.m_pdd_nodes (float_of_int (Pdd.store_nodes store));
+    Reg.set t.m_pdd_preds (float_of_int (Pdd.store_preds store));
     Trace.instant t.trace ~ts:now ~tid:0 "serve.rebuild";
     Trace.counter t.trace ~ts:now ~tid:0 ~value:(float_of_int k) "serve.rebuilt_ads"
   end;
@@ -227,8 +261,11 @@ let synthesize t snap (f : Flow.t) =
 let issue_handle t ~now path =
   let h = t.next_handle in
   t.next_handle <- h + 1;
+  Reg.inc t.m_handles_issued;
   (match Lru.put t.handles h path with
-  | Some _evicted -> Trace.instant t.trace ~ts:now ~tid:0 "serve.handle.evict"
+  | Some _evicted ->
+      Reg.inc t.m_handle_evictions;
+      Trace.instant t.trace ~ts:now ~tid:0 "serve.handle.evict"
   | None -> ());
   Trace.counter t.trace ~ts:now ~tid:0
     ~value:(float_of_int (Lru.length t.handles))
@@ -237,6 +274,7 @@ let issue_handle t ~now path =
 
 let query ?snap t ~now (f : Flow.t) =
   t.queries <- t.queries + 1;
+  Reg.inc t.m_queries;
   (* Pin one snapshot for every read this query makes: a concurrent
      set_transit + refresh publishes a new roots array but never
      mutates this one, so the answer is wholly from one version. *)
@@ -251,10 +289,12 @@ let query ?snap t ~now (f : Flow.t) =
   match cached with
   | Some path ->
       t.route_hits <- t.route_hits + 1;
+      Reg.inc t.m_route_hits;
       Trace.instant t.trace ~ts:now ~tid:0 "serve.query.hit";
       Route { path; handle = issue_handle t ~now path; version; cache_hit = true }
   | None -> (
       t.route_misses <- t.route_misses + 1;
+      Reg.inc t.m_route_misses;
       Trace.instant t.trace ~ts:now ~tid:0 "serve.query.miss";
       match synthesize t snap f with
       | Some path ->
@@ -262,6 +302,7 @@ let query ?snap t ~now (f : Flow.t) =
           Route { path; handle = issue_handle t ~now path; version; cache_hit = false }
       | None ->
           t.no_routes <- t.no_routes + 1;
+          Reg.inc t.m_no_routes;
           No_route { version })
 
 let data t ~now ~handle =
@@ -269,9 +310,11 @@ let data t ~now ~handle =
   match Lru.find t.handles handle with
   | Some path ->
       t.handle_hits <- t.handle_hits + 1;
+      Reg.inc t.m_handle_hits;
       Some path
   | None ->
       t.handle_misses <- t.handle_misses + 1;
+      Reg.inc t.m_handle_misses;
       Trace.instant t.trace ~ts:now ~tid:0 "serve.handle.stale";
       None
 

@@ -1,5 +1,7 @@
 module Pqueue = Pr_util.Pqueue
 module Trace = Pr_obs.Trace
+module Reg = Pr_telemetry.Registry
+module Flight = Pr_telemetry.Flight
 
 let log_src = Logs.Src.create "pr.engine" ~doc:"Discrete-event engine"
 
@@ -11,6 +13,11 @@ type t = {
   mutable executed : int;
   mutable trace : Trace.t;
   mutable observer : (time:float -> pending:int -> unit) option;
+  (* Registry handles resolved once at creation; the event loop never
+     hashes a metric name. *)
+  m_events : Reg.counter;
+  m_depth : Reg.gauge;
+  m_rate : Reg.gauge;
 }
 
 let create () =
@@ -20,6 +27,9 @@ let create () =
     executed = 0;
     trace = Trace.disabled;
     observer = None;
+    m_events = Reg.counter Reg.default "engine.events";
+    m_depth = Reg.gauge Reg.default "engine.queue_depth";
+    m_rate = Reg.gauge Reg.default "engine.events_per_sec";
   }
 
 let now t = t.clock
@@ -44,16 +54,23 @@ type stop_reason = Drained | Reached_limit
 
 (* Queue-depth counter cadence: every 64 executed events keeps the
    trace a small fraction of the event count while still resolving the
-   flooding bursts that dominate queue depth. *)
+   flooding bursts that dominate queue depth. The same cadence feeds
+   the engine.queue_depth gauge. *)
 let depth_sample_mask = 63
 
 let run ?(max_events = 10_000_000) t =
   let budget = ref max_events in
+  let executed_at_start = t.executed in
+  let wall_start = Sys.time () in
   let rec loop () =
     if !budget <= 0 then begin
       Log.warn (fun m ->
           m "event limit reached: %d events executed, %d still pending at t=%g"
             t.executed (Pqueue.length t.queue) t.clock);
+      Flight.note Flight.global ~ts:t.clock
+        ~value:(float_of_int (Pqueue.length t.queue))
+        ~detail:"event budget exhausted with work pending"
+        "engine.reached_limit";
       Reached_limit
     end
     else
@@ -62,17 +79,25 @@ let run ?(max_events = 10_000_000) t =
       | Some (time, f) ->
         t.clock <- time;
         t.executed <- t.executed + 1;
+        Reg.inc t.m_events;
         decr budget;
         f ();
-        if Trace.enabled t.trace && t.executed land depth_sample_mask = 0 then
-          Trace.counter t.trace ~ts:t.clock ~tid:0
-            ~value:(float_of_int (Pqueue.length t.queue))
-            "engine.queue_depth";
+        if t.executed land depth_sample_mask = 0 then begin
+          let depth = Pqueue.length t.queue in
+          Reg.set t.m_depth (float_of_int depth);
+          if Trace.enabled t.trace then
+            Trace.counter t.trace ~ts:t.clock ~tid:0
+              ~value:(float_of_int depth) "engine.queue_depth"
+        end;
         (match t.observer with
         | Some obs -> obs ~time:t.clock ~pending:(Pqueue.length t.queue)
         | None -> ());
         loop ()
   in
-  loop ()
+  let reason = loop () in
+  let wall = Sys.time () -. wall_start in
+  if wall > 0.0 then
+    Reg.set t.m_rate (float_of_int (t.executed - executed_at_start) /. wall);
+  reason
 
 let events_executed t = t.executed

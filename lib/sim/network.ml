@@ -2,6 +2,8 @@ module Graph = Pr_topology.Graph
 module Link = Pr_topology.Link
 module Rng = Pr_util.Rng
 module Trace = Pr_obs.Trace
+module Reg = Pr_telemetry.Registry
+module Flight = Pr_telemetry.Flight
 
 (* Debug tracing: enable with Logs.Src.set_level Network.log_src
    (Some Logs.Debug) and a reporter. Off by default and free when
@@ -25,6 +27,9 @@ type 'msg t = {
     (src:Pr_topology.Ad.id -> dst:Pr_topology.Ad.id -> link:Link.id -> float list) option;
   mutable on_message : at:Pr_topology.Ad.id -> from:Pr_topology.Ad.id -> 'msg -> unit;
   mutable on_link : at:Pr_topology.Ad.id -> link:Link.id -> up:bool -> unit;
+  (* Registry handles resolved once at creation. *)
+  m_sends : Reg.counter;
+  m_losses : Reg.counter;
 }
 
 let create ?(trace = Trace.disabled) engine graph metrics =
@@ -38,6 +43,8 @@ let create ?(trace = Trace.disabled) engine graph metrics =
     interpose = None;
     on_message = (fun ~at:_ ~from:_ _ -> ());
     on_link = (fun ~at:_ ~link:_ ~up:_ -> ());
+    m_sends = Reg.counter Reg.default "net.sends";
+    m_losses = Reg.counter Reg.default "net.losses";
   }
 
 let graph t = t.graph
@@ -89,6 +96,7 @@ let up_neighbors t x =
 
 let lose t ~src ~dst =
   Metrics.record_loss t.metrics dst;
+  Reg.inc t.m_losses;
   if Trace.enabled t.trace then
     Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid:dst "net.lost";
   Log.debug (fun m ->
@@ -102,6 +110,7 @@ let send t ~src ~dst ~bytes msg =
     | None -> ()
     | Some lid ->
       Metrics.record_send t.metrics src ~bytes;
+      Reg.inc t.m_sends;
       if Trace.enabled t.trace then
         Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid:src "net.send";
       Log.debug (fun m ->
@@ -136,6 +145,9 @@ let set_link_state t lid ~up =
     if Trace.enabled t.trace then
       Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid:l.Link.a
         (if up then "link.up" else "link.down");
+    Flight.note Flight.global ~ts:(Engine.now t.engine) ~tid:l.Link.a
+      ~detail:(Printf.sprintf "link %d--%d" l.Link.a l.Link.b)
+      (if up then "link.up" else "link.down");
     Log.info (fun m ->
         m "t=%.1f link %d--%d %s" (Engine.now t.engine) l.Link.a l.Link.b
           (if up then "restored" else "FAILED"));
@@ -149,6 +161,9 @@ let set_node_state t ad ~up =
     if Trace.enabled t.trace then
       Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid:ad
         (if up then "node.up" else "node.down");
+    Flight.note Flight.global ~ts:(Engine.now t.engine) ~tid:ad
+      ~detail:(Printf.sprintf "AD %d" ad)
+      (if up then "node.up" else "node.down");
     Log.info (fun m ->
         m "t=%.1f AD %d %s" (Engine.now t.engine) ad (if up then "restarted" else "CRASHED"))
   end

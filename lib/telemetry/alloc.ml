@@ -1,0 +1,23 @@
+let words f =
+  let s0 = Gc.quick_stat () in
+  let m0 = Gc.minor_words () in
+  f ();
+  let m1 = Gc.minor_words () in
+  let s1 = Gc.quick_stat () in
+  m1 -. m0
+  +. (s1.Gc.major_words -. s1.Gc.promoted_words)
+  -. (s0.Gc.major_words -. s0.Gc.promoted_words)
+
+let words_per ~ops f = words f /. float_of_int (max 1 ops)
+
+let sample ?(registry = Registry.default) () =
+  let s = Gc.quick_stat () in
+  let set name v = Registry.set (Registry.gauge registry name) v in
+  set "gc.minor_words" (Gc.minor_words ());
+  set "gc.major_words" s.Gc.major_words;
+  set "gc.promoted_words" s.Gc.promoted_words;
+  set "gc.minor_collections" (float_of_int s.Gc.minor_collections);
+  set "gc.major_collections" (float_of_int s.Gc.major_collections);
+  set "gc.compactions" (float_of_int s.Gc.compactions);
+  set "gc.heap_words" (float_of_int s.Gc.heap_words);
+  set "gc.top_heap_words" (float_of_int s.Gc.top_heap_words)

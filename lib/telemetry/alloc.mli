@@ -1,0 +1,20 @@
+(** GC-based allocation accounting and runtime sampling.
+
+    [words f] is the exact-allocation measurement previously
+    hand-rolled in bench/main.ml: minor words plus major words
+    allocated directly in the major heap (major minus promoted, so
+    promoted minors are not double-counted) across a call to [f].
+    [sample] publishes the current GC picture as gauges in a
+    registry. *)
+
+val words : (unit -> unit) -> float
+(** Words allocated by one call of [f]. *)
+
+val words_per : ops:int -> (unit -> unit) -> float
+(** [words f /. float ops]: per-operation allocation for a thunk that
+    performs [ops] operations. *)
+
+val sample : ?registry:Registry.t -> unit -> unit
+(** Set the [gc.*] gauges (minor/major/promoted words, collection and
+    compaction counts, heap words) in [registry] (default
+    {!Registry.default}) from [Gc.quick_stat]. *)

@@ -1,0 +1,69 @@
+(** Always-on flight recorder: a bounded ring of recent structured
+    events for post-mortem dumps.
+
+    Unlike {!Pr_obs.Trace} — which is opt-in, sized for whole-run
+    export, and drops the *newest* events when full so recorded spans
+    stay balanced — the flight recorder is always on, small, and
+    overwrites the *oldest* events, so a dump always shows the moments
+    leading up to a failure. Events reuse the trace-event shape
+    (kind/name/ts/tid/value/detail) and a disabled recorder costs one
+    branch per note.
+
+    {!dump} writes a [{"document": "post-mortem"}] JSON file with the
+    surviving events in chronological order, the reason, and an
+    optional registry snapshot. Chaos invariant violations, nemesis
+    faults, serve self-check failures and engine budget exhaustion all
+    note into {!global}. *)
+
+type t
+
+type kind = Instant | Counter
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] defaults to 512 events. *)
+
+val global : t
+(** The process-global always-on recorder stack instrumentation notes
+    into. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val note :
+  ?kind:kind ->
+  ?tid:int ->
+  ?value:float ->
+  ?detail:string ->
+  t ->
+  ts:float ->
+  string ->
+  unit
+(** Record one event; overwrites the oldest when full. [ts] is in the
+    caller's timebase (simulated seconds everywhere in-repo). *)
+
+val total : t -> int
+(** Events ever noted (including overwritten ones). *)
+
+val length : t -> int
+(** Events currently held (≤ capacity). *)
+
+val clear : t -> unit
+
+type event = {
+  kind : kind;
+  ts : float;
+  tid : int;
+  name : string;
+  value : float;
+  detail : string;
+}
+
+val events : t -> event list
+(** Chronological (oldest surviving first). *)
+
+val to_json : ?reason:string -> ?metrics:Registry.snapshot -> t -> Pr_util.Json.t
+(** The post-mortem document. *)
+
+val dump :
+  ?metrics:Registry.snapshot -> reason:string -> path:string -> t -> unit
+(** Write the post-mortem document to [path], newline-terminated. *)

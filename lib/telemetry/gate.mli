@@ -1,0 +1,38 @@
+(** Tolerance-band comparison of benchmark rows — the regression gate
+    behind [prx bench diff].
+
+    A spec declares, per numeric field, how a freshly re-run row may
+    differ from the committed baseline row: [Exact] for deterministic
+    counters (same seed ⇒ same value), [Rel tol] for timing-derived
+    figures (machines differ; a generous symmetric band still catches
+    order-of-magnitude regressions), [Ignore] for fields recorded but
+    not gated. Fields absent from the baseline are skipped — old
+    baselines predate schema additions — while fields the spec names
+    that are absent from the current row fail. *)
+
+type band = Exact | Rel of float  (** relative tolerance, e.g. [Rel 0.5] = ±50% *)
+           | Ignore
+
+type check = { field : string; band : band }
+
+type outcome = {
+  field : string;
+  baseline : float option;
+  current : float option;
+  band : band;
+  ok : bool;
+  note : string;
+}
+
+val compare_row :
+  spec:check list -> baseline:Pr_util.Json.t -> current:Pr_util.Json.t ->
+  outcome list
+
+val failures : outcome list -> outcome list
+
+val serve_spec : timing_tolerance:float -> check list
+(** The gate for "route_server_serving" rows: deterministic load and
+    diagram counters [Exact]; qps/latency/build figures
+    [Rel timing_tolerance]. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
