@@ -96,7 +96,7 @@ let () =
       "runs"; "ok"; "failed"; "crashed"; "timed_out"; "unconverged"; "budget_exhausted";
       "messages"; "bytes"; "computations"; "transit_computations"; "msgs_lost";
       "table_total"; "table_max"; "msg_max"; "delivered"; "flows"; "loop_violations";
-      "blackhole_violations";
+      "blackhole_violations"; "containment_violations"; "updates_rejected"; "quarantines";
     ]
   in
   (* Per-AD skew columns: float-valued but computed deterministically

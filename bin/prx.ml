@@ -576,14 +576,26 @@ let chaos_cmd =
       "Protocol (design point) to torture; see `prx design-space`. The deliberately \
        broken variant $(b,broken-ls) is also accepted — the harness must flag it."
     in
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROTOCOL" ~doc)
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"PROTOCOL" ~doc)
   in
   let plan_arg =
     let doc =
-      "Fault plan: a profile name (none, default, crash, partition, storm, lossy) or a \
-       spec like \"delay:p=0.25,max=2,until=40;crash:at=14,down=8\"."
+      "Fault plan: a profile name or $(b,profile:)NAME (see $(b,--list-profiles)) or a \
+       spec like \"delay:p=0.25,max=2,until=40;crash:at=14,down=8\". Adversarial \
+       profiles ($(b,byzantine), $(b,leak), $(b,chatter)) add a Byzantine attacker."
     in
     Arg.(value & opt string "default" & info [ "plan" ] ~docv:"PLAN" ~doc)
+  in
+  let list_profiles_flag =
+    let doc = "List the named fault profiles with their expanded plans, then exit." in
+    Arg.(value & flag & info [ "list-profiles" ] ~doc)
+  in
+  let no_guard_flag =
+    let doc =
+      "Disable the update guard (validation, flap damping, quarantine): measure the \
+       undefended protocol."
+    in
+    Arg.(value & flag & info [ "no-guard" ] ~doc)
   in
   let probes_arg =
     let doc = "Number of probe flows checked against the invariants." in
@@ -609,16 +621,42 @@ let chaos_cmd =
     Arg.(value & opt string "prx-postmortem.json" & info [ "post-mortem" ] ~docv:"FILE" ~doc)
   in
   let run () protocol seed size probes restrictiveness granularity churn max_events
-      plan_str report_path post_mortem =
+      plan_str list_profiles no_guard report_path post_mortem =
+    if list_profiles then begin
+      List.iter
+        (fun (name, p) ->
+          let spec = Pr_faults.Plan.to_string p in
+          Printf.printf "%-10s %s\n" name (if spec = "" then "(no faults)" else spec))
+        Pr_faults.Plan.profiles;
+      exit 0
+    end;
+    let bad_plan reason =
+      Printf.eprintf "prx: bad --plan %S: %s\n%s\n" plan_str reason
+        Pr_faults.Plan.grammar_help;
+      exit 2
+    in
     let plan =
-      match Pr_faults.Plan.profile plan_str with
+      let named = Pr_faults.Plan.profile in
+      match String.index_opt plan_str ':' with
+      | Some 7 when String.sub plan_str 0 7 = "profile" -> (
+        let name = String.sub plan_str 8 (String.length plan_str - 8) in
+        match named name with
+        | Some p -> p
+        | None -> bad_plan (Printf.sprintf "unknown profile %S" name))
+      | _ -> (
+        match named plan_str with
+        | Some p -> p
+        | None -> (
+          match Pr_faults.Plan.of_string plan_str with
+          | Ok p -> p
+          | Error e -> bad_plan e))
+    in
+    let protocol =
+      match protocol with
       | Some p -> p
-      | None -> (
-        match Pr_faults.Plan.of_string plan_str with
-        | Ok p -> p
-        | Error e ->
-          Printf.eprintf "prx: bad --plan %S: %s\n" plan_str e;
-          exit 2)
+      | None ->
+        Printf.eprintf "prx: a PROTOCOL argument is required (or use --list-profiles)\n";
+        exit 2
     in
     match Pr_faults.Chaos.find_protocol protocol with
     | None ->
@@ -627,8 +665,11 @@ let chaos_cmd =
       exit 2
     | Some packed ->
       let scenario = scenario_of ~seed ~size ~restrictiveness ~granularity in
+      let guard =
+        if no_guard then Pr_guard.Guard.disabled else Pr_guard.Guard.default_config
+      in
       let report =
-        Pr_faults.Chaos.run ~plan ~probes
+        Pr_faults.Chaos.run ~plan ~guard ~probes
           ?churn:(if churn then Some (6, 4.0) else None)
           ~max_events packed scenario
       in
@@ -666,7 +707,7 @@ let chaos_cmd =
     Term.(
       const run $ logs_term $ protocol_arg $ seed_arg $ size_arg $ probes_arg
       $ restrictiveness_arg $ granularity_arg $ churn_flag $ max_events_arg $ plan_arg
-      $ report_arg $ post_mortem_arg)
+      $ list_profiles_flag $ no_guard_flag $ report_arg $ post_mortem_arg)
 
 (* --- serve ---------------------------------------------------------- *)
 
@@ -705,8 +746,11 @@ let serve_cmd =
   in
   let plan_arg =
     let doc =
-      "Fault plan: a profile name (none, default, crash, partition, storm, lossy) or a \
-       spec like \"delay:p=0.25,max=2,until=40;crash:at=14,down=8\"."
+      "Fault plan: a profile name (none, default, crash, partition, storm, lossy, \
+       byzantine, leak, chatter) or a spec like \
+       \"delay:p=0.25,max=2,until=40;crash:at=14,down=8\". Adversarial profiles drive \
+       the daemon into serve-stale degradation when the update guard quarantines a \
+       flapping adjacency."
     in
     Arg.(value & opt string "default" & info [ "plan" ] ~docv:"PLAN" ~doc)
   in
@@ -999,7 +1043,7 @@ let bench_cmd =
           else begin
             incr compared;
             Printf.printf "re-running size %d (seed %d, plan %s)...\n%!" ads seed
-              plan_str;
+              cfg.Pr_serve.Daemon.plan_name;
             let report = Pr_serve.Daemon.run cfg in
             let current = Pr_serve.Daemon.row_json report in
             let outcomes = T.Gate.compare_row ~spec ~baseline:row ~current in

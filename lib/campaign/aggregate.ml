@@ -27,6 +27,9 @@ type row = {
   flows : int;
   loop_violations : int;
   blackhole_violations : int;
+  containment_violations : int;
+  updates_rejected : int;
+  quarantines : int;
   trace_dropped : int;
   wall_s : float;
 }
@@ -62,6 +65,9 @@ let empty_row protocol =
     flows = 0;
     loop_violations = 0;
     blackhole_violations = 0;
+    containment_violations = 0;
+    updates_rejected = 0;
+    quarantines = 0;
     trace_dropped = 0;
     wall_s = 0.0;
   }
@@ -99,6 +105,9 @@ let add_record row record =
       flows = row.flows + int "flows";
       loop_violations = row.loop_violations + int "loop_violations";
       blackhole_violations = row.blackhole_violations + int "blackhole_violations";
+      containment_violations = row.containment_violations + int "containment_violations";
+      updates_rejected = row.updates_rejected + int "updates_rejected";
+      quarantines = row.quarantines + int "quarantines";
       trace_dropped = row.trace_dropped + int "trace_dropped";
       wall_s = row.wall_s +. Result.value (J.float_member "wall_s" record) ~default:0.0;
     }
@@ -147,6 +156,8 @@ let columns =
     ("delivered", Texttable.Right);
     ("lost", Texttable.Right);
     ("viols", Texttable.Right);
+    ("rejected", Texttable.Right);
+    ("quar", Texttable.Right);
     ("wall s", Texttable.Right);
   ]
 
@@ -173,7 +184,10 @@ let table rows_list =
           Texttable.cell_float ~decimals:1 r.tbl_p90;
           Printf.sprintf "%d/%d" r.delivered r.flows;
           Texttable.cell_int r.msgs_lost;
-          Texttable.cell_int (r.loop_violations + r.blackhole_violations);
+          Texttable.cell_int
+            (r.loop_violations + r.blackhole_violations + r.containment_violations);
+          Texttable.cell_int r.updates_rejected;
+          Texttable.cell_int r.quarantines;
           Texttable.cell_float ~decimals:2 r.wall_s;
         ])
     rows_list;
@@ -206,6 +220,9 @@ let row_json r =
       ("flows", J.Int r.flows);
       ("loop_violations", J.Int r.loop_violations);
       ("blackhole_violations", J.Int r.blackhole_violations);
+      ("containment_violations", J.Int r.containment_violations);
+      ("updates_rejected", J.Int r.updates_rejected);
+      ("quarantines", J.Int r.quarantines);
       ("trace_dropped", J.Int r.trace_dropped);
       ("wall_s", J.Float r.wall_s);
     ]

@@ -34,6 +34,10 @@ type row = {
   flows : int;
   loop_violations : int;
   blackhole_violations : int;
+  containment_violations : int;
+      (** honest ADs left holding state their own validation rejects *)
+  updates_rejected : int;  (** guard validation rejections, summed *)
+  quarantines : int;  (** guard quarantines entered, summed *)
   trace_dropped : int;
       (** trace events lost to recorder truncation, summed over ok
           runs (0 when the campaign did not trace) *)

@@ -35,6 +35,9 @@ type t = {
   delivered : int;
   loop_violations : int;
   blackhole_violations : int;
+  containment_violations : int;
+  updates_rejected : int;
+  quarantines : int;
   chaos_fields : (string * J.t) list;
   wall_s : float;
   trace_file : string option;
@@ -114,6 +117,9 @@ let execute_faulted packed (run : Grid.run) plan =
       delivered = report.C.delivered;
       loop_violations = C.loop_violations report;
       blackhole_violations = C.blackhole_violations report;
+      containment_violations = C.containment_violations report;
+      updates_rejected = report.C.updates_rejected;
+      quarantines = report.C.quarantines;
       chaos_fields =
         [
           ("reconvergence_time", J.Float report.C.reconvergence_time);
@@ -242,6 +248,9 @@ let execute ?(chaos = no_chaos) ?trace_dir (run : Grid.run) =
         delivered;
         loop_violations = 0;
         blackhole_violations = 0;
+        containment_violations = 0;
+        updates_rejected = 0;
+        quarantines = 0;
         chaos_fields = [];
         wall_s = Unix.gettimeofday () -. started;
         trace_file;
@@ -273,6 +282,9 @@ let to_json t =
         ("delivered", J.Int t.delivered);
         ("loop_violations", J.Int t.loop_violations);
         ("blackhole_violations", J.Int t.blackhole_violations);
+        ("containment_violations", J.Int t.containment_violations);
+        ("updates_rejected", J.Int t.updates_rejected);
+        ("quarantines", J.Int t.quarantines);
         ("wall_s", J.Float t.wall_s);
       ]
     @ t.chaos_fields

@@ -45,6 +45,12 @@ type t = {
   blackhole_violations : int;
       (** probes the residual-topology baseline delivers but the
           faulted run does not (0 when the profile is ["none"]) *)
+  containment_violations : int;
+      (** honest ADs left holding state their own validation rejects
+          (Byzantine profiles; 0 when the profile is ["none"]) *)
+  updates_rejected : int;
+      (** updates the {!Pr_guard.Guard} validation screen rejected *)
+  quarantines : int;  (** neighbor quarantines the guard entered *)
   chaos_fields : (string * Pr_util.Json.t) list;
       (** extra record fields a fault-profile run carries
           (reconvergence time, transient loops, ...) *)

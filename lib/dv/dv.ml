@@ -152,6 +152,81 @@ module Make (V : VARIANT) = struct
     node.next_hop.(at) <- at;
     advertise t at (all_dests t)
 
+  (* {2 Adversarial surface}
+
+     DV updates carry no policy content, so validation is purely
+     syntactic: in-range destinations, metrics within [0, infinity].
+     Forgery (a zero-distance hijack) is well-formed and sails through
+     — the distance-vector half of the paper's §3 argument that
+     reachability/distance claims alone cannot be defended. *)
+
+  let check_update t ~at:_ ~from:_ vector =
+    let n = Graph.n t.graph in
+    let rec go = function
+      | [] -> Ok ()
+      | (dst, metric) :: rest ->
+        if dst < 0 || dst >= n then
+          Error (Printf.sprintf "destination %d out of range" dst)
+        else if metric < 0 || metric > infinity_metric then
+          Error
+            (Printf.sprintf "metric %d for destination %d outside [0,%d]"
+               metric dst infinity_metric)
+        else go rest
+    in
+    go vector
+
+  (* Negate one metric: an impossible (detectable) value, and — unlike
+     truncation or inflation, which the receive path clamps or cannot
+     distinguish from honest state — index-safe poison. *)
+  let corrupt_update _t ~rng vector =
+    match vector with
+    | [] -> None
+    | entries ->
+      let k = Pr_util.Rng.int rng (List.length entries) in
+      Some
+        (List.mapi
+           (fun i (dst, m) -> if i = k then (dst, -7 - m) else (dst, m))
+           entries)
+
+  (* The hijack: distance 0 to everything. Syntactically flawless. *)
+  let forge_update t ~origin:_ =
+    let entries = List.map (fun dst -> (dst, 0)) (all_dests t) in
+    Some (entries, vector_bytes entries)
+
+  let audit_state t ~at =
+    let node = t.nodes.(at) in
+    let n = Graph.n t.graph in
+    let bad = ref None in
+    Graph.iter_neighbor_ids t.graph at ~f:(fun nbr ->
+        if !bad = None then
+          match Hashtbl.find_opt node.heard nbr with
+          | None -> ()
+          | Some table ->
+            for dst = 0 to n - 1 do
+              if !bad = None && (table.(dst) < 0 || table.(dst) > infinity_metric)
+              then
+                bad :=
+                  Some
+                    (Printf.sprintf
+                       "poisoned metric %d for destination %d heard from ad %d"
+                       table.(dst) dst nbr)
+            done);
+    !bad
+
+  (* [nbr] re-sends its full vector to [at] alone — the link-up
+     exchange, directed, with poisoned reverse relative to [at]. *)
+  let resync t ~at ~nbr =
+    let node = t.nodes.(nbr) in
+    let entries =
+      List.map
+        (fun dst ->
+          if V.split_horizon && node.next_hop.(dst) = at && dst <> nbr then
+            (dst, infinity_metric)
+          else (dst, Stdlib.min node.metric.(dst) infinity_metric))
+        (all_dests t)
+    in
+    Network.send t.net ~src:nbr ~dst:at ~bytes:(vector_bytes entries) entries
+
   let prepare_flow _t _flow = Packet.no_prep
 
   let originate _t _packet = ()

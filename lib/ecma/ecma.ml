@@ -236,6 +236,114 @@ let reset_node t ~at =
   Array.iter (fun row -> row.(at) <- at) node.down_hop;
   advertise t at (all_pairs t)
 
+(* {2 Adversarial surface}
+
+   ECMA's updates carry (qos, dest) claims gated by the sender's own
+   configured Policy Terms ([advertised_entry]), so — unlike DV/EGP —
+   a receiver can check policy consistency: an entry for a (qos, dest)
+   the sender's terms do not admit can only come from a liar. This is
+   the checkable-content half of the paper's mutual-suspicion argument,
+   realized in the weakest of the four §5 designs. *)
+
+(* Would an honest [from] ever advertise this entry? Exactly the
+   [advertised_entry] gate, evaluated with the {e sender's} terms. *)
+let entry_allowed t ~from e =
+  e.dest = from || (supports_qos t.config from e.qos && dest_allowed t.config from e.dest e.qos)
+
+let check_update t ~at:_ ~from entries =
+  let n = Graph.n t.graph in
+  let rec go = function
+    | [] -> Ok ()
+    | e :: rest ->
+      if e.dest < 0 || e.dest >= n then
+        Error (Printf.sprintf "destination %d out of range" e.dest)
+      else if e.metric < 0 || e.metric > infinity_metric then
+        Error
+          (Printf.sprintf "metric %d for destination %d outside [0,%d]"
+             e.metric e.dest infinity_metric)
+      else if not (entry_allowed t ~from e) then
+        Error
+          (Printf.sprintf
+             "ad %d advertised (%s, %d) its own policy terms forbid" from
+             (Qos.to_string e.qos) e.dest)
+      else go rest
+  in
+  go entries
+
+let corrupt_update _t ~rng entries =
+  match entries with
+  | [] -> None
+  | l ->
+    let k = Pr_util.Rng.int rng (List.length l) in
+    Some (List.mapi (fun i e -> if i = k then { e with metric = -7 - e.metric } else e) l)
+
+(* The ECMA route leak: advertise excellent routes to (qos, dest)
+   pairs the origin's own terms forbid. When the origin's policy is
+   fully open (nothing to leak), fall back to a malformed negative
+   metric so the forgery is still deterministically rejectable. *)
+let forge_update t ~origin =
+  let n = Graph.n t.graph in
+  let leaked = ref [] and count = ref 0 in
+  List.iter
+    (fun q ->
+      for dest = n - 1 downto 0 do
+        if !count < 8 && dest <> origin
+           && not (supports_qos t.config origin q && dest_allowed t.config origin dest q)
+        then begin
+          incr count;
+          leaked := { qos = q; dest; metric = 1; gone_down = false } :: !leaked
+        end
+      done)
+    Qos.all;
+  let entries =
+    if !leaked <> [] then !leaked
+    else
+      [ { qos = List.hd Qos.all; dest = (origin + 1) mod n; metric = -1; gone_down = false } ]
+  in
+  Some (entries, message_bytes entries)
+
+let audit_state t ~at =
+  let n = Graph.n t.graph in
+  let node = t.nodes.(at) in
+  let bad = ref None in
+  Graph.iter_neighbor_ids t.graph at ~f:(fun nbr ->
+      if !bad = None then
+        match Hashtbl.find_opt node.heard nbr with
+        | None -> ()
+        | Some heard ->
+          List.iter
+            (fun q ->
+              let qi = Qos.index q in
+              for dest = 0 to n - 1 do
+                if !bad = None then begin
+                  let v = heard.((qi * n) + dest) in
+                  if v < 0 then
+                    bad :=
+                      Some
+                        (Printf.sprintf "poisoned metric %d at (%s, %d) heard from ad %d"
+                           v (Qos.to_string q) dest nbr)
+                  else if
+                    v < infinity_metric
+                    && not (entry_allowed t ~from:nbr { qos = q; dest; metric = v; gone_down = false })
+                  then
+                    bad :=
+                      Some
+                        (Printf.sprintf
+                           "route to (%s, %d) heard from ad %d violates its policy terms"
+                           (Qos.to_string q) dest nbr)
+                end
+              done)
+            Qos.all);
+  !bad
+
+(* [nbr]'s gated full-table advertisement, directed at [at] alone. *)
+let resync t ~at ~nbr =
+  let entries =
+    List.filter_map (fun (q, dest) -> advertised_entry t nbr at q dest) (all_pairs t)
+  in
+  if entries <> [] then
+    Network.send t.net ~src:nbr ~dst:at ~bytes:(message_bytes entries) entries
+
 let prepare_flow _t _flow = Packet.no_prep
 
 let originate _t _packet = ()

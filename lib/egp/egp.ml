@@ -135,6 +135,48 @@ let reset_node t ~at =
   Hashtbl.reset node.sent;
   advertise t at
 
+(* {2 Adversarial surface}
+
+   EGP is the paper's cautionary tale: an NR message is a bare list of
+   (destination, reachable) claims. Beyond index range there is nothing
+   to validate — a flipped bit or an "I reach everything" forgery is
+   byte-for-byte indistinguishable from an honest core gateway, and no
+   installed state betrays it afterwards ([audit_state] is [None] by
+   construction, not laziness). *)
+
+let check_update t ~at:_ ~from:_ entries =
+  let n = Graph.n t.graph in
+  let rec go = function
+    | [] -> Ok ()
+    | (dst, _) :: rest ->
+      if dst < 0 || dst >= n then
+        Error (Printf.sprintf "destination %d out of range" dst)
+      else go rest
+  in
+  go entries
+
+(* Flip one reachability bit: perfectly well-formed. *)
+let corrupt_update _t ~rng entries =
+  match entries with
+  | [] -> None
+  | l ->
+    let k = Pr_util.Rng.int rng (List.length l) in
+    Some (List.mapi (fun i (d, r) -> if i = k then (d, not r) else (d, r)) l)
+
+(* The EGP route leak: claim reachability to every destination. *)
+let forge_update t ~origin:_ =
+  let n = Graph.n t.graph in
+  let entries = List.init n (fun d -> (d, true)) in
+  Some (entries, message_bytes entries)
+
+let audit_state _t ~at:_ = None
+
+(* Drop the NR diff baseline toward [at] and re-advertise: [at] gets a
+   full restatement; other neighbors see empty diffs and nothing. *)
+let resync t ~at ~nbr =
+  Hashtbl.remove t.nodes.(nbr).sent at;
+  advertise t nbr
+
 let prepare_flow _t _flow = Packet.no_prep
 
 let originate _t _packet = ()

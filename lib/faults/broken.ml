@@ -36,6 +36,22 @@ module M = struct
      broken and the final invariant sweep is guaranteed to see it. *)
   let reset_node t ~at = Ls.reset_node t.inner ~at
 
+  (* The adversarial surface is the honest LS one: broken-ls validates
+     and audits correctly — its defect is downstream, in the data
+     plane. Forged LSAs it accepts (when unguarded) therefore show up
+     in the containment audit, which is exactly the non-vacuity check
+     the guard tests need. *)
+
+  let check_update t ~at ~from msg = Ls.check_update t.inner ~at ~from msg
+
+  let corrupt_update t ~rng msg = Ls.corrupt_update t.inner ~rng msg
+
+  let forge_update t ~origin = Ls.forge_update t.inner ~origin
+
+  let audit_state t ~at = Ls.audit_state t.inner ~at
+
+  let resync t ~at ~nbr = Ls.resync t.inner ~at ~nbr
+
   let prepare_flow t flow = Ls.prepare_flow t.inner flow
 
   let originate t packet = Ls.originate t.inner packet

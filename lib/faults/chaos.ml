@@ -14,6 +14,7 @@ module Packet = Pr_proto.Packet
 module Registry = Pr_core.Registry
 module Scenario = Pr_core.Scenario
 module Trace = Pr_obs.Trace
+module Guard = Pr_guard.Guard
 
 type violation = {
   time : float;
@@ -27,6 +28,8 @@ type report = {
   scenario : string;
   seed : int;
   plan : string;
+  guard : string;
+  attackers : Pr_topology.Ad.id list;
   converged : bool;
   stop_reason : string;
   sim_time : float;
@@ -37,8 +40,17 @@ type report = {
   msgs_duplicated : int;
   msgs_delayed : int;
   msgs_reordered : int;
+  msgs_corrupted : int;
+  msgs_replayed : int;
+  msgs_forged : int;
+  updates_rejected : int;
+  quarantines : int;
+  quarantine_drops : int;
+  readmissions : int;
   checks : int;
   transient_loops : int;
+  attack_probes : int;
+  attack_delivered : int;
   probes : int;
   baseline_delivered : int;
   delivered : int;
@@ -63,6 +75,10 @@ let loop_violations t = count_kind t "loop"
 
 let blackhole_violations t = count_kind t "blackhole"
 
+let containment_violations t = count_kind t "containment"
+
+let availability_violations t = count_kind t "availability"
+
 let find_protocol name =
   if name = Broken.name then Some Broken.packed else Registry.find_opt name
 
@@ -77,10 +93,11 @@ let probe_attempts = 3
    only gather the transient-loop statistic, never violations). *)
 let checkpoint_flows = 10
 
-let run ?(plan = Plan.default) ?flows ?(probes = 40) ?churn ?max_events
-    ?(trace = Trace.disabled) (Registry.Packed (module P) : Registry.packed)
-    (scenario : Scenario.t) =
+let run ?(plan = Plan.default) ?(guard = Guard.default_config) ?flows
+    ?(probes = 40) ?churn ?max_events ?(trace = Trace.disabled)
+    (Registry.Packed (module P) : Registry.packed) (scenario : Scenario.t) =
   let module R = Runner.Make (P) in
+  let guard_cfg = guard in
   let seed = scenario.Scenario.seed in
   let g = scenario.Scenario.graph in
   let flows =
@@ -94,13 +111,38 @@ let run ?(plan = Plan.default) ?flows ?(probes = 40) ?churn ?max_events
   ignore (Pr_policy.Policy_store.of_config scenario.Scenario.config);
   let r = R.setup ~trace g scenario.Scenario.config in
   let engine = Network.engine (R.network r) in
+  (* The update guard interposes on every AD's receive path and link
+     observations — uniformly, the attacker included (it is just
+     another suspicious domain). Readmission replays the adjacency
+     bring-up exchange so state dropped during a quarantine is
+     recovered. Benign traffic is untouched: every honest update
+     passes [check_update] by contract, and the benign storm spreads
+     its flaps over random links, far below the suppress threshold. *)
+  let guard =
+    Guard.create ~config:guard_cfg ~engine ~n:(Graph.n g)
+      ~on_readmit:(fun ~at ~nbr -> R.resync r ~at ~nbr)
+      ()
+  in
+  if guard_cfg.Guard.enabled then begin
+    R.set_receive_filter r
+      (Some
+         (fun ~at ~from msg ->
+           Guard.screen guard ~at ~from (R.check_update r ~at ~from msg)));
+    R.set_link_tap r
+      (Some (fun ~at ~nbr ~up -> Guard.observe_link guard ~at ~nbr ~up))
+  end;
   let nem =
     Nemesis.install (R.network r)
       ~rng:(Rng.derive seed "faults")
       ~crash:(fun ad -> R.crash_ad r ad)
       ~restart:(fun ad -> R.restart_ad r ad)
+      ~corrupt:(fun rng msg -> R.corrupt_update r ~rng msg)
+      ~forge:(fun ~origin -> R.forge_update r ~origin)
       plan
   in
+  let attackers = Nemesis.attackers nem in
+  let is_attacker ad = List.mem ad attackers in
+  let honest_flow (f : Flow.t) = not (is_attacker f.Flow.src || is_attacker f.Flow.dst) in
   Option.iter
     (fun (events, spacing) ->
       Churn.schedule (R.network r) (Rng.derive seed "churn") ~events ~spacing ())
@@ -113,15 +155,26 @@ let run ?(plan = Plan.default) ?flows ?(probes = 40) ?churn ?max_events
   let sample = List.filteri (fun i _ -> i < checkpoint_flows) flows in
   let checks = ref 0 in
   let transient_loops = ref 0 in
+  (* Availability under attack (a statistic, like transient loops):
+     how many honest-pair probes deliver while the adversary is live.
+     Only gathered for Byzantine plans, so benign runs replay
+     byte-identically. *)
+  let attack_probes = ref 0 in
+  let attack_delivered = ref 0 in
   List.iter
     (fun tm ->
       Engine.schedule_at engine ~time:(tm +. 0.25) (fun () ->
           incr checks;
           List.iter
             (fun f ->
-              match R.send_flow r f with
+              let outcome = R.send_flow r f in
+              (match outcome with
               | Forwarding.Looped _ -> incr transient_loops
-              | _ -> ())
+              | _ -> ());
+              if attackers <> [] && honest_flow f then begin
+                incr attack_probes;
+                if Forwarding.delivered outcome then incr attack_delivered
+              end)
             sample))
     (Plan.incident_times plan);
   let conv = R.converge ?max_events r in
@@ -167,6 +220,28 @@ let run ?(plan = Plan.default) ?flows ?(probes = 40) ?churn ?max_events
     if Trace.enabled trace then
       Trace.instant trace ~ts:conv.Runner.sim_time ~tid "invariant.violation"
   in
+  (* Containment: after reconvergence, no honest up AD may hold
+     routing state its own validation would have rejected — poisoned
+     metrics, policy-violating entries, fabricated adjacencies. This is
+     the ground-truth check that a Byzantine neighbor's lies did not
+     stick; it also fires on non-Byzantine plans if corruption ever
+     leaks into tables. Attackers (and crashed ADs) are exempt: only
+     honest state is contained. *)
+  if conv.Runner.converged then
+    List.iter
+      (fun ad ->
+        if (not (is_attacker ad)) && Network.node_is_up net ad then
+          match R.audit_state r ~at:ad with
+          | Some reason ->
+            violate ~flow:None "containment" (Printf.sprintf "ad %d: %s" ad reason)
+          | None -> ())
+      (List.init (Graph.n g) Fun.id);
+  (* Under a Byzantine plan only honest-pair flows are judged: a flow
+     sourced at or destined to the attacker proves nothing about the
+     protocol (the adversary may simply refuse to behave). An honest
+     pair the baseline delivers but the attacked run does not is an
+     availability-under-attack violation. *)
+  let probed = if attackers = [] then flows else List.filter honest_flow flows in
   let baseline_delivered = ref 0 in
   let delivered = ref 0 in
   if conv.Runner.converged then
@@ -189,9 +264,10 @@ let run ?(plan = Plan.default) ?flows ?(probes = 40) ?churn ?max_events
               | Forwarding.Prep_failed { reason; _ } -> "route setup failed: " ^ reason
               | _ -> "undelivered"
             in
-            violate ~flow:pair "blackhole"
+            let kind = if attackers = [] then "blackhole" else "availability" in
+            violate ~flow:pair kind
               (detail ^ " (baseline on the same residual topology delivers)"))
-      flows
+      probed
   else
     violate ~flow:None "no-reconvergence"
       (Printf.sprintf "event budget exhausted after %d events" conv.Runner.events);
@@ -204,6 +280,8 @@ let run ?(plan = Plan.default) ?flows ?(probes = 40) ?churn ?max_events
     scenario = scenario.Scenario.label;
     seed;
     plan = Plan.to_string plan;
+    guard = Guard.config_to_string guard_cfg;
+    attackers;
     converged = conv.Runner.converged;
     stop_reason = (if conv.Runner.converged then "drained" else "event-budget");
     sim_time = conv.Runner.sim_time;
@@ -215,9 +293,18 @@ let run ?(plan = Plan.default) ?flows ?(probes = 40) ?churn ?max_events
     msgs_duplicated = Nemesis.duplicated nem;
     msgs_delayed = Nemesis.delayed nem;
     msgs_reordered = Nemesis.reordered nem;
+    msgs_corrupted = Nemesis.corrupted nem;
+    msgs_replayed = Nemesis.replayed nem;
+    msgs_forged = Nemesis.forged nem;
+    updates_rejected = Guard.updates_rejected guard;
+    quarantines = Guard.quarantines_total guard;
+    quarantine_drops = Guard.quarantine_drops guard;
+    readmissions = Guard.readmissions guard;
     checks = !checks;
     transient_loops = !transient_loops;
-    probes = List.length flows;
+    attack_probes = !attack_probes;
+    attack_delivered = !attack_delivered;
+    probes = List.length probed;
     baseline_delivered = !baseline_delivered;
     delivered = !delivered;
     violations = List.rev !violations;
@@ -244,6 +331,8 @@ let report_json t =
       ("scenario", J.String t.scenario);
       ("seed", J.Int t.seed);
       ("plan", J.String t.plan);
+      ("guard", J.String t.guard);
+      ("attackers", J.List (List.map (fun ad -> J.Int ad) t.attackers));
       ("converged", J.Bool t.converged);
       ("stop_reason", J.String t.stop_reason);
       ("sim_time", J.Float t.sim_time);
@@ -258,14 +347,25 @@ let report_json t =
       ("msgs_duplicated", J.Int t.msgs_duplicated);
       ("msgs_delayed", J.Int t.msgs_delayed);
       ("msgs_reordered", J.Int t.msgs_reordered);
+      ("msgs_corrupted", J.Int t.msgs_corrupted);
+      ("msgs_replayed", J.Int t.msgs_replayed);
+      ("msgs_forged", J.Int t.msgs_forged);
+      ("updates_rejected", J.Int t.updates_rejected);
+      ("quarantines", J.Int t.quarantines);
+      ("quarantine_drops", J.Int t.quarantine_drops);
+      ("readmissions", J.Int t.readmissions);
       ("msgs_lost", J.Int t.msgs_lost);
       ("checks", J.Int t.checks);
       ("transient_loops", J.Int t.transient_loops);
+      ("attack_probes", J.Int t.attack_probes);
+      ("attack_delivered", J.Int t.attack_delivered);
       ("probes", J.Int t.probes);
       ("baseline_delivered", J.Int t.baseline_delivered);
       ("delivered", J.Int t.delivered);
       ("loop_violations", J.Int (loop_violations t));
       ("blackhole_violations", J.Int (blackhole_violations t));
+      ("containment_violations", J.Int (containment_violations t));
+      ("availability_violations", J.Int (availability_violations t));
       ( "violations",
         J.List
           (List.map
@@ -292,19 +392,39 @@ let report_json t =
 let pp ppf t =
   Format.fprintf ppf "@[<v>chaos %s on %s (seed %d)@," t.protocol t.scenario t.seed;
   Format.fprintf ppf "plan: %s@," (if t.plan = "" then "(none)" else t.plan);
+  Format.fprintf ppf "guard: %s@," t.guard;
+  if t.attackers <> [] then
+    Format.fprintf ppf "byzantine ad(s): %s@,"
+      (String.concat ", " (List.map string_of_int t.attackers));
   List.iter (fun (ts, what) -> Format.fprintf ppf "  t=%6.2f  %s@," ts what) t.fault_log;
   Format.fprintf ppf
     "message faults: %d dropped, %d duplicated, %d delayed, %d reordered; %d lost in flight@,"
     t.msgs_dropped t.msgs_duplicated t.msgs_delayed t.msgs_reordered t.msgs_lost;
+  if t.attackers <> [] then
+    Format.fprintf ppf
+      "byzantine faults: %d corrupted, %d replayed, %d forged@,"
+      t.msgs_corrupted t.msgs_replayed t.msgs_forged;
+  if t.guard <> "off" then
+    Format.fprintf ppf
+      "guard: %d updates rejected, %d quarantines (%d drops, %d readmissions)@,"
+      t.updates_rejected t.quarantines t.quarantine_drops t.readmissions;
   Format.fprintf ppf "%s at t=%.2f (%d events); reconvergence %.2f after last fault@,"
     (if t.converged then "converged" else "DID NOT CONVERGE")
     t.sim_time t.events t.reconvergence_time;
   Format.fprintf ppf "checkpoints: %d, transient loops observed: %d@," t.checks
     t.transient_loops;
+  if t.attackers <> [] then
+    Format.fprintf ppf "availability under attack: %d/%d honest probes delivered mid-incident@,"
+      t.attack_delivered t.attack_probes;
   Format.fprintf ppf "probes: %d/%d delivered (baseline %d/%d)@," t.delivered t.probes
     t.baseline_delivered t.probes;
   (match t.violations with
-  | [] -> Format.fprintf ppf "invariants: OK (no loop, no blackhole)"
+  | [] ->
+    if t.attackers = [] then
+      Format.fprintf ppf "invariants: OK (no loop, no blackhole)"
+    else
+      Format.fprintf ppf
+        "invariants: OK (no loop, no availability loss, no containment breach)"
   | vs ->
     Format.fprintf ppf "INVARIANT VIOLATIONS (%d):" (List.length vs);
     List.iter

@@ -16,6 +16,10 @@ type t = {
   mutable delayed : int;
   mutable reordered : int;
   mutable partition_cut : Link.id list;
+  mutable corrupted : int;
+  mutable replayed : int;
+  mutable forged : int;
+  mutable attackers : Pr_topology.Ad.id list;
 }
 
 let fault_log t = List.rev t.log
@@ -30,9 +34,18 @@ let reordered t = t.reordered
 
 let partition_cut t = t.partition_cut
 
+let corrupted t = t.corrupted
+
+let replayed t = t.replayed
+
+let forged t = t.forged
+
+let attackers t = t.attackers
+
 let in_window (w : Plan.window) now = now >= w.Plan.from_time && now <= w.Plan.until_time
 
-let install (type msg) (net : msg Network.t) ~rng ?crash ?restart (plan : Plan.t) =
+let install (type msg) (net : msg Network.t) ~rng ?crash ?restart ?corrupt
+    ?forge (plan : Plan.t) =
   let engine = Network.engine net in
   let graph = Network.graph net in
   let trace = Network.trace net in
@@ -44,6 +57,10 @@ let install (type msg) (net : msg Network.t) ~rng ?crash ?restart (plan : Plan.t
       delayed = 0;
       reordered = 0;
       partition_cut = [];
+      corrupted = 0;
+      replayed = 0;
+      forged = 0;
+      attackers = [];
     }
   in
   let note time what =
@@ -100,7 +117,8 @@ let install (type msg) (net : msg Network.t) ~rng ?crash ?restart (plan : Plan.t
         delays := (prob, max_extra, window) :: !delays
       | Plan.Reorder { prob; max_extra; window } ->
         reorders := (prob, max_extra, window) :: !reorders
-      | Plan.Crash _ | Plan.Partition _ | Plan.Flap_storm _ -> ())
+      | Plan.Crash _ | Plan.Partition _ | Plan.Flap_storm _ | Plan.Corrupt _
+      | Plan.Replay _ | Plan.Forge _ | Plan.Flap_chatter _ -> ())
     plan;
   let drops = List.rev !drops
   and dups = List.rev !dups
@@ -179,11 +197,154 @@ let install (type msg) (net : msg Network.t) ~rng ?crash ?restart (plan : Plan.t
              List.rev !copies
            end))
   end;
+  (* Byzantine actions: one attacker AD per run (for actions with
+     [ad = None]), chosen from its own stream split after the benign
+     ones so legacy plans draw identically. The attacker's outgoing
+     updates are tampered via the network's message-tamper hook; forged
+     and replayed updates are injected through the normal send path. *)
+  if Plan.has_byzantine plan then begin
+    let byz_rng = Rng.split rng in
+    let attacker_default =
+      match Graph.transit_ids graph with
+      | [] -> Rng.int byz_rng (Graph.n graph)
+      | pool -> Rng.choose byz_rng pool
+    in
+    let resolve ad = Option.value ad ~default:attacker_default in
+    let attackers_l =
+      List.sort_uniq compare
+        (List.filter_map
+           (function
+             | Plan.Corrupt { ad; _ } | Plan.Forge { ad; _ }
+             | Plan.Flap_chatter { ad; _ } -> Some (resolve ad)
+             | Plan.Replay _ -> Some attacker_default
+             | _ -> None)
+           plan)
+    in
+    t.attackers <- attackers_l;
+    let corrupt_specs =
+      List.filter_map
+        (function
+          | Plan.Corrupt { prob; ad; window } -> Some (prob, resolve ad, window)
+          | _ -> None)
+        plan
+    in
+    let want_capture =
+      List.exists (function Plan.Replay _ -> true | _ -> false) plan
+    in
+    (* Ring of the attackers' recent sends, captured pre-corruption:
+       replayed updates are well-formed but stale by re-injection time. *)
+    let capture_cap = 32 in
+    let captured : (Pr_topology.Ad.id * int * msg) Queue.t = Queue.create () in
+    (* Self-injected traffic (forge / replay re-sends) passes the tamper
+       hook untouched and is never re-captured. *)
+    let injecting = ref false in
+    if corrupt_specs <> [] || want_capture then
+      Network.set_message_tamper net
+        (Some
+           (fun ~src ~dst ~bytes msg ->
+             if !injecting then None
+             else begin
+               if want_capture && List.mem src attackers_l then begin
+                 if Queue.length captured >= capture_cap then
+                   ignore (Queue.pop captured);
+                 Queue.push (dst, bytes, msg) captured
+               end;
+               let now = Engine.now engine in
+               match corrupt with
+               | None -> None
+               | Some corrupt_fn ->
+                 let rec go = function
+                   | [] -> None
+                   | (prob, atk, w) :: rest ->
+                     if src = atk && in_window w now && Rng.chance byz_rng prob
+                     then (
+                       match corrupt_fn byz_rng msg with
+                       | Some m ->
+                         t.corrupted <- t.corrupted + 1;
+                         note now (Printf.sprintf "corrupt %d->%d" src dst);
+                         instant ~tid:dst "fault.corrupt";
+                         Some m
+                       | None -> go rest)
+                     else go rest
+                 in
+                 go corrupt_specs
+             end));
+    let send_injected ~src ~dst ~bytes msg =
+      injecting := true;
+      Network.send net ~src ~dst ~bytes msg;
+      injecting := false
+    in
+    List.iter
+      (function
+        | Plan.Replay { at_time; count } ->
+          Engine.schedule_at engine ~time:at_time (fun () ->
+              let k = Stdlib.min count (Queue.length captured) in
+              let src = attacker_default in
+              for _ = 1 to k do
+                let dst, bytes, msg = Queue.pop captured in
+                t.replayed <- t.replayed + 1;
+                send_injected ~src ~dst ~bytes msg
+              done;
+              note at_time (Printf.sprintf "replay ad=%d count=%d" src k);
+              instant ~tid:src "fault.replay")
+        | Plan.Forge { at_time; ad } ->
+          let origin = resolve ad in
+          Engine.schedule_at engine ~time:at_time (fun () ->
+              match forge with
+              | None ->
+                note at_time
+                  (Printf.sprintf "forge ad=%d: no forger installed" origin)
+              | Some forge_fn -> (
+                match forge_fn ~origin with
+                | None ->
+                  note at_time
+                    (Printf.sprintf "forge ad=%d: nothing to forge" origin)
+                | Some (msg, bytes) ->
+                  let nbrs = Network.up_neighbors net origin in
+                  List.iter
+                    (fun dst ->
+                      t.forged <- t.forged + 1;
+                      send_injected ~src:origin ~dst ~bytes msg)
+                    nbrs;
+                  note at_time
+                    (Printf.sprintf "forge ad=%d to %d neighbors" origin
+                       (List.length nbrs));
+                  instant ~tid:origin "fault.forge"))
+        | Plan.Flap_chatter { at_time; ad; flaps; spacing } ->
+          let atk = resolve ad in
+          (* One fixed adjacency — the attacker's lowest-id neighbor —
+             flapped repeatedly so the per-pair damping penalty actually
+             accumulates (a storm spreads flaps over random links). *)
+          let victim_link = ref None in
+          Graph.iter_neighbors graph atk ~f:(fun _nbr lid ->
+              if !victim_link = None then victim_link := Some lid);
+          (match !victim_link with
+          | None -> ()
+          | Some lid ->
+            for i = 0 to flaps - 1 do
+              let tf = at_time +. (float_of_int i *. spacing) in
+              Engine.schedule_at engine ~time:tf (fun () ->
+                  if Network.link_is_up net lid then begin
+                    note tf (Printf.sprintf "chatter down link=%d" lid);
+                    instant ~tid:atk "fault.chatter";
+                    Network.set_link_state net lid ~up:false;
+                    let hold = Plan.storm_hold ~spacing in
+                    Engine.schedule engine ~delay:hold (fun () ->
+                        note (tf +. hold)
+                          (Printf.sprintf "chatter restore link=%d" lid);
+                        Network.set_link_state net lid ~up:true)
+                  end)
+            done)
+        | _ -> ())
+      plan
+  end;
   (* Topology/node incidents become scheduled events, Churn-style. The
      engine clock is 0 at install time, so absolute times are valid. *)
   List.iter
     (function
-      | Plan.Drop _ | Plan.Duplicate _ | Plan.Delay _ | Plan.Reorder _ -> ()
+      | Plan.Drop _ | Plan.Duplicate _ | Plan.Delay _ | Plan.Reorder _
+      | Plan.Corrupt _ | Plan.Replay _ | Plan.Forge _ | Plan.Flap_chatter _ ->
+        ()
       | Plan.Crash { ad; at_time; down_for } ->
         let r = Rng.split sched_rng in
         let target =

@@ -9,7 +9,8 @@
     fault log and, when tracing, recorded as a [fault.*] instant
     ([fault.crash], [fault.restart], [fault.partition], [fault.heal],
     [fault.flap], [fault.drop], [fault.dup], [fault.delay],
-    [fault.reorder]). *)
+    [fault.reorder], and for Byzantine actions [fault.corrupt],
+    [fault.replay], [fault.forge], [fault.chatter]). *)
 
 type t
 
@@ -21,6 +22,8 @@ val install :
   rng:Pr_util.Rng.t ->
   ?crash:(Pr_topology.Ad.id -> unit) ->
   ?restart:(Pr_topology.Ad.id -> unit) ->
+  ?corrupt:(Pr_util.Rng.t -> 'msg -> 'msg option) ->
+  ?forge:(origin:Pr_topology.Ad.id -> ('msg * int) option) ->
   Plan.t ->
   t
 (** Compile the plan. Call with the engine clock still at 0 (before the
@@ -30,7 +33,16 @@ val install :
     the node and its links down without telling any protocol. All
     randomness (flap targets, crash victim, per-message draws) comes
     from [rng] via fixed-order splits — same rng state + same plan =
-    byte-identical schedule. *)
+    byte-identical schedule.
+
+    For plans with Byzantine actions, [corrupt] tampers one of the
+    attacker's in-flight updates (protocol-specific; [None] = this
+    message is not corruptible) and [forge] builds a protocol-specific
+    policy-violating announcement (message, wire bytes) originated by
+    the attacker — both usually [Pr_proto.Runner.Make.corrupt_update] /
+    [forge_update]. Without them, Corrupt/Forge actions log but do not
+    mutate traffic. The Byzantine stream is split from [rng] {e after}
+    the benign streams, so legacy plans draw identically. *)
 
 val fault_log : t -> (float * string) list
 (** Chronological (time, description) pairs of every incident fired so
@@ -47,3 +59,18 @@ val reordered : t -> int
 val partition_cut : t -> Pr_topology.Link.id list
 (** The links the (last) partition actually took down — exactly the
     set its heal restores. Empty before the partition fires. *)
+
+val corrupted : t -> int
+(** Updates tampered in flight so far. *)
+
+val replayed : t -> int
+(** Captured stale updates re-injected so far. *)
+
+val forged : t -> int
+(** Forged announcements sent so far (one per receiving neighbor). *)
+
+val attackers : t -> Pr_topology.Ad.id list
+(** The resolved attacker ADs of the plan's Byzantine actions, sorted.
+    Empty for plans without Byzantine actions. The invariant harness
+    excludes these from honest-flow availability accounting and from
+    the containment audit. *)

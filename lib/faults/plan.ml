@@ -8,6 +8,18 @@ type action =
   | Crash of { ad : Pr_topology.Ad.id option; at_time : float; down_for : float option }
   | Partition of { at_time : float; heal_after : float option }
   | Flap_storm of { at_time : float; flaps : int; spacing : float }
+  (* Byzantine actions: a compromised AD emits bad routing information
+     rather than merely losing messages. [ad = None] picks a transit AD
+     deterministically from the plan seed. *)
+  | Corrupt of { prob : float; ad : Pr_topology.Ad.id option; window : window }
+  | Replay of { at_time : float; count : int }
+  | Forge of { at_time : float; ad : Pr_topology.Ad.id option }
+  | Flap_chatter of {
+      at_time : float;
+      ad : Pr_topology.Ad.id option;
+      flaps : int;
+      spacing : float;
+    }
 
 type t = action list
 
@@ -51,6 +63,36 @@ let profiles =
         Delay { prob = 0.25; max_extra = 2.0; window = w };
         Duplicate { prob = 0.1; window = w };
       ] );
+    (* Adversarial profiles: one deterministically-chosen transit AD
+       turns Byzantine. [byzantine] is the full attack battery the
+       acceptance invariants gate on; [leak] isolates the route-leak
+       (forged announcement violating the origin's own Policy Terms);
+       [chatter] isolates the pathological flapping neighbor that flap
+       damping must suppress. *)
+    ( "byzantine",
+      (* Ordered so the first forge puts the attacker in quarantine at
+         every guarded neighbor before the replay fires (replayed stale
+         state is dropped at the boundary), and the second forge lands
+         late enough that without a guard it persists to the final
+         audit. *)
+      [
+        Corrupt
+          {
+            prob = 0.6;
+            ad = None;
+            window = { from_time = 2.0; until_time = 24.0 };
+          };
+        Forge { at_time = 4.0; ad = None };
+        Replay { at_time = 10.0; count = 8 };
+        Flap_chatter { at_time = 8.0; ad = None; flaps = 18; spacing = 0.25 };
+        Forge { at_time = 16.0; ad = None };
+      ] );
+    ( "leak",
+      [ Forge { at_time = 4.0; ad = None }; Forge { at_time = 9.0; ad = None } ]
+    );
+    ( "chatter",
+      [ Flap_chatter { at_time = 4.0; ad = None; flaps = 20; spacing = 0.25 } ]
+    );
   ]
 
 let profile name = List.assoc_opt name profiles
@@ -97,6 +139,22 @@ let action_to_string = function
   | Flap_storm { at_time; flaps; spacing } ->
     Printf.sprintf "storm:at=%s,flaps=%d,spacing=%s" (float_str at_time) flaps
       (float_str spacing)
+  | Corrupt { prob; ad; window } ->
+    String.concat ","
+      (("corrupt:p=" ^ float_str prob)
+      :: ((match ad with Some a -> [ Printf.sprintf "ad=%d" a ] | None -> [])
+         @ window_str window))
+  | Replay { at_time; count } ->
+    Printf.sprintf "replay:at=%s,count=%d" (float_str at_time) count
+  | Forge { at_time; ad } ->
+    String.concat ","
+      (("forge:at=" ^ float_str at_time)
+      :: (match ad with Some a -> [ Printf.sprintf "ad=%d" a ] | None -> []))
+  | Flap_chatter { at_time; ad; flaps; spacing } ->
+    String.concat ","
+      (Printf.sprintf "chatter:at=%s,flaps=%d,spacing=%s" (float_str at_time)
+         flaps (float_str spacing)
+      :: (match ad with Some a -> [ Printf.sprintf "ad=%d" a ] | None -> []))
 
 let to_string t = String.concat ";" (List.map action_to_string t)
 
@@ -185,6 +243,25 @@ let parse_action s =
       let* flaps = get_float fields "flaps" in
       let* spacing = get_float fields "spacing" in
       Ok (Flap_storm { at_time; flaps = int_of_float flaps; spacing })
+    | "corrupt" ->
+      let* prob = get_prob fields in
+      let* window = get_window fields in
+      let ad = Option.bind (List.assoc_opt "ad" fields) int_of_string_opt in
+      Ok (Corrupt { prob; ad; window })
+    | "replay" ->
+      let* at_time = get_float fields "at" in
+      let* count = get_float fields "count" in
+      Ok (Replay { at_time; count = int_of_float count })
+    | "forge" ->
+      let* at_time = get_float fields "at" in
+      let ad = Option.bind (List.assoc_opt "ad" fields) int_of_string_opt in
+      Ok (Forge { at_time; ad })
+    | "chatter" ->
+      let* at_time = get_float fields "at" in
+      let* flaps = get_float fields "flaps" in
+      let* spacing = get_float fields "spacing" in
+      let ad = Option.bind (List.assoc_opt "ad" fields) int_of_string_opt in
+      Ok (Flap_chatter { at_time; ad; flaps = int_of_float flaps; spacing })
     | other -> Error (Printf.sprintf "unknown fault kind %S" other))
 
 let of_string s =
@@ -210,11 +287,14 @@ let incident_times t =
           at_time :: (match down_for with Some d -> [ at_time +. d ] | None -> [])
         | Partition { at_time; heal_after } ->
           at_time :: (match heal_after with Some h -> [ at_time +. h ] | None -> [])
-        | Flap_storm { at_time; flaps; spacing } ->
+        | Flap_storm { at_time; flaps; spacing }
+        | Flap_chatter { at_time; flaps; spacing; _ } ->
           List.concat
             (List.init flaps (fun i ->
                  let tf = at_time +. (float_of_int i *. spacing) in
-                 [ tf; tf +. storm_hold ~spacing ])))
+                 [ tf; tf +. storm_hold ~spacing ]))
+        | Corrupt _ -> []
+        | Replay { at_time; _ } | Forge { at_time; _ } -> [ at_time ])
       t
   in
   List.sort_uniq compare times
@@ -235,9 +315,12 @@ let last_incident_time t =
           at_time +. Option.value down_for ~default:0.0
         | Partition { at_time; heal_after } ->
           at_time +. Option.value heal_after ~default:0.0
-        | Flap_storm { at_time; flaps; spacing } ->
+        | Flap_storm { at_time; flaps; spacing }
+        | Flap_chatter { at_time; flaps; spacing; _ } ->
           if flaps = 0 then at_time
           else at_time +. (float_of_int (flaps - 1) *. spacing) +. storm_hold ~spacing
+        | Corrupt { window; _ } -> wclose window
+        | Replay { at_time; _ } | Forge { at_time; _ } -> at_time
       in
       Stdlib.max acc t')
     0.0 t
@@ -246,3 +329,25 @@ let has_message_faults t =
   List.exists
     (function Drop _ | Duplicate _ | Delay _ | Reorder _ -> true | _ -> false)
     t
+
+let has_byzantine t =
+  List.exists
+    (function
+      | Corrupt _ | Replay _ | Forge _ | Flap_chatter _ -> true | _ -> false)
+    t
+
+(* The grammar summary the CLI prints on a malformed plan string. *)
+let grammar_help =
+  String.concat "\n"
+    [
+      "plan grammar: ACTION(;ACTION)* where ACTION is one of";
+      "  drop:p=P[,from=T][,until=T]        dup:p=P[,from=T][,until=T]";
+      "  delay:p=P,max=T[,from=][,until=]   reorder:p=P,max=T[,from=][,until=]";
+      "  crash:at=T[,down=T][,ad=N]         partition:at=T[,heal=T]";
+      "  storm:at=T,flaps=N,spacing=T";
+      "  corrupt:p=P[,ad=N][,from=T][,until=T]";
+      "  replay:at=T,count=N                forge:at=T[,ad=N]";
+      "  chatter:at=T,flaps=N,spacing=T[,ad=N]";
+      "or profile:NAME / a bare profile name, one of: "
+      ^ String.concat ", " profile_names;
+    ]

@@ -38,6 +38,26 @@ type action =
   | Flap_storm of { at_time : float; flaps : int; spacing : float }
       (** [flaps] random link failures [spacing] apart, each restored
           one and a half spacings after it went down *)
+  | Corrupt of { prob : float; ad : Pr_topology.Ad.id option; window : window }
+      (** the attacker AD tampers each update it sends with probability
+          [prob] while the window is open (bit-flipped metrics,
+          truncated payloads — protocol-specific); [ad = None] picks
+          the deterministic attacker transit AD *)
+  | Replay of { at_time : float; count : int }
+      (** at [at_time] the attacker re-injects the [count] oldest
+          updates it previously sent — stale-sequence state *)
+  | Forge of { at_time : float; ad : Pr_topology.Ad.id option }
+      (** the attacker announces routes its own Policy Terms forbid —
+          a route leak / prefix hijack, protocol-specific payload *)
+  | Flap_chatter of {
+      at_time : float;
+      ad : Pr_topology.Ad.id option;
+      flaps : int;
+      spacing : float;
+    }
+      (** a pathological neighbor: the attacker oscillates {e one fixed
+          adjacency} [flaps] times [spacing] apart — far past the storm
+          profile, concentrated so flap damping must engage *)
 
 type t = action list
 
@@ -54,7 +74,8 @@ val default : t
 
 val profiles : (string * t) list
 (** Named profiles: ["none"], ["default"], ["crash"], ["partition"],
-    ["storm"], ["lossy"]. *)
+    ["storm"], ["lossy"], and the adversarial ["byzantine"], ["leak"],
+    ["chatter"]. *)
 
 val profile : string -> t option
 
@@ -73,9 +94,11 @@ val of_string : string -> (t, string) result
     Kinds/keys: [drop:p,from,until], [dup:p,from,until],
     [delay:p,max,from,until], [reorder:p,max,from,until],
     [crash:at,down,ad], [partition:at,heal],
-    [storm:at,flaps,spacing]. Omitted [from]/[until] mean an unbounded
-    window; omitted [down]/[heal] mean no recovery; omitted [ad] means
-    a random transit AD. *)
+    [storm:at,flaps,spacing], [corrupt:p,ad,from,until],
+    [replay:at,count], [forge:at,ad], [chatter:at,flaps,spacing,ad].
+    Omitted [from]/[until] mean an unbounded window; omitted
+    [down]/[heal] mean no recovery; omitted [ad] means a random (or for
+    Byzantine actions, the deterministic attacker) transit AD. *)
 
 val incident_times : t -> float list
 (** Sorted, deduplicated times at which the plan changes topology or
@@ -90,3 +113,11 @@ val last_incident_time : t -> float
 
 val has_message_faults : t -> bool
 (** Whether the plan needs a delivery interposer at all. *)
+
+val has_byzantine : t -> bool
+(** Whether the plan contains any Byzantine action (Corrupt / Replay /
+    Forge / Flap_chatter) — i.e. whether an attacker AD exists. *)
+
+val grammar_help : string
+(** Multi-line summary of the accepted action grammar and profile
+    names, for CLI error messages. *)

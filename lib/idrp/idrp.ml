@@ -307,6 +307,145 @@ module Make (V : VARIANT) = struct
       (own_pairs t at);
     export t at (own_pairs t at)
 
+  (* {2 Adversarial surface}
+
+     Path attributes make IDRP the most checkable of the four designs:
+     a receiver can insist the path starts at the sender, terminates at
+     the claimed destination, is simple, avoids the receiver, and that
+     the allowed-source set is no wider than what the sender's own
+     advertised Policy Terms admit for that (prev, next) transit — the
+     product rule [export_update] applies when honest. *)
+
+  (* Why an honest [from]'s update to [at] must pass, case by case:
+     origin routes are [\[from\]] with a full allowed set; longer paths
+     are built by prepending the sender to a stored simple path that
+     never contains the holder, and intersecting allowed with the
+     sender's own mask for prev = receiver, next = second path hop. *)
+  let route_error t ~at ~from (r : route) =
+    if r.dest < 0 || r.dest >= t.n then Some (Printf.sprintf "destination %d out of range" r.dest)
+    else if r.class_idx < 0 || r.class_idx >= class_count t then
+      Some (Printf.sprintf "class %d out of range" r.class_idx)
+    else if List.exists (fun ad -> ad < 0 || ad >= t.n) r.path then Some "path ad out of range"
+    else
+      match r.path with
+      | [] -> Some "empty path on a non-withdrawn route"
+      | head :: rest ->
+        if head <> from then
+          Some (Printf.sprintf "path head %d is not the sender %d" head from)
+        else if List.length (List.sort_uniq compare r.path) <> List.length r.path then
+          Some "path is not simple"
+        else if List.mem at r.path then
+          Some (Printf.sprintf "path already contains the receiver %d" at)
+        else begin
+          let rec last = function [ x ] -> x | _ :: tl -> last tl | [] -> assert false in
+          if last r.path <> r.dest then
+            Some
+              (Printf.sprintf "path terminates at %d, not the claimed destination %d"
+                 (last r.path) r.dest)
+          else if Bitset.is_empty r.allowed then Some "empty allowed-source set"
+          else
+            match rest with
+            | [] -> None (* origin's own route: full allowed set is legitimate *)
+            | next :: _ ->
+              if
+                Bitset.subset r.allowed
+                  (mask t from r.class_idx r.dest ~prev:at ~next)
+              then None
+              else
+                Some
+                  (Printf.sprintf
+                     "allowed sources exceed what ad %d's own policy terms admit" from)
+        end
+
+  let check_update t ~at ~from updates =
+    let rec go = function
+      | [] -> Ok ()
+      | u :: rest ->
+        if u.withdraw then
+          if u.route.dest < 0 || u.route.dest >= t.n then
+            Error (Printf.sprintf "withdraw for destination %d out of range" u.route.dest)
+          else go rest
+        else begin
+          match route_error t ~at ~from u.route with
+          | Some e -> Error e
+          | None -> go rest
+        end
+    in
+    go updates
+
+  (* Widen one route's allowed set to everyone and stutter the path's
+     last hop: a transit leak stapled to a non-simple path, so the
+     tamper stays detectable even under fully open policies (and
+     index-safe — every id already existed). *)
+  let corrupt_update t ~rng updates =
+    let routes = List.filteri (fun _ u -> not u.withdraw) updates in
+    if routes = [] then None
+    else begin
+      let k = Pr_util.Rng.int rng (List.length routes) in
+      let picked = List.nth routes k in
+      Some
+        (List.map
+           (fun u ->
+             if u == picked then begin
+               let rec last = function [ x ] -> x | _ :: tl -> last tl | [] -> u.route.dest in
+               let path = u.route.path @ [ last u.route.path ] in
+               { u with route = { u.route with path; allowed = full_set t } }
+             end
+             else u)
+           updates)
+    end
+
+  (* The hijack: claim to BE one hop from a destination the origin
+     merely neighbors (path [origin] must terminate at [dest]), with an
+     all-sources allowed set. Shortest possible path, so guard-less
+     receivers prefer it. The target is the origin's second up
+     neighbor — the chatter action flaps the first's link, which would
+     flush the forged RIB entry there before the post-convergence
+     audit. *)
+  let forge_update t ~origin =
+    let nbrs = ref [] in
+    Graph.iter_neighbor_ids t.graph origin ~f:(fun nbr -> nbrs := nbr :: !nbrs);
+    let dest =
+      match List.rev !nbrs with
+      | _ :: second :: _ -> second
+      | [ only ] -> only
+      | [] -> (origin + 1) mod t.n
+    in
+    let u =
+      {
+        route = { dest; class_idx = 0; path = [ origin ]; allowed = full_set t };
+        withdraw = false;
+      }
+    in
+    Some ([ u ], message_bytes t [ u ])
+
+  let audit_state t ~at =
+    let node = t.nodes.(at) in
+    let bad = ref None in
+    Hashtbl.iter
+      (fun _key entries ->
+        if !bad = None then
+          List.iter
+            (fun (nbr, r) ->
+              if !bad = None then
+                match route_error t ~at ~from:nbr r with
+                | Some e ->
+                  bad :=
+                    Some (Printf.sprintf "rib-in route from ad %d for %d: %s" nbr r.dest e)
+                | None -> ())
+            entries)
+      node.rib_in;
+    !bad
+
+  (* [nbr] re-exports every pair it has a selection for, to [at]
+     alone — the directed form of the link-up full exchange. *)
+  let resync t ~at ~nbr =
+    let pairs = all_known_pairs t nbr in
+    if pairs <> [] && List.mem at (Network.up_neighbors t.net nbr) then begin
+      let updates = List.map (export_update t nbr at) pairs in
+      Network.send t.net ~src:nbr ~dst:at ~bytes:(message_bytes t updates) updates
+    end
+
   let prepare_flow _t _flow = Packet.no_prep
 
   let originate _t _packet = ()

@@ -147,6 +147,19 @@ let ensure_fresh t ad =
     else run_spf t ad ~version
   end
 
+(* Adversarial surface: the shared flood realizes all of it (see
+   {!Ls_flood}'s adversarial section). *)
+
+let check_update t ~at ~from:_ lsa = Ls_flood.check_lsa t.flood ~at lsa
+
+let corrupt_update t ~rng lsa = Ls_flood.corrupt_lsa t.flood ~rng lsa
+
+let forge_update t ~origin = Ls_flood.forge_lsa t.flood origin
+
+let audit_state t ~at = Ls_flood.audit_db t.flood ~at
+
+let resync t ~at ~nbr = Ls_flood.resync t.flood ~at ~nbr
+
 let prepare_flow _t _flow = Packet.no_prep
 
 let originate _t _packet = ()

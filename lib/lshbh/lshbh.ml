@@ -113,6 +113,21 @@ let compute_route t at (flow : Flow.t) =
     Hashtbl.replace node.route_cache key (version, path);
     path
 
+(* Adversarial surface: delegated to the shared flood. The Policy
+   Terms riding in each LSA are what make this design checkable — a
+   forged or leaked term fails {!Ls_flood.check_lsa}'s ownership rule
+   at the first honest hop. *)
+
+let check_update t ~at ~from:_ lsa = Ls_flood.check_lsa t.flood ~at lsa
+
+let corrupt_update t ~rng lsa = Ls_flood.corrupt_lsa t.flood ~rng lsa
+
+let forge_update t ~origin = Ls_flood.forge_lsa t.flood origin
+
+let audit_state t ~at = Ls_flood.audit_db t.flood ~at
+
+let resync t ~at ~nbr = Ls_flood.resync t.flood ~at ~nbr
+
 let prepare_flow _t _flow = Packet.no_prep
 
 let originate _t _packet = ()

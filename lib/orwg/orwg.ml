@@ -385,6 +385,21 @@ module Make (V : VARIANT) = struct
     in
     attempt [] V.setup_retries
 
+  (* Adversarial surface: delegated to the shared flood. Ownership is
+     the invariant checked on terms — [set_policy] mutates transit
+     policies live, so content cannot be compared against the static
+     configuration. *)
+
+  let check_update t ~at ~from:_ lsa = Ls_flood.check_lsa t.flood ~at lsa
+
+  let corrupt_update t ~rng lsa = Ls_flood.corrupt_lsa t.flood ~rng lsa
+
+  let forge_update t ~origin = Ls_flood.forge_lsa t.flood origin
+
+  let audit_state t ~at = Ls_flood.audit_db t.flood ~at
+
+  let resync t ~at ~nbr = Ls_flood.resync t.flood ~at ~nbr
+
   let prepare_flow t (flow : Flow.t) =
     if flow.Flow.src = flow.Flow.dst then Packet.no_prep
     else begin

@@ -190,6 +190,122 @@ let handle_message t ~at ~from lsa =
 
 let handle_link t ~at ~up:_ = originate t at
 
+(* {2 Adversarial surface shared by the link-state families}
+
+   Validation accepts everything honest flooding can deliver —
+   including duplicates and late copies racing a newer origination
+   (stale sequence numbers are shed by {!Lsdb.insert}, which is also
+   what contains replay: re-injected old LSAs never displace newer
+   state). What it rejects is content no honest origin can emit: out of
+   range ids, negative costs, adjacencies over links the real topology
+   does not contain (the LS form of a route leak — claiming transit
+   connectivity the AD does not have), and Policy Terms owned by
+   someone other than the origin. Term {e content} is deliberately not
+   checked against the static config: ORWG mutates transit policies
+   live ([set_policy]), so only ownership is invariant. *)
+
+let link_exists g u v =
+  let found = ref false in
+  Graph.iter_links_between g u v ~f:(fun _ -> found := true);
+  !found
+
+let check_lsa t ~at:_ (lsa : Lsdb.lsa) =
+  let g = Network.graph t.net in
+  let origin = lsa.Lsdb.origin in
+  if origin < 0 || origin >= t.n then
+    Error (Printf.sprintf "LSA origin %d out of range" origin)
+  else begin
+    let bad = ref None in
+    List.iter
+      (fun (a : Lsdb.adjacency) ->
+        if !bad = None then
+          if a.Lsdb.nbr < 0 || a.Lsdb.nbr >= t.n then
+            bad :=
+              Some (Printf.sprintf "adjacency neighbor %d out of range" a.Lsdb.nbr)
+          else if a.Lsdb.cost < 0 then
+            bad := Some (Printf.sprintf "negative adjacency cost %d" a.Lsdb.cost)
+          else if not (link_exists g origin a.Lsdb.nbr) then
+            bad :=
+              Some
+                (Printf.sprintf "ad %d advertises a fabricated adjacency to %d"
+                   origin a.Lsdb.nbr))
+      lsa.Lsdb.adjacencies;
+    List.iter
+      (fun (term : Pr_policy.Policy_term.t) ->
+        if !bad = None && term.Pr_policy.Policy_term.owner <> origin then
+          bad :=
+            Some
+              (Printf.sprintf "ad %d advertises a policy term owned by ad %d"
+                 origin term.Pr_policy.Policy_term.owner))
+      lsa.Lsdb.terms;
+    match !bad with None -> Ok () | Some reason -> Error reason
+  end
+
+let audit_db t ~at =
+  Lsdb.fold t.dbs.(at) ~init:None ~f:(fun acc lsa ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+        match check_lsa t ~at lsa with
+        | Ok () -> None
+        | Error reason -> Some reason))
+
+(* Lowest-id AD the origin has no real link to — the fabricated
+   neighbor corruption and forgery both claim. None in complete
+   graphs. *)
+let fabricated_neighbor t origin =
+  let g = Network.graph t.net in
+  let fake = ref (-1) in
+  let i = ref 0 in
+  while !fake < 0 && !i < t.n do
+    if !i <> origin && not (link_exists g origin !i) then fake := !i;
+    incr i
+  done;
+  if !fake < 0 then None else Some !fake
+
+(* Retarget one adjacency onto a link that does not exist: detectable
+   by {!check_lsa}, invisible to SPF without a guard (the bidirectional
+   discipline never confirms it), and — unlike truncation — never
+   confusable with an honest link-down. *)
+let corrupt_lsa t ~rng (lsa : Lsdb.lsa) =
+  match (lsa.Lsdb.adjacencies, fabricated_neighbor t lsa.Lsdb.origin) with
+  | [], _ | _, None -> None
+  | adjs, Some fake ->
+    let k = Pr_util.Rng.int rng (List.length adjs) in
+    let adjacencies =
+      List.mapi
+        (fun i (a : Lsdb.adjacency) ->
+          if i = k then { a with Lsdb.nbr = fake } else a)
+        adjs
+    in
+    Some { lsa with Lsdb.adjacencies; compiled = None }
+
+(* The classic LS attack: a far-future sequence number (honest
+   re-originations are shadowed until something intervenes) carrying a
+   fabricated adjacency. Guarded receivers reject it outright;
+   unguarded ones flood it internet-wide, where the final audit finds
+   it. *)
+let forge_lsa t origin =
+  match fabricated_neighbor t origin with
+  | None -> None
+  | Some fake ->
+    let adjacencies =
+      current_adjacencies t origin @ [ { Lsdb.nbr = fake; cost = 1; delay = 1.0 } ]
+    in
+    let lsa =
+      Lsdb.make_lsa ~origin ~seq:(t.seqs.(origin) + 1000) ~adjacencies
+        ~terms:(t.terms_for origin)
+    in
+    Some (lsa, Lsdb.lsa_bytes lsa)
+
+(* Quarantine readmission: [nbr] pushes its full database to [at] —
+   the same bring-up exchange {!reset_node} performs, directed. LSAs
+   [at] already has (or newer) are shed by the sequence check. *)
+let resync t ~at ~nbr =
+  if t.flood_to at && t.flood_to nbr then
+    Lsdb.fold t.dbs.(nbr) ~init:() ~f:(fun () lsa ->
+        Network.send t.net ~src:nbr ~dst:at ~bytes:(Lsdb.lsa_bytes lsa) lsa)
+
 let reset_node t ad =
   (* State loss empties the AD's database; the origination sequence
      number survives (lollipop-style — restarting at 0 would make the

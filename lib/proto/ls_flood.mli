@@ -91,3 +91,37 @@ val delta_in_scope :
     change. *)
 
 val db_entries : t -> Pr_topology.Ad.id -> int
+
+(** {2 Adversarial surface}
+
+    Shared realization of the [PROTOCOL] adversarial hooks for the
+    link-state families. Replay needs no validation here: stale
+    sequence numbers are shed by {!Lsdb.insert}, so re-injected old
+    LSAs never displace newer state — the guard's job is content no
+    honest origin can emit. *)
+
+val check_lsa : t -> at:Pr_topology.Ad.id -> Lsdb.lsa -> (unit, string) result
+(** Accepts everything honest flooding can deliver (including
+    duplicates and late copies); rejects out-of-range ids, negative
+    costs, adjacencies over links the real topology does not contain,
+    and Policy Terms owned by someone other than the origin. Term
+    content is not checked against the static config — ORWG mutates
+    transit policies live, so only ownership is invariant. *)
+
+val audit_db : t -> at:Pr_topology.Ad.id -> string option
+(** First LSA in the AD's database that {!check_lsa} would reject —
+    the containment ground truth. *)
+
+val corrupt_lsa : t -> rng:Pr_util.Rng.t -> Lsdb.lsa -> Lsdb.lsa option
+(** Retarget one adjacency onto a non-existent link (index-safe,
+    detectable, never confusable with an honest link-down). [None] for
+    adjacency-free LSAs or complete graphs. *)
+
+val forge_lsa : t -> Pr_topology.Ad.id -> (Lsdb.lsa * int) option
+(** A far-future-sequence LSA carrying a fabricated adjacency — the
+    classic shadowing attack. [None] in complete graphs. *)
+
+val resync : t -> at:Pr_topology.Ad.id -> nbr:Pr_topology.Ad.id -> unit
+(** [nbr] pushes its full database to [at] (the directed form of
+    {!reset_node}'s bring-up exchange), recovering whatever [at]
+    dropped while it had [nbr] quarantined. *)

@@ -43,6 +43,56 @@ module type PROTOCOL = sig
       whose adjacencies come up before its routing process has
       relearned anything. *)
 
+  (** {2 Adversarial surface}
+
+      The paper's mutual-suspicion premise (§2.1): a neighbor AD may
+      emit malformed, stale, or policy-violating routing information.
+      Each protocol names what an update from [from] must satisfy to be
+      believed ({!check_update}), how an attacker would tamper with or
+      fabricate its updates ({!corrupt_update}, {!forge_update}), what
+      installed state would betray a successful attack
+      ({!audit_state}), and how to recover a neighbor that missed
+      updates while quarantined ({!resync}). The update guard
+      ([Pr_guard]) interposes these at the receive path; the nemesis
+      drives the offense side. *)
+
+  val check_update :
+    t -> at:Pr_topology.Ad.id -> from:Pr_topology.Ad.id -> message -> (unit, string) result
+  (** Validate an update as received at [at] from direct neighbor
+      [from]: syntactic well-formedness (indices in range, metrics
+      non-negative), sequence/freshness discipline where the protocol
+      has one, and policy-consistency against what [from]'s own
+      advertised Policy Terms allow it to announce. Must accept every
+      update an honest implementation can emit (including benign
+      flooding duplicates) — rejections quarantine the sender. *)
+
+  val corrupt_update : t -> rng:Pr_util.Rng.t -> message -> message option
+  (** Tamper with an in-flight update the attacker emitted — the
+      protocol-specific realization of a bit-flip/truncation ([None] =
+      this message offers nothing to corrupt). Corruption must stay
+      {e index-safe}: receivers may reject it, but never crash on it. *)
+
+  val forge_update : t -> origin:Pr_topology.Ad.id -> (message * int) option
+  (** A fabricated announcement (message, wire bytes) from [origin]
+      that violates [origin]'s own advertised Policy Terms — a route
+      leak / hijack. [None] when the protocol family has nothing
+      forgeable beyond what {!corrupt_update} covers. *)
+
+  val audit_state : t -> at:Pr_topology.Ad.id -> string option
+  (** Ground-truth containment audit: does AD [at]'s installed routing
+      state contain anything that {!check_update} would have rejected
+      (poisoned metrics, policy-violating entries, fabricated
+      adjacencies)? [Some reason] describes the first offending entry.
+      Protocols whose state cannot be audited (EGP's unverifiable
+      reachability bits) always return [None] — the paper's argument
+      for carrying checkable policy terms. *)
+
+  val resync : t -> at:Pr_topology.Ad.id -> nbr:Pr_topology.Ad.id -> unit
+  (** Neighbor [nbr] pushes its full current state to [at] — the
+      adjacency-bring-up exchange replayed after [at] readmits [nbr]
+      from quarantine, so updates dropped while quarantined are
+      recovered. *)
+
   (** {2 Data plane} *)
 
   val prepare_flow : t -> Pr_policy.Flow.t -> Packet.prep

@@ -40,6 +40,12 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
        Only links this crash transitioned down are recorded, so a
        restart never restores a link some other fault source failed. *)
     crash_links : (Pr_topology.Ad.id, Pr_topology.Link.id list) Hashtbl.t;
+    (* Receive-path interposer (the update guard's hook): when it
+       returns false the update never reaches the protocol. *)
+    mutable filter : (at:Pr_topology.Ad.id -> from:Pr_topology.Ad.id -> P.message -> bool) option;
+    (* Observer of link transitions as the protocol sees them (the
+       guard's flap-damping feed). Runs before the protocol handler. *)
+    mutable link_tap : (at:Pr_topology.Ad.id -> nbr:Pr_topology.Ad.id -> up:bool -> unit) option;
   }
 
   let setup ?(trace = Trace.disabled) graph config =
@@ -61,13 +67,29 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
         events_marker = 0;
         muted = -1;
         crash_links = Hashtbl.create 4;
+        filter = None;
+        link_tap = None;
       }
     in
     Network.set_message_handler net (fun ~at ~from msg ->
-        P.handle_message proto ~at ~from msg);
+        let admit =
+          match t.filter with None -> true | Some f -> f ~at ~from msg
+        in
+        if admit then P.handle_message proto ~at ~from msg);
     Network.set_link_handler net (fun ~at ~link ~up ->
-        if at <> t.muted then P.handle_link proto ~at ~link ~up);
+        if at <> t.muted then begin
+          (match t.link_tap with
+          | None -> ()
+          | Some tap ->
+            let l = Pr_topology.Graph.link graph link in
+            tap ~at ~nbr:(Pr_topology.Link.other_end l at) ~up);
+          P.handle_link proto ~at ~link ~up
+        end);
     t
+
+  let set_receive_filter t f = t.filter <- f
+
+  let set_link_tap t f = t.link_tap <- f
 
   let graph t = t.graph
 
@@ -171,4 +193,17 @@ module Make (P : Protocol_intf.PROTOCOL) = struct
       best := Stdlib.max !best (P.table_entries t.proto ad)
     done;
     !best
+
+  (* Adversarial-surface delegates, so harnesses (chaos, guard) work
+     against the runner without reaching into the protocol value. *)
+
+  let check_update t ~at ~from msg = P.check_update t.proto ~at ~from msg
+
+  let corrupt_update t ~rng msg = P.corrupt_update t.proto ~rng msg
+
+  let forge_update t ~origin = P.forge_update t.proto ~origin
+
+  let audit_state t ~at = P.audit_state t.proto ~at
+
+  let resync t ~at ~nbr = P.resync t.proto ~at ~nbr
 end

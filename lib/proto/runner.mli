@@ -74,4 +74,34 @@ module Make (P : Protocol_intf.PROTOCOL) : sig
   (** Sum of per-AD routing state. *)
 
   val max_table_entries : t -> int
+
+  val set_receive_filter :
+    t -> (at:Pr_topology.Ad.id -> from:Pr_topology.Ad.id -> P.message -> bool) option -> unit
+  (** Interpose on the receive path: an update for which the filter
+      returns false is silently discarded before the protocol sees it.
+      This is where the update guard ([Pr_guard]) screens neighbors.
+      [None] removes the interposer. *)
+
+  val set_link_tap :
+    t -> (at:Pr_topology.Ad.id -> nbr:Pr_topology.Ad.id -> up:bool -> unit) option -> unit
+  (** Observe link transitions exactly as the protocol's own link
+      handler does (muted crashed routers see neither) — the guard's
+      flap-damping feed. Runs before the protocol handler. *)
+
+  (** {2 Adversarial-surface delegates}
+
+      The protocol's [PROTOCOL] adversarial hooks, lifted to the
+      runner so fault harnesses need not reach into the protocol
+      value. *)
+
+  val check_update :
+    t -> at:Pr_topology.Ad.id -> from:Pr_topology.Ad.id -> P.message -> (unit, string) result
+
+  val corrupt_update : t -> rng:Pr_util.Rng.t -> P.message -> P.message option
+
+  val forge_update : t -> origin:Pr_topology.Ad.id -> (P.message * int) option
+
+  val audit_state : t -> at:Pr_topology.Ad.id -> string option
+
+  val resync : t -> at:Pr_topology.Ad.id -> nbr:Pr_topology.Ad.id -> unit
 end

@@ -15,6 +15,7 @@ module Network = Pr_sim.Network
 module Metrics = Pr_sim.Metrics
 module Plan = Pr_faults.Plan
 module Nemesis = Pr_faults.Nemesis
+module Guard = Pr_guard.Guard
 module Scenario = Pr_core.Scenario
 module Hist = Pr_telemetry.Hist
 module Reg = Pr_telemetry.Registry
@@ -86,6 +87,11 @@ type report = {
   faults : int;
   agreement_checks : int;
   agreement_failures : int;
+  stale_batches : int;
+  queries_shed : int;
+  max_stale_age : float;
+  link_quarantines : int;
+  link_readmissions : int;
   self_check_error : string option;
   latency : Hist.t;
   rebuild : Hist.t;
@@ -131,6 +137,15 @@ let run cfg =
   let metrics = Metrics.create ~n in
   let net : unit Network.t = Network.create engine graph metrics in
   let nemesis = Nemesis.install net ~rng:(Rng.derive cfg.seed "serve-faults") cfg.plan in
+  (* Update guard over the link-event stream: flap damping quarantines
+     a chattering adjacency, and any active quarantine switches the
+     serving loop to serve-stale mode — pin the last healthy database
+     snapshot and, past the deadline, shed the queries that would need
+     a fresh synthesis while still answering from the route cache. *)
+  let guard = Guard.create ~engine ~n ~on_readmit:(fun ~at:_ ~nbr:_ -> ()) () in
+  Network.set_link_handler net (fun ~at ~link ~up ->
+      let l = Graph.link graph link in
+      Guard.observe_link guard ~at ~nbr:(Pr_topology.Link.other_end l at) ~up);
   let t0_build = now_ns () in
   let serve =
     Serve.create ~route_capacity:(Some cfg.route_capacity)
@@ -177,6 +192,15 @@ let run cfg =
           Policy_store.set_transit store ad flipped
     end
   in
+  let stale_gauge = Reg.gauge Reg.default "serve.stale_snapshot_age" in
+  Reg.set stale_gauge 0.0;
+  let m_sheds = Reg.counter Reg.default "serve.sheds" in
+  let stale_batches = ref 0 and queries_shed = ref 0 in
+  let max_stale_age = ref 0.0 in
+  (* (snapshot, pin time) of the last batch served from a healthy
+     (quarantine-free) topology. *)
+  let pinned = ref None in
+  let shed_deadline = 4.0 *. cfg.interval in
   let lat_hist = Hist.create () in
   let exact_latencies = ref [] in
   let total_query_ns = ref 0.0 in
@@ -220,29 +244,60 @@ let run cfg =
   in
   let batch () =
     let now = Engine.now engine in
-    let t0 = now_ns () in
-    let changed = Serve.refresh serve ~now in
-    if changed > 0 then Hist.record rebuild_hist (now_ns () -. t0);
-    let snap = Serve.snapshot serve in
+    (* Serve-stale: while the guard holds any adjacency in quarantine,
+       keep answering from the last healthy snapshot instead of
+       refreshing into a database the attacker is churning. *)
+    let stale_age =
+      if Guard.active_quarantines guard > 0 then
+        match !pinned with Some (_, since) -> Some (now -. since) | None -> None
+      else None
+    in
+    let snap =
+      match (stale_age, !pinned) with
+      | Some age, Some (snap, _) ->
+          incr stale_batches;
+          if age > !max_stale_age then max_stale_age := age;
+          Reg.set stale_gauge age;
+          snap
+      | _ ->
+          let t0 = now_ns () in
+          let changed = Serve.refresh serve ~now in
+          if changed > 0 then Hist.record rebuild_hist (now_ns () -. t0);
+          let snap = Serve.snapshot serve in
+          pinned := Some (snap, now);
+          snap
+    in
+    let shedding =
+      match stale_age with Some age -> age > shed_deadline | None -> false
+    in
     for _op = 1 to cfg.batch do
       match Workload.next workload ~now with
       | Workload.Data rank ->
           if !ring_count > 0 then ignore (Serve.data serve ~now ~handle:(ring_nth rank))
-      | Workload.Query flow -> (
-          let t0 = now_ns () in
-          let answer = Serve.query ~snap serve ~now flow in
-          let dt = now_ns () -. t0 in
-          Hist.record lat_hist dt;
-          if cfg.record_exact then exact_latencies := dt :: !exact_latencies;
-          total_query_ns := !total_query_ns +. dt;
-          match answer with
-          | Serve.Route { path; handle; _ } ->
-              incr answered;
-              ring_push handle;
-              let s = Serve.stats serve in
-              if cfg.check_every > 0 && s.Serve.queries mod cfg.check_every = 0 then
-                check_path snap flow path
-          | Serve.No_route _ -> ())
+      | Workload.Query flow ->
+          (* Past the degradation deadline only cached answers stay on
+             the menu: a synthesis on the stale database is work the
+             server sheds to keep the cheap queries fast. *)
+          if shedding && not (Serve.cache_ready serve ~snap flow) then begin
+            incr queries_shed;
+            Reg.inc m_sheds
+          end
+          else begin
+            let t0 = now_ns () in
+            let answer = Serve.query ~snap serve ~now flow in
+            let dt = now_ns () -. t0 in
+            Hist.record lat_hist dt;
+            if cfg.record_exact then exact_latencies := dt :: !exact_latencies;
+            total_query_ns := !total_query_ns +. dt;
+            match answer with
+            | Serve.Route { path; handle; _ } ->
+                incr answered;
+                ring_push handle;
+                let s = Serve.stats serve in
+                if cfg.check_every > 0 && s.Serve.queries mod cfg.check_every = 0 then
+                  check_path snap flow path
+            | Serve.No_route _ -> ()
+          end
     done
   in
   (* Batches before flips so that, at coinciding times, a batch always
@@ -366,6 +421,11 @@ let run cfg =
     faults = List.length (Nemesis.fault_log nemesis);
     agreement_checks = !agreement_checks;
     agreement_failures = !agreement_failures;
+    stale_batches = !stale_batches;
+    queries_shed = !queries_shed;
+    max_stale_age = !max_stale_age;
+    link_quarantines = Guard.quarantines_total guard;
+    link_readmissions = Guard.readmissions guard;
     self_check_error;
     latency = lat_hist;
     rebuild = rebuild_hist;
@@ -412,8 +472,16 @@ let row_json r =
       ("faults", Json.Int r.faults);
       ("agreement_checks", Json.Int r.agreement_checks);
       ("agreement_failures", Json.Int r.agreement_failures);
+      ("stale_batches", Json.Int r.stale_batches);
+      ("queries_shed", Json.Int r.queries_shed);
+      ("max_stale_age", Json.Float r.max_stale_age);
+      ("link_quarantines", Json.Int r.link_quarantines);
+      ("link_readmissions", Json.Int r.link_readmissions);
       (* Self-describing rows: the session config rides along so `prx
-         bench diff` can re-run a baseline row exactly. *)
+         bench diff` can re-run a baseline row exactly — including its
+         own fault plan, so one document can mix benign and attack
+         rows. *)
+      ("plan", Json.String r.config.plan_name);
       ("duration", Json.Float r.config.duration);
       ("batch", Json.Int r.config.batch);
       ("interval", Json.Float r.config.interval);
@@ -434,6 +502,18 @@ let row_json r =
    were generated with (Gen.default policy: restrictiveness 0.3,
    source-specific granularity). *)
 let config_of_row ~seed ~plan ~plan_name row =
+  (* A row-level "plan" overrides the document-level one (attack rows
+     ride alongside benign rows); an unparseable row plan falls back
+     to the document's. *)
+  let plan, plan_name =
+    match Json.member "plan" row with
+    | Some (Json.String s) -> (
+        match Plan.profile s with
+        | Some p -> (p, s)
+        | None -> (
+            match Plan.of_string s with Ok p -> (p, s) | Error _ -> (plan, plan_name)))
+    | _ -> (plan, plan_name)
+  in
   let num name d =
     match Json.member name row with
     | Some (Json.Int v) -> float_of_int v
@@ -492,6 +572,19 @@ let doc_json ~reports =
           ("results", Json.List (List.map row_json reports));
         ]
 
+let pp_stale ppf r =
+  if r.stale_batches > 0 then
+    Format.fprintf ppf
+      "@,serve-stale: %d batches (max snapshot age %.1f), %d queries shed, %d \
+       quarantines (%d readmitted)"
+      r.stale_batches r.max_stale_age r.queries_shed r.link_quarantines
+      r.link_readmissions
+
+let pp_self_check ppf r =
+  match r.self_check_error with
+  | None -> ()
+  | Some e -> Format.fprintf ppf "@,SELF-CHECK FAILED: %s" e
+
 let pp_report ppf r =
   let s = r.stats in
   Format.fprintf ppf
@@ -501,14 +594,11 @@ let pp_report ppf r =
      admit %.1f ns/check (specialized bitsets: %.1f) over %d probes@,\
      route cache %d/%d hit/miss (%d evicted)  handles %.1f%% hit (%d evicted)@,\
      diagrams: %d nodes, %d preds; rebuilds %d (%d ADs), p50 %.0f ns, max %.0f ns@,\
-     agreement %d/%d checks failed%s@]"
+     agreement %d/%d checks failed%a%a@]"
     r.ads r.links r.config.plan_name r.flips r.faults r.queries r.answered r.no_routes
     r.data_packets r.qps r.p50_ns r.p99_ns r.admit_ns r.spec_admit_ns r.admit_probes
     s.Serve.route_hits s.Serve.route_misses s.Serve.route_evictions
     (100.0 *. r.handle_hit_rate)
     s.Serve.handle_evictions r.diagram_nodes r.diagram_preds s.Serve.rebuilds
     s.Serve.rebuilt_ads r.rebuild_p50_ns r.rebuild_max_ns r.agreement_failures
-    r.agreement_checks
-    (match r.self_check_error with
-    | None -> ""
-    | Some e -> Printf.sprintf "@,SELF-CHECK FAILED: %s" e)
+    r.agreement_checks pp_stale r pp_self_check r

@@ -10,6 +10,17 @@
       random transit ADs, bumping the store version and exercising the
       incremental diagram rebuild path.
 
+    An update guard ({!Pr_guard.Guard}) watches the link-event stream:
+    when its flap damping quarantines a chattering adjacency (e.g. the
+    ["chatter"] Byzantine profile), the serving loop degrades
+    gracefully into {e serve-stale} mode — it pins the last healthy
+    diagram snapshot instead of refreshing into the churning database,
+    publishes the pin's age as the [serve.stale_snapshot_age] gauge,
+    and past a deadline of 4 x [interval] sheds the queries that would
+    need a fresh synthesis ([serve.sheds]) while still answering
+    cached ones. Readmission ends the mode and the next batch
+    refreshes to the live version.
+
     The operation stream, fault schedule and flip schedule draw from
     independent [Rng.derive] streams of the run seed, so a (seed,
     config) pair replays the same session; only the measured wall-clock
@@ -78,6 +89,21 @@ type report = {
   faults : int;  (** nemesis incidents fired *)
   agreement_checks : int;
   agreement_failures : int;
+  stale_batches : int;
+      (** batches served in serve-stale mode — an update-guard
+          quarantine was active, so the loop answered from the pinned
+          last-healthy snapshot instead of refreshing *)
+  queries_shed : int;
+      (** queries shed past the degradation deadline (4 x interval of
+          staleness): answering them would have taken a fresh synthesis
+          on the stale database, so only cached answers were served *)
+  max_stale_age : float;
+      (** worst simulated-time age of the pinned snapshot ([0.0] when
+          the session never went stale); also published as the
+          [serve.stale_snapshot_age] registry gauge *)
+  link_quarantines : int;
+      (** adjacencies the guard's flap damping quarantined *)
+  link_readmissions : int;  (** of which readmitted after backoff *)
   self_check_error : string option;  (** handle-leak / hash-cons audit *)
   latency : Pr_telemetry.Hist.t;  (** every query latency, log2 buckets *)
   rebuild : Pr_telemetry.Hist.t;  (** per-batch refresh latency when changed *)
@@ -102,5 +128,7 @@ val config_of_row :
   seed:int -> plan:Pr_faults.Plan.t -> plan_name:string -> Pr_util.Json.t -> config
 (** Rebuild the session config a BENCH_serve.json results row was
     generated with, falling back to the `prx serve` CLI defaults for
-    fields older baselines did not record. The `prx bench diff`
-    regression gate re-runs rows through this. *)
+    fields older baselines did not record. A row-level ["plan"] field
+    overrides [plan]/[plan_name], so one document can gate benign and
+    attack rows together. The `prx bench diff` regression gate re-runs
+    rows through this. *)

@@ -272,6 +272,11 @@ let issue_handle t ~now path =
     "serve.handles";
   h
 
+let cache_ready t ~snap (f : Flow.t) =
+  match Lru.peek t.routes (route_key t f) with
+  | Some e -> e.e_version = Pdd.snapshot_version snap && path_live t e.e_path
+  | None -> false
+
 let query ?snap t ~now (f : Flow.t) =
   t.queries <- t.queries + 1;
   Reg.inc t.m_queries;

@@ -54,6 +54,13 @@ type answer =
   | Route of { path : Pr_topology.Path.t; handle : int; version : int; cache_hit : bool }
   | No_route of { version : int }
 
+val cache_ready : t -> snap:Pdd.snapshot -> Pr_policy.Flow.t -> bool
+(** Would {!query} at [snap] answer from the route cache right now — a
+    cached entry at the snapshot's version whose path is still up?
+    Reads without touching recency or any counter: the serve-stale
+    shedding predicate (queries that would need a fresh synthesis on a
+    stale database are shed; cached answers stay cheap to serve). *)
+
 val query : ?snap:Pdd.snapshot -> t -> now:float -> Pr_policy.Flow.t -> answer
 (** Answer one route query: from the route cache when the entry was
     computed at the same database version and its path is still up,

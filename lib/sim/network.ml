@@ -25,6 +25,12 @@ type 'msg t = {
      one match per send. *)
   mutable interpose :
     (src:Pr_topology.Ad.id -> dst:Pr_topology.Ad.id -> link:Link.id -> float list) option;
+  (* Byzantine hook: rewrite a message as it leaves [src] ([None] from
+     the hook = pass unchanged). Used by the nemesis to model an
+     attacker AD corrupting its own updates. *)
+  mutable tamper :
+    (src:Pr_topology.Ad.id -> dst:Pr_topology.Ad.id -> bytes:int -> 'msg -> 'msg option)
+    option;
   mutable on_message : at:Pr_topology.Ad.id -> from:Pr_topology.Ad.id -> 'msg -> unit;
   mutable on_link : at:Pr_topology.Ad.id -> link:Link.id -> up:bool -> unit;
   (* Registry handles resolved once at creation. *)
@@ -41,6 +47,7 @@ let create ?(trace = Trace.disabled) engine graph metrics =
     link_up = Array.make (Graph.num_links graph) true;
     node_up = Array.make (Graph.n graph) true;
     interpose = None;
+    tamper = None;
     on_message = (fun ~at:_ ~from:_ _ -> ());
     on_link = (fun ~at:_ ~link:_ ~up:_ -> ());
     m_sends = Reg.counter Reg.default "net.sends";
@@ -60,6 +67,8 @@ let set_message_handler t f = t.on_message <- f
 let set_link_handler t f = t.on_link <- f
 
 let set_delivery_interposer t f = t.interpose <- f
+
+let set_message_tamper t f = t.tamper <- f
 
 let link_is_up t lid = t.link_up.(lid)
 
@@ -115,6 +124,11 @@ let send t ~src ~dst ~bytes msg =
         Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid:src "net.send";
       Log.debug (fun m ->
           m "t=%.1f send %d -> %d (%d bytes)" (Engine.now t.engine) src dst bytes);
+      let msg =
+        match t.tamper with
+        | None -> msg
+        | Some f -> ( match f ~src ~dst ~bytes msg with None -> msg | Some m -> m)
+      in
       let delay = (Graph.link t.graph lid).Link.delay in
       let deliver () =
         (* Lost if the link failed, or the receiver crashed, while the

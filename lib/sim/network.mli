@@ -55,6 +55,18 @@ val set_delivery_interposer :
     entries delay it. Without an interposer the only cost is one match
     per send. *)
 
+val set_message_tamper :
+  'msg t ->
+  (src:Pr_topology.Ad.id -> dst:Pr_topology.Ad.id -> bytes:int -> 'msg -> 'msg option)
+  option ->
+  unit
+(** Install (or remove) a Byzantine hook consulted on every send,
+    before delivery scheduling: returning [Some m'] substitutes the
+    in-flight message, [None] passes it unchanged. The nemesis uses
+    this to model an attacker AD corrupting the updates it emits (and
+    to capture them for later replay). Without a hook the only cost is
+    one match per send. *)
+
 val send :
   'msg t -> src:Pr_topology.Ad.id -> dst:Pr_topology.Ad.id -> bytes:int -> 'msg -> unit
 (** Send over (the cheapest) link between neighbors [src] and [dst].

@@ -80,6 +80,13 @@ let serve_spec ~timing_tolerance =
     exact "diagram_preds";
     exact "agreement_checks";
     exact "agreement_failures";
+    (* Graceful-degradation counters: simulated-time products of the
+       (seed, plan) pair, so exact too. *)
+    exact "stale_batches";
+    exact "queries_shed";
+    exact "max_stale_age";
+    exact "link_quarantines";
+    exact "link_readmissions";
     (* Wall-clock-derived: gate within the declared band. *)
     rel "qps";
     rel "p50_ns";

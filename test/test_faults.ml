@@ -212,6 +212,54 @@ let harness_passes_design_points () =
       check_int (name ^ " has zero violations") 0 (List.length report.Chaos.violations))
     [ "ecma"; "idrp"; "ls-hbh-pt"; "orwg" ]
 
+(* --- Byzantine containment ------------------------------------------- *)
+
+(* The §5 design points under the Byzantine profile with the guard on:
+   the attack must actually fire (forged updates on the wire), the
+   guard must bite (rejections and quarantines), and the honest
+   internet must come through clean — zero violations of any kind. *)
+let guard_contains_byzantine () =
+  let scenario = Scenario.for_size ~target_ads:14 ~seed:42 () in
+  let plan = Option.get (Plan.profile "byzantine") in
+  List.iter
+    (fun name ->
+      let packed = Option.get (Registry.find_opt name) in
+      let report = Chaos.run ~plan ~probes:40 packed scenario in
+      check_bool (name ^ " converges under attack") true report.Chaos.converged;
+      check_bool (name ^ " offense fired") true (report.Chaos.msgs_forged > 0);
+      check_bool (name ^ " guard rejected updates") true
+        (report.Chaos.updates_rejected > 0);
+      check_bool (name ^ " guard quarantined the attacker") true
+        (report.Chaos.quarantines > 0);
+      check_int
+        (name ^ " zero violations under guard")
+        0
+        (List.length report.Chaos.violations))
+    [ "ecma"; "idrp"; "ls-hbh-pt"; "orwg" ]
+
+(* Defense non-vacuity: with the guard off, the same attack must stick
+   — the containment audit finds adversarial state in honest ADs. *)
+let unguarded_byzantine_breached () =
+  let scenario = Scenario.for_size ~target_ads:14 ~seed:42 () in
+  let plan = Option.get (Plan.profile "byzantine") in
+  let packed = Option.get (Registry.find_opt "ecma") in
+  let report =
+    Chaos.run ~plan ~guard:Pr_guard.Guard.disabled ~probes:40 packed scenario
+  in
+  check_bool "unguarded run is breached" true
+    (Chaos.containment_violations report >= 1);
+  check_int "guard counted nothing while off" 0 report.Chaos.updates_rejected
+
+let byzantine_report_deterministic () =
+  let scenario = Scenario.for_size ~target_ads:14 ~seed:42 () in
+  let plan = Option.get (Plan.profile "byzantine") in
+  let packed = Option.get (Registry.find_opt "idrp") in
+  let doc () =
+    J.to_string (Chaos.report_json (Chaos.run ~plan ~probes:20 packed scenario))
+  in
+  check_string "identical (seed, plan, guard) => byte-identical report" (doc ())
+    (doc ())
+
 (* --- Campaign integration ------------------------------------------- *)
 
 let faulted_run profile max_events =
@@ -293,6 +341,15 @@ let () =
           Alcotest.test_case "empty plan is clean" `Quick chaos_empty_plan_is_clean;
           Alcotest.test_case "broken variant flagged" `Quick harness_flags_broken_variant;
           Alcotest.test_case "design points pass" `Quick harness_passes_design_points;
+        ] );
+      ( "byzantine",
+        [
+          Alcotest.test_case "guard contains the attacker" `Quick
+            guard_contains_byzantine;
+          Alcotest.test_case "unguarded run is breached" `Quick
+            unguarded_byzantine_breached;
+          Alcotest.test_case "adversarial report deterministic" `Quick
+            byzantine_report_deterministic;
         ] );
       ( "campaign",
         [
