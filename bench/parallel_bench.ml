@@ -1,0 +1,81 @@
+(* BENCH_parallel.json generator: the sharded-engine scaling benchmark.
+
+   One budget-capped link-state convergence per (size, shard-count)
+   cell, timed on the wall clock. Event and message counts must come
+   out identical across the shard axis — the engine's equivalence
+   contract, which bench_check enforces on the emitted document — so
+   the only thing the shard axis may change is the wall clock. The
+   speedup column is relative to the shards=1 row of the same size and
+   is only meaningful when the measuring host has at least as many
+   cores as shards (the document records the host's core count). *)
+
+module J = Pr_util.Json
+module PB = Pr_campaign.Parallel_bench
+
+let ints_of_string s = List.map int_of_string (String.split_on_char ',' s)
+
+let () =
+  let sizes = ref [ 400; 10_000 ] in
+  let shards = ref [ 1; 2; 4; 8 ] in
+  let seed = ref 42 in
+  let out = ref "BENCH_parallel.json" in
+  let gate_max = ref 400 in
+  let max_events = ref 5_000_000 in
+  Arg.parse
+    [
+      ("--sizes", Arg.String (fun s -> sizes := ints_of_string s), "comma-separated AD counts");
+      ("--shards", Arg.String (fun s -> shards := ints_of_string s), "comma-separated shard counts");
+      ("--seed", Arg.Set_int seed, "scenario seed");
+      ("--out", Arg.Set_string out, "output JSON file");
+      ("--max-events", Arg.Set_int max_events, "per-cell event budget");
+      ( "--gate-max",
+        Arg.Set_int gate_max,
+        "mark rows at or below this size as bench-diff gate rows" );
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "parallel_bench [--sizes=N,N] [--shards=N,N] [--seed=N] [--out=FILE]";
+  let packed =
+    match Pr_core.Registry.find_opt "link-state" with
+    | Some p -> p
+    | None -> failwith "link-state not registered"
+  in
+  let rows =
+    List.concat_map
+      (fun size ->
+        (* Sized so the gate rows run to full quiescence — the sharded
+           engine checks its budget at window boundaries, so a
+           truncated run's cut point depends on the shard count — while
+           the 10^4-AD cells measure a capped slab of flooding work
+           (link-state at that scale does not quiesce in bench time;
+           the rows record converged=false and speedup is a throughput
+           ratio, which stays comparable across unequal cut points). *)
+        let max_events = Stdlib.min !max_events (size * 1000) in
+        let base = ref None in
+        List.map
+          (fun sh ->
+            Printf.eprintf "parallel_bench: size %d, %d shard(s)...\n%!" size sh;
+            let r = PB.measure packed ~seed:!seed ~target_ads:size ~shards:sh ~max_events in
+            let speedup =
+              match !base with
+              | None ->
+                base := Some r.PB.events_per_sec;
+                1.0
+              | Some b -> if b > 0.0 then r.PB.events_per_sec /. b else 0.0
+            in
+            Printf.eprintf
+              "parallel_bench:   events=%d msgs=%d wall=%.3fs (%.0f ev/s, speedup %.2fx)\n%!"
+              r.PB.events r.PB.messages r.PB.wall_s r.PB.events_per_sec speedup;
+            PB.row_json ~speedup ~gate:(size <= !gate_max) r)
+          !shards)
+      !sizes
+  in
+  let doc =
+    PB.doc_json ~protocol:"link-state" ~seed:!seed
+      ~cores:(Domain.recommended_domain_count ())
+      rows
+  in
+  let oc = open_out !out in
+  output_string oc (J.to_string_pretty doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "parallel_bench: wrote %s (%d rows)\n" !out (List.length rows)

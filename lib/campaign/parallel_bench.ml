@@ -1,0 +1,80 @@
+module J = Pr_util.Json
+module Registry = Pr_core.Registry
+module Scenario = Pr_core.Scenario
+module Gate = Pr_telemetry.Gate
+
+type row = {
+  target_ads : int;
+  shards : int;
+  max_events : int;
+  converged : bool;
+  events : int;
+  messages : int;
+  wall_s : float;
+  events_per_sec : float;
+}
+
+let measure (Registry.Packed (module P) : Registry.packed) ~seed ~target_ads
+    ~shards ~max_events =
+  let scenario = Scenario.for_size ~target_ads ~seed () in
+  ignore (Pr_policy.Policy_store.of_config scenario.Scenario.config);
+  let module R = Pr_proto.Runner.Make (P) in
+  let r = R.setup ~shards scenario.Scenario.graph scenario.Scenario.config in
+  (* Time the converge alone: setup (graph generation, policy
+     compilation, domain spawning is inside run, not setup) is the
+     same work at every shard count and would only dilute the ratio. *)
+  let t0 = Unix.gettimeofday () in
+  let c = R.converge ~max_events r in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  {
+    target_ads;
+    shards;
+    max_events;
+    converged = c.Pr_proto.Runner.converged;
+    events = c.Pr_proto.Runner.events;
+    messages = c.Pr_proto.Runner.messages;
+    wall_s;
+    events_per_sec =
+      (if wall_s > 0.0 then float_of_int c.Pr_proto.Runner.events /. wall_s
+       else 0.0);
+  }
+
+let row_json ?speedup ?gate row =
+  J.Obj
+    ([
+       ("target_ads", J.Int row.target_ads);
+       ("shards", J.Int row.shards);
+       ("max_events", J.Int row.max_events);
+       ("converged", J.Bool row.converged);
+       ("events", J.Int row.events);
+       ("messages", J.Int row.messages);
+       ("wall_s", J.Float row.wall_s);
+       ("events_per_sec", J.Float row.events_per_sec);
+     ]
+    @ (match speedup with Some s -> [ ("speedup", J.Float s) ] | None -> [])
+    @ match gate with Some g -> [ ("gate", J.Bool g) ] | None -> [])
+
+let doc_json ~protocol ~seed ~cores rows =
+  J.Obj
+    [
+      ("benchmark", J.String "parallel_engine");
+      ("schema_version", J.Int 1);
+      ("protocol", J.String protocol);
+      ("seed", J.Int seed);
+      ("cores", J.Int cores);
+      ("results", J.List rows);
+    ]
+
+(* The bench-diff gate for parallel_engine rows: event and message
+   counts are deterministic per (seed, shard-count) and compare
+   exactly; throughput is banded; raw wall clock and the derived
+   speedup column are recorded but never gated (they are functions of
+   the host's core count). *)
+let gate_spec ~timing_tolerance =
+  [
+    { Gate.field = "events"; band = Gate.Exact };
+    { Gate.field = "messages"; band = Gate.Exact };
+    { Gate.field = "events_per_sec"; band = Gate.Rel timing_tolerance };
+    { Gate.field = "wall_s"; band = Gate.Ignore };
+    { Gate.field = "speedup"; band = Gate.Ignore };
+  ]

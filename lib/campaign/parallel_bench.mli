@@ -1,0 +1,46 @@
+(** Timed sharded-converge measurements — the rows behind
+    [BENCH_parallel.json] and the re-run side of
+    [prx bench diff --baseline BENCH_parallel.json].
+
+    One row is one [(protocol, size, shard-count)] converge with the
+    wall clock around it. Event and message counts are deterministic
+    per (seed, shard-count) — the same at every shard count for the
+    engine's equivalence contract — while wall-clock figures depend on
+    the host, so the gate compares the former exactly and only bands
+    the latter. *)
+
+type row = {
+  target_ads : int;
+  shards : int;
+  max_events : int;
+  converged : bool;  (** false when the event budget stopped the run *)
+  events : int;
+  messages : int;
+  wall_s : float;  (** converge wall clock, setup excluded *)
+  events_per_sec : float;
+}
+
+val measure :
+  Pr_core.Registry.packed ->
+  seed:int ->
+  target_ads:int ->
+  shards:int ->
+  max_events:int ->
+  row
+(** Build the scenario, set the runner up on [shards] engine shards,
+    and time one bounded converge. *)
+
+val row_json : ?speedup:float -> ?gate:bool -> row -> Pr_util.Json.t
+(** [speedup] is the caller-computed ratio against the shards=1 row of
+    the same size; [gate] marks rows cheap enough for
+    [prx bench diff] to re-run. *)
+
+val doc_json :
+  protocol:string -> seed:int -> cores:int -> Pr_util.Json.t list -> Pr_util.Json.t
+(** The full benchmark document ([benchmark = "parallel_engine"]).
+    [cores] records the measuring host's core count — speedup columns
+    are only meaningful with cores ≥ the largest shard count. *)
+
+val gate_spec : timing_tolerance:float -> Pr_telemetry.Gate.check list
+(** Exact on [events]/[messages], [Rel timing_tolerance] on
+    [events_per_sec], wall clock and speedup ignored. *)

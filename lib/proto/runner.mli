@@ -18,12 +18,20 @@ val pp_convergence : Format.formatter -> convergence -> unit
 module Make (P : Protocol_intf.PROTOCOL) : sig
   type t
 
-  val setup : ?trace:Pr_obs.Trace.t -> Pr_topology.Graph.t -> Pr_policy.Config.t -> t
+  val setup :
+    ?trace:Pr_obs.Trace.t ->
+    ?shards:int ->
+    Pr_topology.Graph.t ->
+    Pr_policy.Config.t ->
+    t
   (** Build engine, network, metrics and protocol agents; handlers are
       installed but nothing has been sent yet. [trace] (default
       {!Pr_obs.Trace.disabled}) is threaded into the engine and
       network, and protocols pick it up via [Network.trace] for their
-      route-computation spans. *)
+      route-computation spans. [shards] (default 1: the sequential
+      engine) partitions the simulation across that many OCaml domains
+      with {!Pr_sim.Shard.plan}; results are identical to the
+      sequential engine for the same seed and scenario. *)
 
   val graph : t -> Pr_topology.Graph.t
 

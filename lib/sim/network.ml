@@ -36,23 +36,65 @@ type 'msg t = {
   (* Registry handles resolved once at creation. *)
   m_sends : Reg.counter;
   m_losses : Reg.counter;
+  (* Sharded-engine instrumentation: the hot send/lose paths run on
+     worker domains, so each shard records into its own registry
+     handles (absorbed into the default registry at end of run) and
+     charges cross-shard losses to a per-shard shadow array flushed
+     into Metrics — the single-writer Metrics arrays must not be
+     written from a foreign domain. Empty on a sequential engine. *)
+  sharded : bool;
+  lane_sends : Reg.counter array;
+  lane_losses : Reg.counter array;
+  lost_shadow : int array array;
 }
 
 let create ?(trace = Trace.disabled) engine graph metrics =
-  {
-    engine;
-    graph;
-    metrics;
-    trace;
-    link_up = Array.make (Graph.num_links graph) true;
-    node_up = Array.make (Graph.n graph) true;
-    interpose = None;
-    tamper = None;
-    on_message = (fun ~at:_ ~from:_ _ -> ());
-    on_link = (fun ~at:_ ~link:_ ~up:_ -> ());
-    m_sends = Reg.counter Reg.default "net.sends";
-    m_losses = Reg.counter Reg.default "net.losses";
-  }
+  let shards = Engine.shard_count engine in
+  let sharded = shards > 1 in
+  let t =
+    {
+      engine;
+      graph;
+      metrics;
+      trace;
+      link_up = Array.make (Graph.num_links graph) true;
+      node_up = Array.make (Graph.n graph) true;
+      interpose = None;
+      tamper = None;
+      on_message = (fun ~at:_ ~from:_ _ -> ());
+      on_link = (fun ~at:_ ~link:_ ~up:_ -> ());
+      m_sends = Reg.counter Reg.default "net.sends";
+      m_losses = Reg.counter Reg.default "net.losses";
+      sharded;
+      lane_sends =
+        (if sharded then
+           Array.init shards (fun i ->
+               Reg.counter (Engine.shard_registry engine i) "net.sends")
+         else [||]);
+      lane_losses =
+        (if sharded then
+           Array.init shards (fun i ->
+               Reg.counter (Engine.shard_registry engine i) "net.losses")
+         else [||]);
+      lost_shadow =
+        (if sharded then
+           Array.init shards (fun _ -> Array.make (Graph.n graph) 0)
+         else [||]);
+    }
+  in
+  if sharded then
+    Engine.add_end_of_run_hook engine (fun () ->
+        Array.iter
+          (fun row ->
+            Array.iteri
+              (fun ad c ->
+                if c <> 0 then begin
+                  Metrics.add_losses metrics ad c;
+                  row.(ad) <- 0
+                end)
+              row)
+          t.lost_shadow);
+  t
 
 let graph t = t.graph
 
@@ -60,7 +102,17 @@ let engine t = t.engine
 
 let metrics t = t.metrics
 
-let trace t = t.trace
+let trace t = if t.sharded then Engine.trace t.engine else t.trace
+
+(* Context-resolved counter handles: the executing shard's on a worker
+   domain, the default-registry ones otherwise. *)
+let sends_ctr t =
+  let i = Engine.current_shard t.engine in
+  if i < 0 then t.m_sends else t.lane_sends.(i)
+
+let losses_ctr t =
+  let i = Engine.current_shard t.engine in
+  if i < 0 then t.m_losses else t.lane_losses.(i)
 
 let set_message_handler t f = t.on_message <- f
 
@@ -104,10 +156,17 @@ let up_neighbors t x =
   List.rev !acc
 
 let lose t ~src ~dst =
-  Metrics.record_loss t.metrics dst;
-  Reg.inc t.m_losses;
-  if Trace.enabled t.trace then
-    Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid:dst "net.lost";
+  (* Loss is charged to the receiver. On a worker domain the Metrics
+     row may belong to a foreign shard (an interposer drop runs in the
+     sender's context), so the charge goes to this shard's shadow
+     array, flushed at end of run. *)
+  (let i = Engine.current_shard t.engine in
+   if i < 0 then Metrics.record_loss t.metrics dst
+   else t.lost_shadow.(i).(dst) <- t.lost_shadow.(i).(dst) + 1);
+  Reg.inc (losses_ctr t);
+  let tr = trace t in
+  if Trace.enabled tr then
+    Trace.instant tr ~ts:(Engine.now t.engine) ~tid:dst "net.lost";
   Log.debug (fun m ->
       m "t=%.1f message %d -> %d lost in flight" (Engine.now t.engine) src dst)
 
@@ -119,9 +178,10 @@ let send t ~src ~dst ~bytes msg =
     | None -> ()
     | Some lid ->
       Metrics.record_send t.metrics src ~bytes;
-      Reg.inc t.m_sends;
-      if Trace.enabled t.trace then
-        Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid:src "net.send";
+      Reg.inc (sends_ctr t);
+      let tr = trace t in
+      if Trace.enabled tr then
+        Trace.instant tr ~ts:(Engine.now t.engine) ~tid:src "net.send";
       Log.debug (fun m ->
           m "t=%.1f send %d -> %d (%d bytes)" (Engine.now t.engine) src dst bytes);
       let msg =
@@ -136,8 +196,11 @@ let send t ~src ~dst ~bytes msg =
         if t.link_up.(lid) && t.node_up.(dst) then t.on_message ~at:dst ~from:src msg
         else lose t ~src ~dst
       in
+      (* Delivery executes on the shard owning the receiver; link
+         delays are >= the cross-shard minimum by construction, so the
+         window synchronizer never has to delay these further. *)
       (match t.interpose with
-      | None -> Engine.schedule t.engine ~delay deliver
+      | None -> Engine.schedule_for t.engine ~ad:dst ~delay deliver
       | Some f -> (
         match f ~src ~dst ~link:lid with
         | [] ->
@@ -145,7 +208,10 @@ let send t ~src ~dst ~bytes msg =
              the send stays charged. *)
           lose t ~src ~dst
         | extras ->
-          List.iter (fun extra -> Engine.schedule t.engine ~delay:(delay +. extra) deliver) extras))
+          List.iter
+            (fun extra ->
+              Engine.schedule_for t.engine ~ad:dst ~delay:(delay +. extra) deliver)
+            extras))
 
 let broadcast t ~src ~bytes msg =
   let neighbors = up_neighbors t src in
@@ -156,8 +222,9 @@ let set_link_state t lid ~up =
   if t.link_up.(lid) <> up then begin
     t.link_up.(lid) <- up;
     let l = Graph.link t.graph lid in
-    if Trace.enabled t.trace then
-      Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid:l.Link.a
+    let tr = trace t in
+    if Trace.enabled tr then
+      Trace.instant tr ~ts:(Engine.now t.engine) ~tid:l.Link.a
         (if up then "link.up" else "link.down");
     Flight.note Flight.global ~ts:(Engine.now t.engine) ~tid:l.Link.a
       ~detail:(Printf.sprintf "link %d--%d" l.Link.a l.Link.b)
@@ -172,8 +239,9 @@ let set_link_state t lid ~up =
 let set_node_state t ad ~up =
   if t.node_up.(ad) <> up then begin
     t.node_up.(ad) <- up;
-    if Trace.enabled t.trace then
-      Trace.instant t.trace ~ts:(Engine.now t.engine) ~tid:ad
+    let tr = trace t in
+    if Trace.enabled tr then
+      Trace.instant tr ~ts:(Engine.now t.engine) ~tid:ad
         (if up then "node.up" else "node.down");
     Flight.note Flight.global ~ts:(Engine.now t.engine) ~tid:ad
       ~detail:(Printf.sprintf "AD %d" ad)

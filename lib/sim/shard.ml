@@ -1,0 +1,83 @@
+module Graph = Pr_topology.Graph
+module Hierarchy = Pr_topology.Hierarchy
+module Link = Pr_topology.Link
+
+type spec = {
+  count : int;
+  owner : int array;
+  delta : float;
+}
+
+let count t = t.count
+
+let owner t ad = t.owner.(ad)
+
+let delta t = t.delta
+
+(* Minimum propagation delay over links whose endpoints live on
+   different shards. This is the conservative lookahead of the CMB
+   window synchronizer: an event executed at time u on one shard can
+   influence another shard no earlier than u + delta, so all shards may
+   safely execute the window [W, W + delta) in parallel. [infinity]
+   when no link crosses a shard boundary (each window then drains
+   everything up to the next control event). *)
+let min_cross_delay graph owner =
+  Graph.fold_links graph ~init:infinity ~f:(fun acc (l : Link.t) ->
+      if owner.(l.a) <> owner.(l.b) then Float.min acc l.delay else acc)
+
+let make ~owner ~count graph =
+  if count < 1 then invalid_arg "Shard.make: count must be >= 1";
+  if Array.length owner <> Graph.n graph then
+    invalid_arg "Shard.make: owner array size mismatch";
+  Array.iter
+    (fun o ->
+      if o < 0 || o >= count then invalid_arg "Shard.make: owner out of range")
+    owner;
+  { count; owner; delta = min_cross_delay graph owner }
+
+(* Default partitioner: hierarchy clusters bin-packed onto shards.
+   Clusters are indivisible — keeping a cluster on one shard keeps the
+   dense intra-cluster traffic of the Figure-1 topologies shard-local,
+   so only the sparse inter-cluster links pay the cross-shard path.
+   Greedy longest-processing-time packing: clusters by (size desc,
+   id asc) onto the currently lightest shard (ties to the lowest shard
+   id) — deterministic for a given (graph, shards). *)
+let plan graph ~shards =
+  if shards < 1 then invalid_arg "Shard.plan: shards must be >= 1";
+  let n = Graph.n graph in
+  let shards = if n = 0 then 1 else min shards n in
+  if shards = 1 then { count = 1; owner = Array.make n 0; delta = infinity }
+  else begin
+    let cl = Hierarchy.clusters_of_levels graph in
+    let ncl = 1 + Array.fold_left max (-1) cl in
+    let sizes = Array.make ncl 0 in
+    Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) cl;
+    let order = Array.init ncl (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        let c = compare sizes.(b) sizes.(a) in
+        if c <> 0 then c else compare a b)
+      order;
+    let load = Array.make shards 0 in
+    let shard_of_cluster = Array.make ncl 0 in
+    Array.iter
+      (fun c ->
+        let best = ref 0 in
+        for s = 1 to shards - 1 do
+          if load.(s) < load.(!best) then best := s
+        done;
+        shard_of_cluster.(c) <- !best;
+        load.(!best) <- load.(!best) + sizes.(c))
+      order;
+    let owner = Array.map (fun c -> shard_of_cluster.(c)) cl in
+    { count = shards; owner; delta = min_cross_delay graph owner }
+  end
+
+let pp fmt t =
+  let sizes = Array.make t.count 0 in
+  Array.iter (fun o -> sizes.(o) <- sizes.(o) + 1) t.owner;
+  Format.fprintf fmt "shards=%d delta=%g sizes=[" t.count t.delta;
+  Array.iteri
+    (fun i s -> Format.fprintf fmt "%s%d" (if i > 0 then " " else "") s)
+    sizes;
+  Format.fprintf fmt "]"

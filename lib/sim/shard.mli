@@ -1,0 +1,29 @@
+(** AD-partition specification for the sharded engine.
+
+    A [spec] assigns every AD to one shard and records the conservative
+    lookahead [delta]: the minimum propagation delay over cross-shard
+    links. The engine advances all shards in lockstep windows of that
+    width (a CMB-style conservative synchronizer) — see
+    {!Engine.create}. *)
+
+type spec
+
+val plan : Pr_topology.Graph.t -> shards:int -> spec
+(** Default partitioner: {!Pr_topology.Hierarchy.clusters_of_levels}
+    clusters bin-packed greedily (largest first) onto [shards] shards.
+    Deterministic for a given (graph, shards); [shards] is clamped to
+    the AD count. @raise Invalid_argument when [shards < 1]. *)
+
+val make : owner:int array -> count:int -> Pr_topology.Graph.t -> spec
+(** Explicit assignment, for tests: [owner.(ad)] is the shard of [ad].
+    @raise Invalid_argument on size or range errors. *)
+
+val count : spec -> int
+
+val owner : spec -> int -> int
+
+val delta : spec -> float
+(** Minimum cross-shard link delay; [infinity] when no link crosses a
+    shard boundary. *)
+
+val pp : Format.formatter -> spec -> unit

@@ -33,9 +33,17 @@ let global = create ~capacity:1024 ()
 let enabled t = t.on
 let set_enabled t on = t.on <- on
 
+(* Notes can arrive concurrently from the sharded engine's worker
+   domains (guard rejections, nemesis faults), so slot allocation and
+   the writes it guards are serialized. Uncontended lock cost is
+   negligible next to the string formatting every caller already does,
+   and the recorder is off the per-event hot path. *)
+let note_mutex = Mutex.create ()
+
 let note ?(kind = Instant) ?(tid = 0) ?(value = 0.0) ?(detail = "") t ~ts name
     =
   if t.on then begin
+    Mutex.lock note_mutex;
     let i = t.head mod t.capacity in
     t.kinds.(i) <- kind;
     t.ts.(i) <- ts;
@@ -43,7 +51,8 @@ let note ?(kind = Instant) ?(tid = 0) ?(value = 0.0) ?(detail = "") t ~ts name
     t.names.(i) <- name;
     t.values.(i) <- value;
     t.details.(i) <- detail;
-    t.head <- t.head + 1
+    t.head <- t.head + 1;
+    Mutex.unlock note_mutex
   end
 
 let total t = t.head

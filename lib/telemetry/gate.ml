@@ -37,11 +37,11 @@ let compare_row ~spec ~baseline ~current =
       | None, _, _ ->
           { field; baseline = b; current = c; band; ok = true;
             note = "absent in baseline (skipped)" }
+      | Some _, _, Ignore ->
+          { field; baseline = b; current = c; band; ok = true; note = "ignored" }
       | Some _, None, _ ->
           { field; baseline = b; current = c; band; ok = false;
             note = "missing in current run" }
-      | Some _, Some _, Ignore ->
-          { field; baseline = b; current = c; band; ok = true; note = "ignored" }
       | Some bv, Some cv, Exact ->
           let ok = within_exact bv cv in
           { field; baseline = b; current = c; band; ok;

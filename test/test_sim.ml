@@ -411,6 +411,76 @@ let churn_bad_spacing () =
   Alcotest.check_raises "spacing" (Invalid_argument "Churn.schedule: spacing <= 0")
     (fun () -> Pr_sim.Churn.schedule net (Rng.create 1) ~events:2 ~spacing:0.0 ())
 
+(* --- Sharded engine -------------------------------------------------- *)
+
+module Shard = Pr_sim.Shard
+
+let shard_plan_partitions () =
+  let g = Generator.generate (Rng.create 7) (Generator.scaled ~target_ads:60) in
+  let s = Shard.plan g ~shards:4 in
+  check_int "count" 4 (Shard.count s);
+  let pop = Array.make 4 0 in
+  for ad = 0 to Graph.n g - 1 do
+    let o = Shard.owner s ad in
+    check_bool "owner in range" true (o >= 0 && o < 4);
+    pop.(o) <- pop.(o) + 1
+  done;
+  Array.iteri (fun i c -> check_bool (Printf.sprintf "shard %d populated" i) true (c > 0)) pop;
+  check_bool "cross-shard delta positive" true (Shard.delta s > 0.0)
+
+let shard_plan_deterministic () =
+  let g = Generator.generate (Rng.create 7) (Generator.scaled ~target_ads:60) in
+  let a = Shard.plan g ~shards:4 and b = Shard.plan g ~shards:4 in
+  for ad = 0 to Graph.n g - 1 do
+    check_int "same owner" (Shard.owner a ad) (Shard.owner b ad)
+  done;
+  check_float "same delta" (Shard.delta a) (Shard.delta b)
+
+let shard_plan_single () =
+  let g = Figure1.graph () in
+  let s = Shard.plan g ~shards:1 in
+  check_int "one shard" 1 (Shard.count s);
+  for ad = 0 to Graph.n g - 1 do
+    check_int "everything on shard 0" 0 (Shard.owner s ad)
+  done;
+  (* No cross-shard links: the window width is unbounded. *)
+  check_bool "delta infinite" true (Shard.delta s = infinity)
+
+(* One converge under churn, sequential or sharded, summarized by
+   everything the equivalence contract covers: the convergence record,
+   the full metrics document (per-AD sends, bytes, computations, table
+   entries), and the delivery outcome of one flow per AD. *)
+let converge_summary ~seed ~size ~shards =
+  let g = Generator.generate (Rng.create seed) (Generator.scaled ~target_ads:size) in
+  let module R = Pr_proto.Runner.Make (Pr_ls.Ls) in
+  let r = R.setup ~shards g (Pr_policy.Config.defaults g) in
+  Pr_sim.Churn.schedule (R.network r)
+    (Rng.derive seed "churn")
+    ~events:6 ~spacing:4.0 ();
+  let c = R.converge r in
+  let metrics = Pr_util.Json.to_string (Metrics.to_json (R.metrics r)) in
+  let n = Graph.n g in
+  let routes =
+    List.init n (fun src ->
+        let dst = (src + (n / 2)) mod n in
+        Pr_proto.Forwarding.delivered
+          (R.send_flow r (Pr_policy.Flow.make ~src ~dst ())))
+  in
+  (c, metrics, routes)
+
+let sharded_equals_sequential =
+  QCheck.Test.make
+    ~name:"sharded converge equals sequential (any topology, churn, 2-8 shards)"
+    ~count:8
+    QCheck.(triple small_int small_int small_int)
+    (fun (seed, size, shards) ->
+      let seed = 1 + (seed mod 1000)
+      and size = 8 + (size mod 33)
+      and shards = 2 + (shards mod 7) in
+      let cs, ms, rs = converge_summary ~seed ~size ~shards:1 in
+      let cp, mp, rp = converge_summary ~seed ~size ~shards in
+      cs = cp && String.equal ms mp && rs = rp)
+
 let () =
   Alcotest.run "pr_sim"
     [
@@ -449,6 +519,13 @@ let () =
           Alcotest.test_case "failover" `Quick virtual_gateway_failover;
           Alcotest.test_case "protocol transparent" `Quick virtual_gateway_protocol_transparent;
         ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "plan partitions" `Quick shard_plan_partitions;
+          Alcotest.test_case "plan deterministic" `Quick shard_plan_deterministic;
+          Alcotest.test_case "single shard trivial" `Quick shard_plan_single;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ sharded_equals_sequential ] );
       ( "churn",
         [
           Alcotest.test_case "restores links" `Quick churn_restores_links;
